@@ -1,0 +1,88 @@
+"""CLM-2: Imase-Itoh claims of Sec. 2.6.
+
+Claims regenerated: II(d, n) exists for every n (graphs of any size),
+its diameter is at most ceil(log_d n) [15], and II(d, d^{k-1}(d+1)) is
+the Kautz graph KG(d, k) [16].
+"""
+
+from repro.graphs import (
+    check_isomorphism,
+    diameter,
+    imase_itoh_diameter_bound,
+    imase_itoh_graph,
+    kautz_graph,
+    kautz_num_nodes,
+    kautz_word_to_imase_itoh_index,
+)
+
+
+def bench_clm2_diameter_bound_sweep(benchmark, record_artifact):
+    cases = [(2, n) for n in range(3, 18)] + [(3, n) for n in range(4, 30, 3)] + [
+        (4, 17), (4, 64), (5, 30), (5, 99)
+    ]
+
+    def sweep():
+        rows = []
+        for d, n in cases:
+            g = imase_itoh_graph(d, n)
+            diam = diameter(g)
+            bound = imase_itoh_diameter_bound(d, n)
+            assert diam <= bound, (d, n, diam, bound)
+            rows.append((d, n, diam, bound))
+        return rows
+
+    rows = benchmark(sweep)
+
+    art = [
+        "II(d, n) diameter vs the ceil(log_d n) bound of [15]  (any n!)",
+        "",
+        "  d    n   diameter  bound  tight?",
+    ]
+    for d, n, diam, bound in rows:
+        art.append(f"  {d}  {n:>3}   {diam:>7}  {bound:>5}  {'yes' if diam == bound else 'no (better)'}")
+    record_artifact("clm2_imase_itoh_diameter.txt", "\n".join(art))
+
+
+def bench_clm2_kautz_equivalence(benchmark, record_artifact):
+    params = [(2, 2), (2, 3), (2, 4), (3, 2), (3, 3), (4, 2)]
+
+    def sweep():
+        results = []
+        for d, k in params:
+            kg = kautz_graph(d, k)
+            ii = imase_itoh_graph(d, kautz_num_nodes(d, k))
+            mapping = [
+                kautz_word_to_imase_itoh_index(kg.label_of(u), d)
+                for u in range(kg.num_nodes)
+            ]
+            ok = check_isomorphism(kg, ii, mapping)
+            results.append((d, k, kg.num_nodes, ok))
+        return results
+
+    results = benchmark(sweep)
+    assert all(ok for _, _, _, ok in results)
+
+    art = [
+        "II(d, d^{k-1}(d+1)) == KG(d, k)  (paper Sec. 2.6, [16])",
+        "",
+        "  d  k      n   isomorphic (explicit word bijection)?",
+    ]
+    for d, k, n, ok in results:
+        art.append(f"  {d}  {k}  {n:>5}   {ok}")
+    record_artifact("clm2_kautz_equivalence.txt", "\n".join(art))
+
+
+def bench_clm2_large_equivalence(benchmark):
+    """KG(5,3) == II(5,150): the bijection at 150 nodes."""
+    d, k = 5, 3
+    kg = kautz_graph(d, k)
+    ii = imase_itoh_graph(d, kautz_num_nodes(d, k))
+
+    def check():
+        mapping = [
+            kautz_word_to_imase_itoh_index(kg.label_of(u), d)
+            for u in range(kg.num_nodes)
+        ]
+        return check_isomorphism(kg, ii, mapping)
+
+    assert benchmark(check)

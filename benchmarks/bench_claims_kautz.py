@@ -1,0 +1,83 @@
+"""CLM-1: Kautz size/degree/diameter claims of Sec. 2.5.
+
+Claims regenerated: N = d^{k-1}(d+1), constant degree d, diameter
+k <= log_d N, Eulerian, Hamiltonian.  The paper's worked example
+("KG(5,4) has N = 3750") contradicts its own formula (5^3 * 6 = 750;
+3750 is KG(5,5)) -- both values are reported so EXPERIMENTS.md can
+record the erratum.
+"""
+
+import math
+
+from repro.graphs import (
+    diameter,
+    is_eulerian,
+    is_hamiltonian,
+    is_regular,
+    kautz_graph,
+    kautz_num_nodes,
+)
+
+
+def bench_clm1_size_degree_diameter_sweep(benchmark, record_artifact):
+    params = [(2, 1), (2, 2), (2, 3), (2, 4), (3, 2), (3, 3), (4, 2), (4, 3), (5, 2)]
+
+    def sweep():
+        rows = []
+        for d, k in params:
+            g = kautz_graph(d, k)
+            assert g.num_nodes == kautz_num_nodes(d, k)
+            assert is_regular(g, d)
+            diam = diameter(g)
+            assert diam == k
+            assert k <= math.log(g.num_nodes, d) + 1e-9
+            rows.append((d, k, g.num_nodes, g.num_arcs, diam))
+        return rows
+
+    rows = benchmark(sweep)
+
+    art = [
+        "Kautz graph size/degree/diameter claims (paper Sec. 2.5)",
+        "",
+        "  d  k      N   arcs  diameter   N == d^{k-1}(d+1)?  diam == k?",
+    ]
+    for d, k, n, m, diam in rows:
+        art.append(f"  {d}  {k}  {n:>5}  {m:>5}  {diam:>8}   yes                 yes")
+    art += [
+        "",
+        "paper example: 'KG(5,4) has N = 3750 nodes, degree 5 and diameter 4'",
+        f"  formula value for KG(5,4): {kautz_num_nodes(5, 4)}  (erratum: paper says 3750)",
+        f"  3750 is KG(5,5):           {kautz_num_nodes(5, 5)}",
+    ]
+    record_artifact("clm1_kautz_sizes.txt", "\n".join(art))
+
+
+def bench_clm1_euler_hamilton(benchmark, record_artifact):
+    params = [(2, 2), (2, 3), (3, 2), (4, 2)]
+
+    def sweep():
+        rows = []
+        for d, k in params:
+            g = kautz_graph(d, k)
+            rows.append((d, k, is_eulerian(g), is_hamiltonian(g)))
+        return rows
+
+    rows = benchmark(sweep)
+    assert all(e and h for _, _, e, h in rows)
+
+    art = [
+        "Kautz graphs are Eulerian and Hamiltonian (paper Sec. 2.5, [18])",
+        "",
+        "  d  k   Eulerian  Hamiltonian",
+    ]
+    for d, k, e, h in rows:
+        art.append(f"  {d}  {k}   {str(e):<8}  {str(h)}")
+    record_artifact("clm1_euler_hamilton.txt", "\n".join(art))
+
+
+def bench_clm1_large_kautz_construction(benchmark):
+    """Build KG(5,4): 750 nodes, 3750 arcs (the corrected paper example)."""
+
+    g = benchmark(kautz_graph, 5, 4)
+    assert g.num_nodes == 750
+    assert g.num_arcs == 3750

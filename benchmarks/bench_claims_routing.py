@@ -1,0 +1,136 @@
+"""CLM-5: routing claims of Sec. 2.5.
+
+"A shortest path routing algorithm (every path is of length at most k)
+is induced by the label of the nodes.  It can be extended to generate
+a path of length at most k + 2 which survives d - 1 link or node
+faults."  Both halves regenerated: exhaustive all-pairs optimality,
+and fault sweeps (exhaustive where feasible, randomized beyond).
+"""
+
+import itertools
+
+import numpy as np
+
+from repro.graphs import kautz_graph, kautz_words
+from repro.routing import (
+    FaultSet,
+    build_routing_table,
+    fault_tolerant_route,
+    kautz_distance,
+    kautz_route,
+)
+
+
+def bench_clm5_label_routing_all_pairs(benchmark, record_artifact):
+    cases = [(2, 3), (3, 2), (3, 3), (4, 2)]
+
+    def sweep():
+        rows = []
+        for d, k in cases:
+            g = kautz_graph(d, k)
+            table = build_routing_table(g)
+            words = list(kautz_words(d, k))
+            worst = 0
+            for u, wu in enumerate(words):
+                for v, wv in enumerate(words):
+                    dist = kautz_distance(wu, wv, d)
+                    assert dist == table.distance(u, v)
+                    worst = max(worst, dist)
+            rows.append((d, k, len(words) ** 2, worst))
+        return rows
+
+    rows = benchmark(sweep)
+
+    art = [
+        "label-induced routing == BFS shortest paths (paper Sec. 2.5)",
+        "",
+        "  d  k   pairs checked   longest route   <= k?",
+    ]
+    for d, k, pairs, worst in rows:
+        art.append(f"  {d}  {k}   {pairs:>12}   {worst:>12}   {'yes' if worst <= k else 'NO'}")
+    record_artifact("clm5_label_routing.txt", "\n".join(art))
+
+
+def bench_clm5_fault_tolerance_exhaustive(benchmark, record_artifact):
+    """Exhaustive d-1 node-fault sweep on KG(2,3) and KG(3,2)."""
+    cases = [(2, 3), (3, 2)]
+
+    def sweep():
+        rows = []
+        for d, k in cases:
+            words = list(kautz_words(d, k))
+            worst = 0
+            checked = 0
+            for x, y in itertools.permutations(words, 2):
+                others = [w for w in words if w not in (x, y)]
+                for fs in itertools.combinations(others, d - 1):
+                    path = fault_tolerant_route(
+                        x, y, d, FaultSet.of(nodes=list(fs))
+                    )
+                    assert path is not None
+                    worst = max(worst, len(path) - 1)
+                    checked += 1
+            rows.append((d, k, checked, worst, k + 2))
+        return rows
+
+    rows = benchmark(sweep)
+
+    art = [
+        "fault-tolerant routing: length <= k+2 surviving d-1 node faults",
+        "(exhaustive over all source/dest/fault-set combinations)",
+        "",
+        "  d  k   instances   worst length   k+2   bound holds?",
+    ]
+    for d, k, checked, worst, bound in rows:
+        assert worst <= bound
+        art.append(
+            f"  {d}  {k}   {checked:>9}   {worst:>12}   {bound:>3}   yes"
+        )
+    record_artifact("clm5_fault_exhaustive.txt", "\n".join(art))
+
+
+def bench_clm5_fault_tolerance_randomized(benchmark, record_artifact):
+    """Randomized d-1 fault sweep on KG(4,3): 320 nodes, 2000 instances."""
+    d, k = 4, 3
+    words = list(kautz_words(d, k))
+    rng = np.random.default_rng(0)
+
+    def sweep():
+        worst = 0
+        for _ in range(2000):
+            xi, yi = rng.choice(len(words), size=2, replace=False)
+            x, y = words[int(xi)], words[int(yi)]
+            others = [w for w in words if w not in (x, y)]
+            picks = rng.choice(len(others), size=d - 1, replace=False)
+            faults = FaultSet.of(nodes=[others[int(i)] for i in picks])
+            path = fault_tolerant_route(x, y, d, faults)
+            assert path is not None
+            worst = max(worst, len(path) - 1)
+        return worst
+
+    worst = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert worst <= k + 2
+
+    record_artifact(
+        "clm5_fault_randomized.txt",
+        "\n".join(
+            [
+                f"KG({d},{k}) ({len(words)} nodes): 2000 random (src, dst, {d - 1} node faults)",
+                f"worst surviving route length: {worst}  (bound k+2 = {k + 2})",
+            ]
+        ),
+    )
+
+
+def bench_clm5_route_throughput(benchmark):
+    """Routing-computation rate: label routing needs no tables."""
+    d, k = 5, 4
+    words = list(kautz_words(d, k))
+
+    def route_many():
+        total = 0
+        for i in range(0, len(words), 7):
+            total += len(kautz_route(words[i], words[-1 - i], d))
+        return total
+
+    assert benchmark(route_many) > 0

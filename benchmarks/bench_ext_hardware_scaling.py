@@ -1,0 +1,82 @@
+"""EXT-1: hardware-cost scaling of the OTIS designs.
+
+The paper motivates multi-hop multi-OPS networks as the cost-effective
+point between single-hop (transceiver-hungry) and point-to-point
+(coupler-hungry) designs.  This benchmark quantifies it: for growing
+machine sizes, the full bill of materials of POPS vs stack-Kautz
+designs, and the equal-N comparison table.
+"""
+
+from repro.analysis import TopologyRow, equal_size_comparison, pops_row, stack_kautz_row
+from repro.networks import StackKautzDesign
+
+
+def bench_ext1_equal_size_tables(benchmark, record_artifact):
+    sizes = (24, 48, 72, 144)
+
+    def build():
+        return {n: equal_size_comparison(n) for n in sizes}
+
+    tables = benchmark(build)
+
+    art = ["equal-N hardware comparison: POPS vs stack-Kautz", ""]
+    for n in sizes:
+        art.append(f"=== N = {n} processors ===")
+        art.append(TopologyRow.header())
+        for row in tables[n]:
+            art.append(row.formatted())
+        art.append("")
+    art += [
+        "reading: POPS rows pay transceivers (tx/node = g) for diameter 1;",
+        "SK rows hold tx/node at d+1 and pay diameter k; lens count grows",
+        "with group count either way.",
+    ]
+    record_artifact("ext1_equal_size.txt", "\n".join(art))
+
+
+def bench_ext1_sk_family_growth(benchmark, record_artifact):
+    """SK hardware as N grows with fixed degree d+1 = 4."""
+    params = [(2, 3, 2), (4, 3, 2), (8, 3, 2), (4, 3, 3), (8, 3, 3), (16, 3, 3)]
+
+    def build():
+        return [stack_kautz_row(s, d, k) for s, d, k in params]
+
+    rows = benchmark(build)
+
+    art = [
+        "stack-Kautz growth at constant processor degree 4 (d = 3)",
+        "",
+        TopologyRow.header(),
+    ]
+    for row in rows:
+        art.append(row.formatted())
+    art += [
+        "",
+        "transceivers per processor stay at 4 while N grows 16x --",
+        "the multi-hop trade the paper argues for",
+    ]
+    record_artifact("ext1_sk_growth.txt", "\n".join(art))
+
+
+def bench_ext1_pops_transceiver_blowup(benchmark, record_artifact):
+    """POPS at fixed group size: transceivers/processor grow with g."""
+    params = [(8, 2), (8, 4), (8, 8), (8, 16)]
+
+    def build():
+        return [pops_row(t, g) for t, g in params]
+
+    rows = benchmark(build)
+
+    art = ["POPS growth at fixed t = 8: single-hop transceiver cost", "", TopologyRow.header()]
+    for row in rows:
+        art.append(row.formatted())
+    record_artifact("ext1_pops_growth.txt", "\n".join(art))
+
+
+def bench_ext1_big_design_bom(benchmark):
+    """BOM computation for SK(16, 4, 3): 1280 processors."""
+    design = StackKautzDesign(16, 4, 3)
+
+    bom = benchmark(design.bill_of_materials)
+    assert bom.couplers == 80 * 5
+    assert bom.transmitters == 1280 * 5

@@ -1,0 +1,71 @@
+"""EXT-8: OTIS-G point-to-point networks (Sec. 2.1 / conclusion).
+
+The paper recalls that OTIS also realizes point-to-point networks
+(hypercube, 4-D mesh, mesh-of-trees, butterfly -- Zane et al. [24])
+and concludes that OTIS-based networks can be studied through the
+Imase-Itoh view.  This benchmark builds the OTIS-G family over several
+factor networks, regenerates the ``2*diam(G) + 1`` diameter law, and
+checks the optical swap arcs against the OTIS hardware map.
+"""
+
+from repro.comm import hypercube_graph
+from repro.graphs import complete_digraph, diameter, kautz_graph
+from repro.networks import otis_network, swap_distance_bound, verify_swap_arcs_match_otis
+
+
+def bench_ext8_otis_g_family(benchmark, record_artifact):
+    factories = [
+        ("K_3", lambda: complete_digraph(3)),
+        ("K_5", lambda: complete_digraph(5)),
+        ("Q2", lambda: hypercube_graph(2)),
+        ("Q3", lambda: hypercube_graph(3)),
+        ("KG(2,2)", lambda: kautz_graph(2, 2)),
+        ("KG(3,2)", lambda: kautz_graph(3, 2)),
+    ]
+
+    def sweep():
+        rows = []
+        for name, make in factories:
+            factor = make()
+            net = otis_network(factor)
+            rows.append(
+                (
+                    name,
+                    factor.num_nodes,
+                    net.num_nodes,
+                    diameter(factor),
+                    diameter(net),
+                    swap_distance_bound(factor),
+                )
+            )
+        return rows
+
+    rows = benchmark(sweep)
+
+    art = [
+        "OTIS-G swap networks ([24], paper Sec. 2.1)",
+        "",
+        "  factor    n    N=n^2   diam(G)  diam(OTIS-G)  2*diam+1",
+    ]
+    for name, n, big_n, dg, dn, bound in rows:
+        assert dn <= bound
+        art.append(
+            f"  {name:<8} {n:>3}  {big_n:>6}  {dg:>7}  {dn:>12}  {bound:>8}"
+        )
+    art += [
+        "",
+        "diameter always within 2*diam(G)+1 (attained by Q3 and the",
+        "complete factors); one OTIS(n,n) supplies every optical link.",
+    ]
+    record_artifact("ext8_otis_g.txt", "\n".join(art))
+
+
+def bench_ext8_swap_arcs_are_hardware(benchmark):
+    """Swap pattern == OTIS(n, n) with port-complement assignment."""
+
+    def sweep():
+        for n in (2, 3, 4, 8, 16):
+            assert verify_swap_arcs_match_otis(complete_digraph(n))
+        return True
+
+    assert benchmark(sweep)

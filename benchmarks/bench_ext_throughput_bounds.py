@@ -1,0 +1,65 @@
+"""EXT-7: measured throughput vs analytic coupler-capacity bounds.
+
+Validates the simulator against theory: deliverable messages/slot can
+never exceed ``couplers / mean_hops`` (every coupler carries one
+message per slot; every delivery consumes mean-hops coupler-slots).
+The gap between bound and measurement is the scheduling/imbalance
+overhead a real control protocol would fight.
+"""
+
+from repro.analysis import (
+    pops_capacity,
+    single_ops_capacity,
+    stack_kautz_capacity,
+)
+from repro.networks import (
+    POPSNetwork,
+    SingleOPSNetwork,
+    StackKautzNetwork,
+    single_ops_simulator,
+)
+from repro.simulation import (
+    pops_simulator,
+    run_traffic,
+    stack_kautz_simulator,
+    uniform_traffic,
+)
+
+N = 48
+
+
+def bench_ext7_capacity_vs_measured(benchmark, record_artifact):
+    star = SingleOPSNetwork(N)
+    pops = POPSNetwork(12, 4)
+    sk = StackKautzNetwork(4, 2, 3)
+    traffic = uniform_traffic(N, 960, seed=51)
+
+    def run_all():
+        return (
+            run_traffic(single_ops_simulator(star), traffic, max_slots=50_000),
+            run_traffic(pops_simulator(pops), traffic),
+            run_traffic(stack_kautz_simulator(sk), traffic),
+        )
+
+    s_rep, p_rep, k_rep = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        ("single-OPS", single_ops_capacity(star), s_rep.throughput),
+        ("POPS(12,4)", pops_capacity(pops), p_rep.throughput),
+        ("SK(4,2,3)", stack_kautz_capacity(sk), k_rep.throughput),
+    ]
+    art = [
+        f"analytic capacity vs measured throughput (N = {N}, {len(traffic)} messages)",
+        "",
+        "  machine       capacity (msgs/slot)   measured   achieved",
+    ]
+    for name, cap, thr in rows:
+        assert thr <= cap + 1e-9
+        art.append(f"  {name:<12}  {cap:>18.2f}   {thr:>8.3f}   {100 * thr / cap:5.1f}%")
+    art += [
+        "",
+        "measured <= capacity everywhere (asserted); the single star sits",
+        "at exactly 100% of its (tiny) capacity because one coupler never",
+        "idles, while partitioned machines leave headroom to load imbalance.",
+    ]
+    record_artifact("ext7_capacity.txt", "\n".join(art))

@@ -1,0 +1,67 @@
+"""EXT-5: the structure behind the k+2 fault-tolerance claim.
+
+The d-wide diameter of KG(d, k) -- the smallest L such that every
+ordered pair has d internally node-disjoint paths of length <= L --
+is measured exactly on figure-sized instances and lands on k+2, which
+is precisely why routing survives d-1 faults within k+2 hops.  The
+exhaustive fault diameter (worst surviving BFS distance over all
+(d-1)-fault sets) is measured alongside.
+"""
+
+from repro.analysis.wide_diameter import fault_diameter, wide_diameter
+from repro.graphs import diameter, kautz_graph
+
+
+def bench_ext5_wide_diameter(benchmark, record_artifact):
+    cases = [(2, 2), (3, 2), (2, 3)]
+
+    def sweep():
+        return [
+            (d, k, diameter(kautz_graph(d, k)), wide_diameter(kautz_graph(d, k), d))
+            for d, k in cases
+        ]
+
+    rows = benchmark(sweep)
+
+    art = [
+        "d-wide diameter of KG(d, k): d node-disjoint paths, max length",
+        "",
+        "  d  k   diameter   d-wide diameter   k+2",
+    ]
+    for d, k, diam, wd in rows:
+        assert wd == k + 2, (d, k, wd)
+        art.append(f"  {d}  {k}   {diam:>8}   {wd:>15}   {k + 2:>3}")
+    art += [
+        "",
+        "measured d-wide diameter == k+2 exactly: d-1 faults can kill at",
+        "most d-1 of the d disjoint paths, so a length <= k+2 route always",
+        "survives -- the paper's Sec. 2.5 claim, now structural.",
+    ]
+    record_artifact("ext5_wide_diameter.txt", "\n".join(art))
+
+
+def bench_ext5_fault_diameter(benchmark, record_artifact):
+    cases = [(2, 2), (3, 2)]
+
+    def sweep():
+        return [
+            (d, k, fault_diameter(kautz_graph(d, k), d - 1)) for d, k in cases
+        ]
+
+    rows = benchmark(sweep)
+
+    art = [
+        "exhaustive fault diameter of KG(d, k) under d-1 node faults",
+        "(worst surviving shortest-path distance over ALL fault sets)",
+        "",
+        "  d  k   fault diameter   k+2",
+    ]
+    for d, k, fd in rows:
+        assert fd <= k + 2
+        art.append(f"  {d}  {k}   {fd:>14}   {k + 2:>3}")
+    art += [
+        "",
+        "fault diameter <= wide diameter: surviving shortest paths can be",
+        "shorter than the worst disjoint-path bound.",
+    ]
+    record_artifact("ext5_fault_diameter.txt", "\n".join(art))

@@ -1,0 +1,37 @@
+"""FIG-1: the OTIS(3, 6) free-space transpose system.
+
+Regenerates the connection table of paper Fig. 1 (transmitter (i, j) ->
+receiver (T-1-j, G-1-i) through two lens planes), proves the drawn
+geometry realizes it, and times OTIS permutation construction at
+figure scale and at the size Corollary 1 needs for KG(5, 5)
+(OTIS(5, 3750), 18750 beams).
+"""
+
+from repro.optical import OTIS, OTISLayout
+
+
+def bench_fig01_otis_3_6_geometry(benchmark, record_artifact):
+    layout = OTISLayout(OTIS(3, 6))
+
+    result = benchmark(layout.verify_transpose_geometry)
+    assert result
+
+    art = [layout.render_ascii(), "", f"beam crossings: {layout.crossing_count()}"]
+    art.append(f"lenses: {layout.otis.num_lenses} (3 plane-1 + 6 plane-2)")
+    record_artifact("fig01_otis_3_6.txt", "\n".join(art))
+
+
+def bench_fig01_large_otis_permutation(benchmark):
+    """Permutation of OTIS(5, 3750): the stage wiring a KG(5,5) machine."""
+    otis = OTIS(5, 3750)
+
+    perm = benchmark(otis.permutation)
+    assert perm.shape == (18750,)
+
+
+def bench_fig01_involution_check(benchmark):
+    """OTIS(64, 64) double application == identity."""
+    otis = OTIS(64, 64)
+
+    result = benchmark(otis.is_involution)
+    assert result

@@ -1,0 +1,51 @@
+"""FIG-4/5: POPS(4, 2) and its stack-graph model sigma(4, K+_2).
+
+Fig. 4 draws the 8-processor POPS(4, 2) with 4 couplers (0,0) (0,1)
+(1,0) (1,1); Fig. 5 models it as the stack of the complete digraph
+with loops on 2 nodes.  The benchmark rebuilds both, proves they agree
+coupler-by-coupler, and confirms the single-hop property.
+"""
+
+from repro.networks import POPSNetwork
+
+
+def bench_fig04_pops_4_2(benchmark, record_artifact):
+    def build_and_check():
+        net = POPSNetwork(4, 2)
+        model = net.stack_graph_model()
+        model.validate_against_base()
+        assert net.is_single_hop()
+        return net, model
+
+    net, model = benchmark(build_and_check)
+    assert net.num_processors == 8
+    assert net.num_couplers == 4
+
+    art = [
+        "POPS(4,2): 8 processors, 2 groups of 4, 4 OPS couplers of degree 4",
+        "",
+        "coupler (i,j): inputs = group i, outputs = group j   (paper Fig. 4)",
+    ]
+    for idx, ha in enumerate(model.hyperarcs):
+        art.append(
+            f"  coupler {ha.label}: sources {ha.sources} -> targets {ha.targets}"
+        )
+    art += [
+        "",
+        f"stack-graph model: {model.name} (paper Fig. 5)",
+        f"hyperarcs == couplers: {model.num_hyperarcs} == {net.num_couplers}",
+        f"single-hop (hop diameter 1): {net.is_single_hop()}",
+        f"transmitters/processor: {net.transmitters_per_processor}",
+        f"receivers/processor:    {net.receivers_per_processor}",
+    ]
+    record_artifact("fig04_05_pops.txt", "\n".join(art))
+
+
+def bench_fig05_larger_pops_models(benchmark):
+    """Stack-model construction cost at growing g (g^2 couplers)."""
+
+    def build():
+        return [POPSNetwork(8, g).stack_graph_model() for g in (2, 4, 8, 16)]
+
+    models = benchmark(build)
+    assert [m.num_hyperarcs for m in models] == [4, 16, 64, 256]

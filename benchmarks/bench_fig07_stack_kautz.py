@@ -1,0 +1,61 @@
+"""FIG-7: the stack-Kautz network SK(6, 3, 2).
+
+Fig. 7 draws SK(6,3,2): 12 groups of 6 processors (72 total) over
+KG(3,2), degree 4, diameter 2.  The benchmark rebuilds the network,
+machine-checks Definition 4, and regenerates the group table with
+Kautz words.
+"""
+
+from repro.networks import StackKautzNetwork
+from repro.routing import stack_kautz_distance
+
+
+def bench_fig07_stack_kautz_6_3_2(benchmark, record_artifact):
+    def build_and_verify():
+        net = StackKautzNetwork(6, 3, 2)
+        net.verify_definition()
+        return net
+
+    net = benchmark(build_and_verify)
+    assert net.num_processors == 72
+    assert net.processor_degree == 4
+    assert net.diameter == 2
+
+    art = [
+        "stack-Kautz SK(6,3,2) (paper Fig. 7)",
+        f"processors: {net.num_processors} = 6 x 12   degree: {net.processor_degree}   diameter: {net.diameter}",
+        f"couplers:   {net.num_couplers} of degree 6 (3 Kautz + 1 loop per group)",
+        "",
+        "group  word  processors        Kautz successors",
+    ]
+    for x in range(net.num_groups):
+        word = "".join(map(str, net.group_word(x)))
+        members = net.group_members(x)
+        succ = net.group_successors(x)
+        art.append(
+            f"  {x:>3}   {word}   {members[0]:>2}..{members[-1]:<2}            {succ}"
+        )
+    record_artifact("fig07_stack_kautz.txt", "\n".join(art))
+
+
+def bench_fig07_hop_distance_histogram(benchmark, record_artifact):
+    """Hop-distance profile over all 72*72 processor pairs."""
+    net = StackKautzNetwork(6, 3, 2)
+
+    def histogram():
+        counts = {}
+        for src in range(net.num_processors):
+            for dst in range(net.num_processors):
+                h = stack_kautz_distance(net, src, dst)
+                counts[h] = counts.get(h, 0) + 1
+        return counts
+
+    counts = benchmark(histogram)
+    assert max(counts) == net.diameter
+    total = sum(counts.values())
+    assert total == net.num_processors**2
+
+    art = ["SK(6,3,2) hop-distance distribution over all ordered pairs", ""]
+    for h in sorted(counts):
+        art.append(f"  {h} hops: {counts[h]:>5} pairs ({100 * counts[h] / total:5.1f}%)")
+    record_artifact("fig07_hop_histogram.txt", "\n".join(art))

@@ -1,0 +1,73 @@
+"""FIG-12: the complete optical design of SK(6, 3, 2) with OTIS.
+
+The paper's flagship design: 12 OTIS(6,4) transmit stages, 12
+OTIS(4,6) receive stages, 48 multiplexers, 48 beam-splitters, one
+OTIS(3,12) interconnect, and fiber loops.  The benchmark regenerates
+exactly those counts, verifies every light path against
+sigma(6, KG+(3,2)), and audits both power budgets.
+"""
+
+from repro.networks import StackKautzDesign
+
+
+def bench_fig12_stack_kautz_design_verify(benchmark, record_artifact):
+    design = StackKautzDesign(6, 3, 2)
+
+    result = benchmark(design.verify)
+    assert result
+
+    bom = design.bill_of_materials()
+    # The exact Fig. 12 inventory:
+    assert bom.otis_units == {(6, 4): 12, (4, 6): 12, (3, 12): 1}
+    assert bom.multiplexers == 48
+    assert bom.beam_splitters == 48
+
+    sample = design.trace(0, 0, port=3)
+    loop = design.trace(0, 0, port=0)
+    art = [
+        "optical design of SK(6,3,2) (paper Fig. 12)",
+        "",
+        bom.summary(),
+        "",
+        "paper's count: 12 OTIS(6,4), 12 OTIS(4,6), 48 multiplexers,",
+        "48 beam-splitters, 1 OTIS(3,12)  -- reproduced exactly",
+        "",
+        "sample Kautz-arc light path (processor (0,0), port 3):",
+        "  " + " -> ".join(sample.stages),
+        "sample loop light path (processor (0,0), port 0):",
+        "  " + " -> ".join(loop.stages),
+        "",
+        f"interconnect-path link margin: {design.worst_case_power_budget().margin_db():.2f} dB",
+        f"loop-path link margin:         {design.loop_power_budget().margin_db():.2f} dB",
+        "",
+        design.render_ascii(max_groups=3),
+    ]
+    record_artifact("fig12_stack_kautz_design.txt", "\n".join(art))
+
+
+def bench_fig12_design_family_scaling(benchmark, record_artifact):
+    """Bill-of-materials scaling across the SK family (EXT-1 preview)."""
+
+    def sweep():
+        rows = []
+        for s, d, k in [(6, 3, 2), (4, 2, 3), (8, 3, 3), (4, 4, 3), (16, 5, 2)]:
+            design = StackKautzDesign(s, d, k)
+            bom = design.bill_of_materials()
+            rows.append(
+                (str(design.name), design.num_processors, bom.total_otis_stages,
+                 bom.multiplexers, bom.total_lenses)
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    art = ["SK design hardware scaling", "", "design        N      otis  mux    lenses"]
+    for name, n, stages, mux, lenses in rows:
+        art.append(f"{name:<13} {n:<6} {stages:<5} {mux:<6} {lenses}")
+    record_artifact("fig12_family_scaling.txt", "\n".join(art))
+
+
+def bench_fig12_large_design_verification(benchmark):
+    """Verification cost at SK(4, 3, 3): 36 groups, 144 processors."""
+    design = StackKautzDesign(4, 3, 3)
+
+    assert benchmark(design.verify)

@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (figure or in-text
+claim).  Besides timing a representative computation with
+pytest-benchmark, each writes a plain-text artifact under
+``benchmarks/artifacts/`` holding the regenerated rows -- those files
+are the "tables and figures" of this reproduction and are referenced
+from EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+ARTIFACT_DIR = Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    return ARTIFACT_DIR
+
+
+@pytest.fixture
+def record_artifact(artifact_dir):
+    """Write (and echo) a named artifact file."""
+
+    def _write(name: str, text: str) -> Path:
+        path = artifact_dir / name
+        path.write_text(text if text.endswith("\n") else text + "\n")
+        print(f"\n--- artifact: {path.name} ---")
+        print(text)
+        return path
+
+    return _write

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Design-space exploration: pick a multiprocessor interconnect.
+
+The engineering workflow the paper enables: given a target machine
+size, enumerate every POPS and stack-Kautz configuration, compare
+transceiver cost, coupler count, lens count, diameter and optical
+power margin, and check which configurations close the link budget
+with a chosen laser/receiver pair.
+
+Run:  python examples/design_explorer.py [N]
+"""
+
+import sys
+
+from repro.analysis import TopologyRow, equal_size_comparison
+from repro.networks import StackKautzDesign
+from repro.optical import Receiver, Transmitter, max_ops_degree
+
+
+def main() -> None:
+    target_n = int(sys.argv[1]) if len(sys.argv) > 1 else 144
+
+    print(f"=== all POPS / stack-Kautz configurations with N = {target_n} ===\n")
+    rows = equal_size_comparison(target_n)
+    print(TopologyRow.header())
+    for row in rows:
+        print(row.formatted())
+
+    # ------------------------------------------------------------------
+    # Filter by an actual optical budget: a 0 dBm laser, -30 dBm
+    # receiver, 3 dB margin.  The coupler degree (= group size) is the
+    # loss driver through its 10*log10(s) splitting term.
+    # ------------------------------------------------------------------
+    tx, rx = Transmitter(power_dbm=0.0), Receiver(sensitivity_dbm=-30.0)
+    fixed_loss = 3 * 1.0 + 0.5  # three lens pairs + mux excess
+    ceiling = max_ops_degree(tx, fixed_loss, rx, required_margin_db=3.0)
+    print(f"\nOPS degree ceiling for this transceiver pair: {ceiling}")
+
+    feasible = [r for r in rows if r.coupler_degree <= ceiling]
+    print(f"{len(feasible)}/{len(rows)} configurations close the budget with 3 dB margin")
+
+    # ------------------------------------------------------------------
+    # Pick the cheapest feasible stack-Kautz design by lens count and
+    # print its full inventory.
+    # ------------------------------------------------------------------
+    sk_rows = [r for r in feasible if r.name.startswith("SK")]
+    if not sk_rows:
+        print("no feasible stack-Kautz configuration at this size")
+        return
+    best = min(sk_rows, key=lambda r: (r.transceivers_per_processor, r.lenses))
+    print(f"\nselected design: {best.name} "
+          f"(diameter {best.diameter}, {best.transceivers_per_processor} tx/node)")
+
+    # Rebuild it as a full design object for the complete BOM.
+    import re
+
+    s, d, k = map(int, re.match(r"SK\((\d+),(\d+),(\d+)\)", best.name).groups())
+    design = StackKautzDesign(s, d, k)
+    assert design.verify()
+    print(design.bill_of_materials().summary())
+
+
+if __name__ == "__main__":
+    main()

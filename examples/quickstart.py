@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: build, verify and inspect the paper's flagship design.
+
+Reproduces in a few lines what Sections 2-4 of the paper develop: the
+stack-Kautz network SK(6,3,2) of Fig. 7 and its complete OTIS optical
+design of Fig. 12, then routes a message through the actual hardware
+ports.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import StackKautzDesign, StackKautzNetwork, stack_kautz_route
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The network topology (paper Fig. 7).
+    # ------------------------------------------------------------------
+    net = StackKautzNetwork(stacking_factor=6, degree=3, diameter=2)
+    print(f"network: {net}")
+    print(f"  processors: {net.num_processors} in {net.num_groups} groups of 6")
+    print(f"  transceivers per processor: {net.processor_degree}")
+    print(f"  OPS couplers: {net.num_couplers} of degree {net.stacking_factor}")
+    print(f"  optical hop diameter: {net.diameter}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. The optical design (paper Fig. 12) and its bill of materials.
+    # ------------------------------------------------------------------
+    design = StackKautzDesign(6, 3, 2)
+    assert design.verify(), "light paths must realize the stack-graph exactly"
+    print("optical design verified end-to-end; bill of materials:")
+    print(design.bill_of_materials().summary())
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Route a message and trace it through the hardware.
+    # ------------------------------------------------------------------
+    src, dst = 0, 71
+    route = stack_kautz_route(net, src, dst)
+    print(f"routing processor {src} {net.label_of(src)} -> {dst} {net.label_of(dst)}:")
+    print(f"  {route.num_hops} optical hops (diameter is {net.diameter})")
+    group, index = net.label_of(src)
+    for hop in route.hops:
+        path = design.trace(group, index, hop.tx_port)
+        print(f"  hop via port {hop.tx_port}: " + " -> ".join(path.stages))
+        group = path.dst_group
+        index = net.label_of(dst)[1]
+
+    # ------------------------------------------------------------------
+    # 4. Check the optical power budget closes.
+    # ------------------------------------------------------------------
+    budget = design.worst_case_power_budget()
+    print()
+    print(f"worst-case light path loss: {budget.total_loss_db():.2f} dB, "
+          f"link margin {budget.margin_db():.2f} dB "
+          f"({'closes' if budget.is_feasible() else 'DOES NOT close'})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""repro -- OTIS-based multi-hop multi-OPS lightwave networks.
+
+A full reproduction of Coudert, Ferreira, Munoz, *OTIS-Based Multi-Hop
+Multi-OPS Lightwave Networks* (WOCS/IPPS'99, LNCS 1586): graph
+substrates (Kautz, Imase-Itoh, de Bruijn, stack-graphs), optical
+substrates (OTIS, OPS couplers, power budgets), the POPS and
+stack-Kautz networks, their complete OTIS optical designs with
+end-to-end light-path verification, routing (label-induced and
+fault-tolerant), collectives, embeddings, and a slotted discrete-event
+simulator.
+
+Quickstart
+----------
+>>> import repro
+>>> design = repro.StackKautzDesign(6, 3, 2)      # paper Fig. 12
+>>> design.verify()
+True
+>>> design.bill_of_materials().otis_units[(3, 12)]
+1
+
+Subpackages
+-----------
+:mod:`repro.graphs`
+    Digraph kernel and the named families the paper builds on.
+:mod:`repro.hypergraphs`
+    Directed hypergraphs and stack-graphs (Definition 1).
+:mod:`repro.optical`
+    OTIS, OPS couplers, components, lens layouts, power budgets.
+:mod:`repro.networks`
+    POPS / stack-Kautz / stack-Imase-Itoh and their optical designs
+    (Sections 3-4, Proposition 1, Corollary 1).
+:mod:`repro.routing`
+    Label-induced shortest-path and fault-tolerant routing.
+:mod:`repro.comm`
+    Broadcast, gossip, embeddings.
+:mod:`repro.simulation`
+    Slotted discrete-event simulation with traffic generators.
+:mod:`repro.analysis`
+    Moore bounds and cross-topology comparisons.
+"""
+
+from . import analysis, comm, graphs, hypergraphs, networks, optical, routing, simulation
+from .graphs import (
+    DiGraph,
+    debruijn_graph,
+    imase_itoh_graph,
+    kautz_graph,
+    kautz_graph_with_loops,
+    kautz_num_nodes,
+)
+from .hypergraphs import DirectedHypergraph, Hyperarc, StackGraph, stack_graph
+from .networks import (
+    OTISImaseItohRealization,
+    POPSDesign,
+    POPSNetwork,
+    StackImaseItohDesign,
+    StackImaseItohNetwork,
+    StackKautzDesign,
+    StackKautzNetwork,
+    imase_itoh_view,
+    otis_for_kautz,
+)
+from .optical import OTIS, OPSCoupler, OTISLayout, PowerBudget
+from .routing import (
+    FaultSet,
+    fault_tolerant_route,
+    kautz_distance,
+    kautz_route,
+    stack_kautz_route,
+)
+from .simulation import (
+    SlottedSimulator,
+    pops_simulator,
+    run_traffic,
+    stack_kautz_simulator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OTIS",
+    "DiGraph",
+    "DirectedHypergraph",
+    "FaultSet",
+    "Hyperarc",
+    "OPSCoupler",
+    "OTISImaseItohRealization",
+    "OTISLayout",
+    "POPSDesign",
+    "POPSNetwork",
+    "PowerBudget",
+    "SlottedSimulator",
+    "StackGraph",
+    "StackImaseItohDesign",
+    "StackImaseItohNetwork",
+    "StackKautzDesign",
+    "StackKautzNetwork",
+    "analysis",
+    "comm",
+    "debruijn_graph",
+    "fault_tolerant_route",
+    "graphs",
+    "hypergraphs",
+    "imase_itoh_graph",
+    "imase_itoh_view",
+    "kautz_distance",
+    "kautz_graph",
+    "kautz_graph_with_loops",
+    "kautz_num_nodes",
+    "kautz_route",
+    "networks",
+    "optical",
+    "otis_for_kautz",
+    "pops_simulator",
+    "routing",
+    "run_traffic",
+    "simulation",
+    "stack_graph",
+    "stack_kautz_route",
+    "stack_kautz_simulator",
+]

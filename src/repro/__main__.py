@@ -1,0 +1,159 @@
+"""Command-line interface: inspect designs, route, simulate, compare.
+
+Usage::
+
+    python -m repro design sk 6 3 2          # Fig. 12 bill of materials
+    python -m repro design pops 4 2          # Fig. 11 bill of materials
+    python -m repro otis 3 6                 # Fig. 1 ASCII layout
+    python -m repro route 6 3 2 0 71         # route through SK(6,3,2)
+    python -m repro simulate 4 2 3 --messages 300
+    python -m repro compare 48               # equal-N design table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    from .networks import POPSDesign, StackImaseItohDesign, StackKautzDesign
+
+    if args.family == "sk":
+        design = StackKautzDesign(*args.params)
+    elif args.family == "pops":
+        if len(args.params) != 2:
+            print("pops takes 2 parameters: t g", file=sys.stderr)
+            return 2
+        design = POPSDesign(*args.params)
+    elif args.family == "sii":
+        design = StackImaseItohDesign(*args.params)
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
+    ok = design.verify()
+    print(f"design:   {design.name}")
+    print(f"verified: {ok} (every light path == stack-graph hyperarc)")
+    print()
+    print(design.bill_of_materials().summary())
+    budget = design.worst_case_power_budget()
+    print()
+    print(
+        f"worst-case link: {budget.total_loss_db():.2f} dB loss, "
+        f"{budget.margin_db():.2f} dB margin"
+    )
+    return 0 if ok else 1
+
+
+def _cmd_otis(args: argparse.Namespace) -> int:
+    from .optical import OTIS, OTISLayout
+
+    layout = OTISLayout(OTIS(args.groups, args.size))
+    print(layout.render_ascii())
+    print()
+    print(f"geometry realizes the transpose map: {layout.verify_transpose_geometry()}")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from .networks import StackKautzNetwork
+    from .routing import stack_kautz_route
+
+    net = StackKautzNetwork(args.s, args.d, args.k)
+    if not (0 <= args.src < net.num_processors and 0 <= args.dst < net.num_processors):
+        print(f"processors must be in [0, {net.num_processors})", file=sys.stderr)
+        return 2
+    route = stack_kautz_route(net, args.src, args.dst)
+    sw = "".join(map(str, net.group_word(net.label_of(args.src)[0])))
+    dw = "".join(map(str, net.group_word(net.label_of(args.dst)[0])))
+    print(f"{net}: {args.src} (group word {sw}) -> {args.dst} (group word {dw})")
+    print(f"hops: {route.num_hops} (diameter {net.diameter})")
+    for i, hop in enumerate(route.hops, start=1):
+        kind = "loop coupler" if hop.is_loop else "Kautz coupler"
+        print(
+            f"  hop {i}: group {hop.src_group} -> {hop.dst_group}  "
+            f"[{kind} (group {hop.src_group}, mux {hop.mux}), tx port {hop.tx_port}]"
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .networks import StackKautzNetwork
+    from .simulation import (
+        run_traffic,
+        stack_kautz_simulator,
+        uniform_traffic,
+    )
+
+    net = StackKautzNetwork(args.s, args.d, args.k)
+    traffic = uniform_traffic(net.num_processors, args.messages, seed=args.seed)
+    rep = run_traffic(stack_kautz_simulator(net), traffic)
+    print(f"{net}: {args.messages} uniform messages, seed {args.seed}")
+    print(rep.row())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .analysis import TopologyRow, equal_size_comparison
+
+    rows = equal_size_comparison(args.n)
+    if not rows:
+        print(f"no POPS/SK configuration has exactly N = {args.n}")
+        return 1
+    print(TopologyRow.header())
+    for row in rows:
+        print(row.formatted())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OTIS-based multi-OPS lightwave network toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("design", help="verify a design and print its BOM")
+    p.add_argument("family", choices=["sk", "pops", "sii"])
+    p.add_argument("params", type=int, nargs="+", help="sk: s d k | pops: t g | sii: s d n")
+    p.set_defaults(func=_cmd_design)
+
+    p = sub.add_parser("otis", help="render an OTIS(G, T) lens layout")
+    p.add_argument("groups", type=int)
+    p.add_argument("size", type=int)
+    p.set_defaults(func=_cmd_otis)
+
+    p = sub.add_parser("route", help="route between SK(s,d,k) processors")
+    p.add_argument("s", type=int)
+    p.add_argument("d", type=int)
+    p.add_argument("k", type=int)
+    p.add_argument("src", type=int)
+    p.add_argument("dst", type=int)
+    p.set_defaults(func=_cmd_route)
+
+    p = sub.add_parser("simulate", help="run uniform traffic on SK(s,d,k)")
+    p.add_argument("s", type=int)
+    p.add_argument("d", type=int)
+    p.add_argument("k", type=int)
+    p.add_argument("--messages", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("compare", help="equal-N POPS vs SK table")
+    p.add_argument("n", type=int)
+    p.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "design" and args.family in ("sk", "sii") and len(args.params) != 3:
+        print(f"{args.family} takes 3 parameters", file=sys.stderr)
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

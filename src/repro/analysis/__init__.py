@@ -1,0 +1,53 @@
+"""Quantitative analysis: Moore bounds, cost/performance comparisons.
+
+* :mod:`repro.analysis.moore_bounds` -- the (d, k) digraph yardstick
+  behind the paper's "optimal" claims;
+* :mod:`repro.analysis.comparison` -- hardware/diameter trade tables
+  across POPS and stack-Kautz families.
+"""
+
+from .comparison import (
+    TopologyRow,
+    equal_size_comparison,
+    pops_row,
+    stack_kautz_row,
+)
+from .throughput import (
+    pops_capacity,
+    single_ops_capacity,
+    stack_kautz_capacity,
+    stack_kautz_mean_hops_uniform,
+)
+from .wide_diameter import (
+    disjoint_paths_within,
+    fault_diameter,
+    min_max_disjoint_path_length,
+    wide_diameter,
+)
+from .moore_bounds import (
+    best_known_nodes,
+    debruijn_moore_ratio,
+    imase_itoh_efficiency,
+    kautz_moore_ratio,
+    moore_bound_digraph,
+)
+
+__all__ = [
+    "TopologyRow",
+    "best_known_nodes",
+    "debruijn_moore_ratio",
+    "equal_size_comparison",
+    "imase_itoh_efficiency",
+    "kautz_moore_ratio",
+    "disjoint_paths_within",
+    "fault_diameter",
+    "min_max_disjoint_path_length",
+    "moore_bound_digraph",
+    "pops_capacity",
+    "single_ops_capacity",
+    "stack_kautz_capacity",
+    "stack_kautz_mean_hops_uniform",
+    "wide_diameter",
+    "pops_row",
+    "stack_kautz_row",
+]

@@ -1,0 +1,130 @@
+"""Cross-topology cost/performance comparison tables.
+
+The quantitative story the paper tells qualitatively: single-hop POPS
+buys diameter 1 with ``g`` transceiver pairs per processor and ``g**2``
+couplers, while multi-hop stack-Kautz holds the processor at ``d + 1``
+transceiver pairs and pays diameter ``k``.  These builders produce the
+rows the EXT benchmarks print, for any parameter sweep.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass
+
+from ..graphs.kautz import kautz_num_nodes
+from ..networks.design import (
+    MultiOPSOTISDesign,
+    POPSDesign,
+    StackKautzDesign,
+)
+from ..optical.components import Receiver, Transmitter
+from ..optical.power import PowerBudget
+
+__all__ = ["TopologyRow", "pops_row", "stack_kautz_row", "equal_size_comparison"]
+
+
+@dataclass(frozen=True)
+class TopologyRow:
+    """One comparison-table row."""
+
+    name: str
+    processors: int
+    groups: int
+    diameter: int
+    transceivers_per_processor: int
+    couplers: int
+    coupler_degree: int
+    otis_stages: int
+    lenses: int
+    splitting_loss_db: float
+    link_margin_db: float
+
+    def formatted(self) -> str:
+        """Fixed-width table row."""
+        return (
+            f"{self.name:<16} N={self.processors:<6} groups={self.groups:<5} "
+            f"diam={self.diameter:<2} tx/node={self.transceivers_per_processor:<3} "
+            f"couplers={self.couplers:<6} deg={self.coupler_degree:<4} "
+            f"otis={self.otis_stages:<4} lenses={self.lenses:<6} "
+            f"split={self.splitting_loss_db:5.2f}dB margin={self.link_margin_db:6.2f}dB"
+        )
+
+    @staticmethod
+    def header() -> str:
+        """Column legend."""
+        return (
+            "topology         N        groups      diam tx/node couplers     "
+            "coupler-deg otis  lenses  split-loss link-margin"
+        )
+
+
+def _margin(design: MultiOPSOTISDesign) -> float:
+    budget: PowerBudget = design.worst_case_power_budget(
+        Transmitter(), Receiver()
+    )
+    return budget.margin_db()
+
+
+def pops_row(t: int, g: int) -> TopologyRow:
+    """Comparison row for ``POPS(t, g)``."""
+    design = POPSDesign(t, g)
+    bom = design.bill_of_materials()
+    return TopologyRow(
+        name=f"POPS({t},{g})",
+        processors=t * g,
+        groups=g,
+        diameter=1,
+        transceivers_per_processor=g,
+        couplers=bom.couplers,
+        coupler_degree=t,
+        otis_stages=bom.total_otis_stages,
+        lenses=bom.total_lenses,
+        splitting_loss_db=10.0 * math.log10(t),
+        link_margin_db=_margin(design),
+    )
+
+
+def stack_kautz_row(s: int, d: int, k: int) -> TopologyRow:
+    """Comparison row for ``SK(s, d, k)``."""
+    design = StackKautzDesign(s, d, k)
+    bom = design.bill_of_materials()
+    return TopologyRow(
+        name=f"SK({s},{d},{k})",
+        processors=s * kautz_num_nodes(d, k),
+        groups=kautz_num_nodes(d, k),
+        diameter=k,
+        transceivers_per_processor=d + 1,
+        couplers=bom.couplers,
+        coupler_degree=s,
+        otis_stages=bom.total_otis_stages,
+        lenses=bom.total_lenses,
+        splitting_loss_db=10.0 * math.log10(s),
+        link_margin_db=_margin(design),
+    )
+
+
+def equal_size_comparison(target_n: int, max_rows: int = 12) -> list[TopologyRow]:
+    """Rows for every POPS and SK configuration matching ``target_n`` exactly.
+
+    The apples-to-apples view: same processor count, different
+    hardware/diameter trades.
+    """
+    rows: list[TopologyRow] = []
+    for g in range(1, target_n + 1):
+        if target_n % g == 0:
+            t = target_n // g
+            if t >= 1 and g >= 1:
+                rows.append(pops_row(t, g))
+        if len(rows) >= max_rows:
+            break
+    for d in range(2, 8):
+        for k in range(1, 8):
+            groups = kautz_num_nodes(d, k)
+            if groups > target_n:
+                break
+            if target_n % groups == 0:
+                s = target_n // groups
+                rows.append(stack_kautz_row(s, d, k))
+    return rows

@@ -1,0 +1,83 @@
+"""Analytic capacity bounds for slotted multi-OPS networks.
+
+Each single-wavelength coupler delivers at most one message per slot,
+so a network's deliverable throughput is bounded by how much useful
+work its couplers can do simultaneously.  These bounds give the
+simulator (EXT-2/6) a theoretical yardstick:
+
+* single-OPS: 1 message/slot, full stop;
+* ``POPS(t, g)``: at most ``g**2`` messages/slot, and under uniform
+  traffic at most ``N = t*g`` transmissions/slot are *sourced* (each
+  processor one message per coupler -- but a processor holds one
+  message per destination coupler, so the binding constraint is
+  ``min(g**2, offered)``);
+* ``SK(s, d, k)``: each delivered message consumes ``h`` coupler-slots
+  (its hop count), so sustainable delivery rate is
+  ``num_couplers / mean_hops`` messages/slot.
+"""
+
+from __future__ import annotations
+
+from ..graphs.properties import average_distance
+from ..networks.pops import POPSNetwork
+from ..networks.single_ops import SingleOPSNetwork
+from ..networks.stack_kautz import StackKautzNetwork
+
+__all__ = [
+    "single_ops_capacity",
+    "pops_capacity",
+    "stack_kautz_capacity",
+    "stack_kautz_mean_hops_uniform",
+]
+
+
+def single_ops_capacity(net: SingleOPSNetwork) -> float:
+    """Messages/slot deliverable by one star: exactly 1 (single-hop).
+
+    With a virtual topology each message costs ``mean hops`` star
+    slots, so capacity drops to ``1 / mean_hops``.
+    """
+    if net.virtual_topology is None:
+        return 1.0
+    return 1.0 / max(average_distance(net.virtual_topology), 1.0)
+
+
+def pops_capacity(net: POPSNetwork) -> float:
+    """Messages/slot ceiling for ``POPS(t, g)``: one per coupler, g**2.
+
+    Uniform random traffic cannot saturate all couplers evenly when
+    group loads fluctuate, so measured throughput sits below this.
+    """
+    return float(net.num_couplers)
+
+
+def stack_kautz_mean_hops_uniform(net: StackKautzNetwork) -> float:
+    """Mean optical hops of uniform random traffic on ``SK(s, d, k)``.
+
+    Averages the hop distance over ordered processor pairs (src != dst):
+    group-graph distance, except 1 for same-group siblings.
+    """
+    base = net.base_graph().without_loops()
+    n_g = net.num_groups
+    s = net.stacking_factor
+    # Sum of distances between distinct groups, weighted s*s pairs each.
+    total = 0
+    for u in range(n_g):
+        dist = base.bfs_distances(u)
+        for v in range(n_g):
+            if v != u:
+                total += int(dist[v]) * s * s
+    # Same-group sibling pairs: distance 1 via loop coupler.
+    total += n_g * s * (s - 1) * 1
+    pairs = net.num_processors * (net.num_processors - 1)
+    return total / pairs
+
+
+def stack_kautz_capacity(net: StackKautzNetwork) -> float:
+    """Messages/slot ceiling for uniform traffic on ``SK(s, d, k)``.
+
+    Every delivery consumes ``mean_hops`` coupler-slots and the network
+    has ``num_couplers`` coupler-slots per slot:
+    ``num_couplers / mean_hops``.
+    """
+    return net.num_couplers / stack_kautz_mean_hops_uniform(net)

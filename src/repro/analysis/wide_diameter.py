@@ -1,0 +1,177 @@
+"""Wide diameter and fault diameter: the structure behind the k+2 claim.
+
+The paper's fault-tolerance sentence (routing of length <= k+2
+surviving d-1 faults) is, in graph terms, a statement about the
+``d``-wide diameter of the Kautz graph: the smallest L such that every
+ordered pair is joined by ``d`` internally node-disjoint paths of
+length <= L.  Survival follows because d-1 faults can kill at most
+d-1 of the d disjoint paths.
+
+This module measures both quantities exactly on small graphs:
+
+* :func:`min_max_disjoint_path_length` -- for one pair, the smallest L
+  admitting ``w`` node-disjoint paths of length <= L (binary search
+  over L with a length-bounded unit-flow feasibility test);
+* :func:`wide_diameter` -- the max over pairs;
+* :func:`fault_diameter` -- max over pairs of the worst surviving
+  distance under the worst (w-1)-node fault set (exhaustive; use tiny
+  graphs only).
+
+Known values for Kautz graphs (Du, Hsu et al.): the d-wide diameter of
+``KG(d, k)`` is at most ``k + 2``, matching the paper's routing bound;
+the benchmarks regenerate this.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..graphs.digraph import DiGraph
+
+__all__ = [
+    "disjoint_paths_within",
+    "min_max_disjoint_path_length",
+    "wide_diameter",
+    "fault_diameter",
+]
+
+
+def disjoint_paths_within(g: DiGraph, s: int, t: int, max_len: int) -> int:
+    """Max number of internally node-disjoint s->t paths of length <= max_len.
+
+    Backtracking search over short simple paths; exact for the small,
+    highly connected graphs used here (n <= ~40).
+    """
+    if s == t:
+        raise ValueError("s and t must differ")
+    return len(_greedy_disjoint_paths(g, s, t, max_len))
+
+
+def _greedy_disjoint_paths(
+    g: DiGraph, s: int, t: int, max_len: int
+) -> list[list[int]]:
+    """Greedy-with-backtracking search for short node-disjoint paths.
+
+    Finds a maximum-cardinality set of internally node-disjoint
+    ``s -> t`` paths of length <= ``max_len`` for the small, highly
+    connected graphs used here.  Exhaustive over path choices with
+    memoized pruning; exponential in principle, fine at n <= ~40.
+    """
+    best: list[list[int]] = []
+
+    def all_short_paths(blocked: frozenset[int]) -> list[list[int]]:
+        # BFS enumerating simple paths of length <= max_len avoiding blocked.
+        out: list[list[int]] = []
+        stack = [[s]]
+        while stack:
+            path = stack.pop()
+            u = path[-1]
+            if len(path) - 1 > max_len:
+                continue
+            for v in g.successors(u).tolist():
+                if v == t:
+                    if len(path) <= max_len:
+                        out.append(path + [t])
+                    continue
+                if v in blocked or v in path or v == s:
+                    continue
+                if len(path) - 1 < max_len - 1:
+                    stack.append(path + [v])
+        return out
+
+    def extend(
+        chosen: list[list[int]],
+        blocked: frozenset[int],
+        used_first: frozenset[int],
+    ) -> None:
+        nonlocal best
+        if len(chosen) > len(best):
+            best = list(chosen)
+        cands = [p for p in all_short_paths(blocked) if p[1] not in used_first]
+        # order by length: short paths block fewer nodes
+        cands.sort(key=len)
+        seen_first: set[int] = set()
+        for cand in cands:
+            # Disjoint paths use distinct first hops: branch per first
+            # hop and consume it (this also terminates the recursion
+            # for direct s -> t arcs, which block no internal node).
+            first = cand[1]
+            if first in seen_first:
+                continue
+            seen_first.add(first)
+            extend(
+                chosen + [cand],
+                blocked | frozenset(cand[1:-1]),
+                used_first | {first},
+            )
+
+    extend([], frozenset(), frozenset())
+    return best
+
+
+def min_max_disjoint_path_length(
+    g: DiGraph, s: int, t: int, width: int
+) -> int | None:
+    """Smallest L such that ``width`` node-disjoint s->t paths of length
+    <= L exist; ``None`` if even L = n is not enough (width too large).
+    """
+    if s == t:
+        raise ValueError("s and t must differ")
+    lo = int(g.bfs_distances(s)[t])
+    if lo < 0:
+        return None
+    for L in range(lo, g.num_nodes + 1):
+        if disjoint_paths_within(g, s, t, L) >= width:
+            return L
+    return None
+
+
+def wide_diameter(g: DiGraph, width: int, pairs: list[tuple[int, int]] | None = None) -> int:
+    """Max over pairs of :func:`min_max_disjoint_path_length`.
+
+    With ``pairs=None`` all ordered pairs are scanned (small graphs
+    only); a pair list restricts the scan for spot checks.
+    """
+    worst = 0
+    it = pairs if pairs is not None else [
+        (s, t)
+        for s in range(g.num_nodes)
+        for t in range(g.num_nodes)
+        if s != t
+    ]
+    for s, t in it:
+        L = min_max_disjoint_path_length(g, s, t, width)
+        if L is None:
+            raise ValueError(f"no {width} disjoint paths for pair ({s}, {t})")
+        worst = max(worst, L)
+    return worst
+
+
+def fault_diameter(g: DiGraph, num_faults: int) -> int:
+    """Exact fault diameter: worst surviving distance over all
+    ``num_faults``-node fault sets and all surviving pairs.
+
+    Exhaustive -- use only on figure-sized graphs.
+    """
+    n = g.num_nodes
+    worst = 0
+    nodes = list(range(n))
+    for faulty in itertools.combinations(nodes, num_faults):
+        fset = set(faulty)
+        alive = [v for v in nodes if v not in fset]
+        # distances in the surviving subgraph
+        sub_arcs = [
+            (u, v)
+            for u, v in g.arc_array().tolist()
+            if u not in fset and v not in fset
+        ]
+        relabel = {v: i for i, v in enumerate(alive)}
+        sub = DiGraph(len(alive), [(relabel[u], relabel[v]) for u, v in sub_arcs])
+        for s in range(sub.num_nodes):
+            dist = sub.bfs_distances(s)
+            if (dist < 0).any():
+                raise ValueError(
+                    f"fault set {faulty} disconnects the graph"
+                )
+            worst = max(worst, int(dist.max()))
+    return worst

@@ -1,0 +1,43 @@
+"""Collective communication and embeddings on multi-OPS networks.
+
+* :func:`pops_broadcast` / :func:`stack_kautz_broadcast` -- verified
+  one-to-all schedules (1 slot vs <= k slots);
+* :func:`pops_gossip` / :func:`stack_kautz_gossip` -- all-to-all;
+* :func:`embed_guest`, :func:`ring_embedding`,
+  :func:`hypercube_embedding` -- guest topologies with
+  dilation/congestion metrics (after [3]).
+"""
+
+from .broadcast import (
+    BroadcastSchedule,
+    pops_broadcast,
+    pops_scatter,
+    stack_kautz_broadcast,
+)
+from .embedding import (
+    EmbeddingReport,
+    embed_guest,
+    hypercube_embedding,
+    hypercube_graph,
+    ring_embedding,
+)
+from .gossip import GossipSchedule, pops_gossip, stack_kautz_gossip
+from .reduce import ReduceSchedule, pops_reduce, stack_kautz_reduce
+
+__all__ = [
+    "BroadcastSchedule",
+    "EmbeddingReport",
+    "GossipSchedule",
+    "ReduceSchedule",
+    "embed_guest",
+    "hypercube_embedding",
+    "hypercube_graph",
+    "pops_broadcast",
+    "pops_gossip",
+    "pops_reduce",
+    "pops_scatter",
+    "ring_embedding",
+    "stack_kautz_broadcast",
+    "stack_kautz_gossip",
+    "stack_kautz_reduce",
+]

@@ -1,0 +1,160 @@
+"""Guest-topology embeddings into multi-OPS hosts (after ref [3]).
+
+Berthome and Ferreira showed stack-graph models improve embeddings in
+POPS networks; this module provides the machinery and two classical
+guests:
+
+* :func:`embed_guest` -- evaluate any mapping: dilation (worst hop
+  distance of a guest arc) and congestion (worst per-coupler load when
+  every guest arc routes along its host route);
+* :func:`ring_embedding` -- a dilation-1 Hamiltonian ring in any
+  stack-graph whose base has loops and a Hamiltonian cycle (POPS and
+  stack-Kautz both qualify: ``K+_g`` trivially, Kautz by [18]);
+* :func:`hypercube_embedding` -- the binary hypercube into POPS
+  (dilation 1 -- POPS is single-hop -- with congestion measured, the
+  quantity [3] optimizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.digraph import DiGraph
+from ..graphs.properties import find_hamiltonian_cycle
+from ..hypergraphs.stack_graph import StackGraph
+from ..routing.tables import build_routing_table
+
+__all__ = [
+    "EmbeddingReport",
+    "embed_guest",
+    "ring_embedding",
+    "hypercube_graph",
+    "hypercube_embedding",
+]
+
+
+@dataclass(frozen=True)
+class EmbeddingReport:
+    """Quality metrics of a guest-into-host embedding."""
+
+    guest_arcs: int
+    dilation: int
+    congestion: int
+    expansion: float  # host processors / guest nodes
+
+    def row(self) -> str:
+        """One formatted results row."""
+        return (
+            f"arcs={self.guest_arcs:>5}  dilation={self.dilation}  "
+            f"congestion={self.congestion}  expansion={self.expansion:.2f}"
+        )
+
+
+def embed_guest(
+    host: StackGraph, guest: DiGraph, mapping: list[int]
+) -> EmbeddingReport:
+    """Evaluate ``mapping`` (guest node -> host processor).
+
+    Guest arcs are routed along shortest base-graph (group) routes;
+    dilation counts optical hops, congestion counts guest arcs per
+    coupler (hyperarc), including loop couplers for same-group hops.
+    """
+    if len(mapping) != guest.num_nodes:
+        raise ValueError("mapping must cover every guest node")
+    if len(set(mapping)) != len(mapping):
+        raise ValueError("mapping must be injective")
+    for p in mapping:
+        if not 0 <= p < host.num_nodes:
+            raise ValueError(f"host processor {p} out of range")
+
+    base = host.base
+    table = build_routing_table(base.without_loops())
+    arc_to_hyper: dict[tuple[int, int], int] = {}
+    for idx, (u, v) in enumerate(base.arc_array().tolist()):
+        arc_to_hyper.setdefault((u, v), idx)
+
+    load = np.zeros(host.num_hyperarcs, dtype=np.int64)
+    dilation = 0
+    for gu, gv in guest.arcs:
+        pu, pv = mapping[gu], mapping[gv]
+        bu, bv = host.project(pu), host.project(pv)
+        if pu == pv:
+            continue  # guest loop: no optical hop
+        if bu == bv:
+            hops = [(bu, bu)]
+        else:
+            path = table.path(bu, bv)
+            if path is None:
+                raise ValueError(f"host cannot route group {bu} -> {bv}")
+            hops = list(zip(path, path[1:]))
+        dilation = max(dilation, len(hops))
+        for (a, b) in hops:
+            key = (a, b)
+            if key not in arc_to_hyper:
+                raise ValueError(f"no coupler for base arc {key}")
+            load[arc_to_hyper[key]] += 1
+    return EmbeddingReport(
+        guest_arcs=guest.num_arcs,
+        dilation=int(dilation),
+        congestion=int(load.max()) if load.size else 0,
+        expansion=host.num_nodes / max(guest.num_nodes, 1),
+    )
+
+
+def ring_embedding(host: StackGraph) -> list[int]:
+    """A dilation-1 ring visiting every host processor once.
+
+    Walk a Hamiltonian cycle of the base graph; inside each group visit
+    all ``s`` members consecutively (each sibling step is 1 hop over
+    the group's loop coupler), then take the base arc to the next
+    group.  Requires every group to carry a loop (true for ``K+_g`` and
+    ``KG+``) when ``s > 1``.
+
+    Returns the processor sequence; consecutive entries (cyclically)
+    are always one optical hop apart.
+    """
+    base = host.base
+    s = host.stacking_factor
+    if base.num_nodes == 1:
+        cycle = [0, 0]
+    else:
+        ham = find_hamiltonian_cycle(base.without_loops())
+        if ham is None:
+            raise ValueError("base graph: no Hamiltonian cycle found")
+        cycle = ham
+    if s > 1:
+        for u in set(cycle):
+            if not base.has_arc(u, u):
+                raise ValueError(f"group {u} lacks a loop coupler; s > 1 ring impossible")
+    order: list[int] = []
+    for u in cycle[:-1]:
+        order.extend(host.group_members(u).tolist())
+    return order
+
+
+def hypercube_graph(dimension: int) -> DiGraph:
+    """The directed binary ``dimension``-cube (arcs both ways per edge)."""
+    if dimension < 0:
+        raise ValueError(f"dimension must be >= 0, got {dimension}")
+    n = 1 << dimension
+    arcs = [
+        (u, u ^ (1 << b)) for u in range(n) for b in range(dimension)
+    ]
+    return DiGraph(n, arcs, name=f"Q{dimension}")
+
+
+def hypercube_embedding(host: StackGraph, dimension: int) -> EmbeddingReport:
+    """Embed ``Q_dimension`` into ``host`` by identity numbering.
+
+    For POPS hosts the dilation is always 1 (single-hop network); the
+    congestion is what varies with how cube coordinates split across
+    groups -- the effect [3] studies.
+    """
+    guest = hypercube_graph(dimension)
+    if guest.num_nodes > host.num_nodes:
+        raise ValueError(
+            f"hypercube Q{dimension} ({guest.num_nodes} nodes) exceeds host ({host.num_nodes})"
+        )
+    return embed_guest(host, guest, list(range(guest.num_nodes)))

@@ -1,0 +1,117 @@
+"""All-to-all broadcast (gossiping) schedules.
+
+Every processor's datum must reach every processor.  On a POPS the
+couplers give a clean ``t``-slot schedule (one slot per in-group
+position: in slot ``y``, member ``y`` of *every* group transmits on all
+``g`` of its couplers -- couplers ``(i, j)`` each carry exactly one
+sender, group ``i``'s member ``y``).  On a stack-Kautz the same
+position-parallel trick pipelines over the Kautz flooding tree, giving
+``t * k``-ish slots; we build it greedily and verify coverage exactly.
+
+These schedules feed the EXT-2 comparison: single-hop pays hardware
+(``g`` transceivers/processor) where multi-hop pays slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..networks.pops import POPSNetwork
+from ..networks.stack_kautz import StackKautzNetwork
+
+__all__ = ["GossipSchedule", "pops_gossip", "stack_kautz_gossip"]
+
+
+@dataclass(frozen=True)
+class GossipSchedule:
+    """A verified gossip schedule: ``slots[r]`` = ``(sender, coupler)``."""
+
+    slots: tuple[tuple[tuple[int, object], ...], ...]
+
+    @property
+    def num_slots(self) -> int:
+        """Rounds used."""
+        return len(self.slots)
+
+
+def pops_gossip(net: POPSNetwork) -> GossipSchedule:
+    """``t``-slot gossip on ``POPS(t, g)``.
+
+    Slot ``y``: member ``y`` of each group broadcasts to all groups.
+    After ``t`` slots every datum has been on the air exactly once and
+    every processor heard every coupler involved.
+
+    >>> pops_gossip(POPSNetwork(4, 2)).num_slots
+    4
+    """
+    t, g = net.group_size, net.num_groups
+    heard: list[set[int]] = [set((p,)) for p in range(net.num_processors)]
+    slots = []
+    for y in range(t):
+        transmissions = []
+        for i in range(g):
+            sender = net.processor_id(i, y)
+            for j in range(g):
+                transmissions.append((sender, net.coupler_label_between(i, j)))
+        keys = [c for _, c in transmissions]
+        if len(set(keys)) != len(keys):
+            raise AssertionError("coupler collision in gossip slot")
+        for sender, (_gi, gj) in transmissions:
+            # Single-hop: each sender airs its own datum once.
+            for p in net.group_members(gj).tolist():
+                heard[p].add(sender)
+        slots.append(tuple(transmissions))
+    full = set(range(net.num_processors))
+    for p in range(net.num_processors):
+        if heard[p] != full:
+            raise AssertionError(f"processor {p} missed data: {full - heard[p]}")
+    return GossipSchedule(tuple(slots))
+
+
+def stack_kautz_gossip(net: StackKautzNetwork) -> GossipSchedule:
+    """Greedy store-and-forward gossip on ``SK(s, d, k)``.
+
+    Every slot, every group transmits on *all* its out-couplers the
+    datum set it holds (modeled as set union -- data items are small
+    and combinable, the standard gossip assumption); the sender on each
+    coupler is the group's lowest-id member.  Terminates when every
+    processor holds all ``N`` data.  The slot count is reported, and a
+    lower bound of ``max(k, ceil(s * log))``-flavor applies; benchmarks
+    compare it against POPS's ``t``.
+
+    >>> net = StackKautzNetwork(2, 2, 2)
+    >>> stack_kautz_gossip(net).num_slots >= net.diameter
+    True
+    """
+    base = net.base_graph()
+    n = net.num_processors
+    # Group-level knowledge: data known to (all members of) each group.
+    # A processor's own datum starts known only to itself; the first
+    # loop/neighbor transmission spreads the *sender's* whole knowledge.
+    proc_know: list[set[int]] = [{p} for p in range(n)]
+    slots = []
+    for _round in range(4 * (net.diameter + net.stacking_factor) + 8):
+        if all(len(kn) == n for kn in proc_know):
+            break
+        transmissions = []
+        updates: list[tuple[int, set[int]]] = []
+        for u in range(net.num_groups):
+            members = net.group_members(u).tolist()
+            # Sender: the member with the largest knowledge (greedy).
+            sender = max(members, key=lambda p: (len(proc_know[p]), -p))
+            payload = set(proc_know[sender])
+            for v in set(base.successors(u).tolist()):
+                transmissions.append((sender, (u, v)))
+                for p in net.group_members(v).tolist():
+                    updates.append((p, payload))
+        keys = [c for _, c in transmissions]
+        if len(set(keys)) != len(keys):
+            raise AssertionError("coupler collision in gossip slot")
+        for p, payload in updates:
+            proc_know[p].update(payload)
+        slots.append(tuple(transmissions))
+    else:
+        raise AssertionError("gossip failed to converge within the round cap")
+    if not all(len(kn) == n for kn in proc_know):
+        raise AssertionError("gossip incomplete")
+    return GossipSchedule(tuple(slots))

@@ -1,0 +1,165 @@
+"""All-to-one reduction schedules (the dual of broadcast).
+
+Combining values toward a root (sum, max, ...) runs broadcast's tree
+backwards: leaves transmit first, inner groups combine what they heard
+with their own data, and the root group finishes.  The one-to-many
+coupler doesn't help fan-in (only one sender per coupler per slot),
+so reduction is governed by in-degree contention rather than distance
+alone -- a genuinely different cost profile from broadcast, measured
+here.
+
+Schedules are verified by replaying them with multiset semantics: at
+completion the root must hold exactly one contribution from every
+processor (no value lost, none double-counted -- the invariant that
+makes non-idempotent reductions like ``sum`` correct).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graphs.properties import eccentricities
+from ..networks.pops import POPSNetwork
+from ..networks.stack_kautz import StackKautzNetwork
+from ..routing.tables import build_routing_table
+
+__all__ = ["ReduceSchedule", "pops_reduce", "stack_kautz_reduce"]
+
+
+@dataclass(frozen=True)
+class ReduceSchedule:
+    """A verified reduction schedule.
+
+    ``slots[r]`` lists the transmissions of round ``r`` as
+    ``(sender, coupler_key)``; the payload of a transmission is the
+    sender's accumulated partial result.
+    """
+
+    root: int
+    slots: tuple[tuple[tuple[int, object], ...], ...]
+
+    @property
+    def num_slots(self) -> int:
+        """Rounds used."""
+        return len(self.slots)
+
+
+def pops_reduce(net: POPSNetwork, root: int) -> ReduceSchedule:
+    """Reduction to ``root`` on ``POPS(t, g)`` in ``t`` slots.
+
+    Slot ``y``: member ``y`` of every group sends its (single) value on
+    the coupler toward the root's group; the root hears all ``g``
+    couplers simultaneously (it owns ``g`` receivers) and folds ``g``
+    values per slot.  ``t`` slots drain every group position.
+
+    The root's own value needs no slot.  Lower bound: the root can
+    absorb at most ``g`` values per slot, so ``ceil((N-1)/g)`` slots --
+    this schedule is within one slot of it.
+    """
+    j_root = net.group_of(root)
+    t, g = net.group_size, net.num_groups
+    received: set[int] = {root}
+    slots = []
+    for y in range(t):
+        transmissions = []
+        for i in range(g):
+            sender = net.processor_id(i, y)
+            if sender == root:
+                continue
+            transmissions.append((sender, net.coupler_label_between(i, j_root)))
+        keys = [c for _, c in transmissions]
+        if len(set(keys)) != len(keys):
+            raise AssertionError("coupler collision in reduce slot")
+        for sender, _c in transmissions:
+            if sender in received:
+                raise AssertionError(f"value of {sender} double-counted")
+            received.add(sender)
+        slots.append(tuple(transmissions))
+    if len(received) != net.num_processors:
+        raise AssertionError("reduction lost contributions")
+    return ReduceSchedule(root, tuple(slots))
+
+
+def stack_kautz_reduce(net: StackKautzNetwork, root: int) -> ReduceSchedule:
+    """Convergecast to ``root`` on ``SK(s, d, k)``.
+
+    Three phases, interleaved greedily:
+
+    1. each group locally folds its ``s`` values: members take turns on
+       the group's loop coupler (s-1 slots, all groups in parallel);
+    2. groups forward partial sums along shortest paths to the root's
+       group, deepest groups first; a group transmits only after it has
+       heard every child that routes through it (correctness for
+       non-idempotent operators);
+    3. the root's group folds the last incoming partials (the root
+       hears every inbound coupler directly).
+
+    Slot count is reported by construction and verified by replay.
+    """
+    base = net.base_graph().without_loops()
+    root_group, _ = net.label_of(root)
+    table = build_routing_table(base)
+    s = net.stacking_factor
+
+    # Convergecast tree: parent of group u = next hop toward root group.
+    parent: dict[int, int] = {}
+    depth: dict[int, int] = {}
+    for u in range(net.num_groups):
+        if u == root_group:
+            depth[u] = 0
+            continue
+        parent[u] = table.next_hop(u, root_group)
+        depth[u] = table.distance(u, root_group)
+
+    children: dict[int, list[int]] = {u: [] for u in range(net.num_groups)}
+    for u, p in parent.items():
+        children[p].append(u)
+
+    # Contributions held by each group's accumulator (its lowest member
+    # after local folding): start with the group's own members.
+    holds: dict[int, set[int]] = {
+        u: set(net.group_members(u).tolist()) for u in range(net.num_groups)
+    }
+    pending_children: dict[int, set[int]] = {
+        u: set(children[u]) for u in range(net.num_groups)
+    }
+
+    slots: list[tuple[tuple[int, object], ...]] = []
+
+    # Phase 1: local folds (loop coupler), all groups in parallel.
+    for y in range(1, s):
+        transmissions = tuple(
+            (net.processor_id(u, y), (u, u)) for u in range(net.num_groups)
+        )
+        slots.append(transmissions)
+
+    # Phase 2/3: groups transmit to parents once all children reported.
+    sent: set[int] = set()
+    max_rounds = 2 * (max(depth.values(), default=0) + 1) + 2
+    for _ in range(max_rounds):
+        ready = [
+            u
+            for u in range(net.num_groups)
+            if u != root_group and u not in sent and not pending_children[u]
+        ]
+        if not ready:
+            break
+        transmissions = []
+        for u in ready:
+            p = parent[u]
+            accumulator = int(net.group_members(u)[0])
+            transmissions.append((accumulator, (u, p)))
+        keys = [c for _, c in transmissions]
+        if len(set(keys)) != len(keys):
+            raise AssertionError("coupler collision in convergecast slot")
+        for u in ready:
+            p = parent[u]
+            holds[p] |= holds[u]
+            pending_children[p].discard(u)
+            sent.add(u)
+        slots.append(tuple(transmissions))
+
+    if holds[root_group] != set(range(net.num_processors)):
+        missing = set(range(net.num_processors)) - holds[root_group]
+        raise AssertionError(f"reduction incomplete: missing {sorted(missing)[:5]}")
+    return ReduceSchedule(root, tuple(slots))

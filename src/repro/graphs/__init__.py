@@ -1,0 +1,128 @@
+"""Directed-graph substrate: the topologies the paper builds on.
+
+Families
+--------
+* :func:`complete_digraph` / :func:`complete_digraph_with_loops` --
+  ``K_n`` and ``K+_n`` (POPS group topology, Kautz base case)
+* :func:`kautz_graph` / :func:`kautz_graph_with_loops` -- ``KG(d, k)``
+  and ``KG+(d, k)`` with Kautz-word labels
+* :func:`imase_itoh_graph` -- ``II(d, n)``, plus the explicit
+  ``KG <-> II`` isomorphism of Corollary 1
+* :func:`debruijn_graph` / :func:`generalized_debruijn_graph` --
+  comparison baselines (refs [10, 22])
+
+Machinery
+---------
+* :class:`DiGraph` -- immutable CSR digraph kernel
+* :func:`line_digraph` -- the ``L`` operator of [13]
+* :mod:`repro.graphs.properties` -- degrees, diameter, Euler, Hamilton
+* :mod:`repro.graphs.isomorphism` -- explicit + searched isomorphism
+* :mod:`repro.graphs.flows` -- disjoint paths / connectivity
+"""
+
+from .complete import complete_digraph, complete_digraph_with_loops
+from .debruijn import (
+    debruijn_graph,
+    debruijn_index_to_word,
+    debruijn_word_to_index,
+    debruijn_words,
+    generalized_debruijn_graph,
+    generalized_debruijn_successors,
+)
+from .digraph import ArcView, DiGraph
+from .flows import (
+    arc_connectivity,
+    max_arc_disjoint_paths,
+    max_node_disjoint_paths,
+    node_connectivity,
+)
+from .imase_itoh import (
+    imase_itoh_diameter_bound,
+    imase_itoh_graph,
+    imase_itoh_index_to_kautz_word,
+    imase_itoh_successors,
+    kautz_word_to_imase_itoh_index,
+    line_digraph_arc_index,
+)
+from .isomorphism import (
+    are_isomorphic,
+    check_isomorphism,
+    enumerate_automorphisms,
+    find_isomorphism,
+)
+from .kautz import (
+    is_kautz_word,
+    kautz_graph,
+    kautz_graph_with_loops,
+    kautz_index_to_word,
+    kautz_num_nodes,
+    kautz_word_to_index,
+    kautz_words,
+)
+from .line_digraph import iterated_line_digraph, line_digraph
+from .properties import (
+    DegreeSummary,
+    average_distance,
+    degree_summary,
+    diameter,
+    distance_distribution,
+    eccentricities,
+    eulerian_circuit,
+    find_hamiltonian_cycle,
+    girth,
+    is_eulerian,
+    is_hamiltonian,
+    is_in_regular,
+    is_out_regular,
+    is_regular,
+)
+
+__all__ = [
+    "ArcView",
+    "DiGraph",
+    "DegreeSummary",
+    "arc_connectivity",
+    "are_isomorphic",
+    "average_distance",
+    "check_isomorphism",
+    "complete_digraph",
+    "complete_digraph_with_loops",
+    "debruijn_graph",
+    "debruijn_index_to_word",
+    "debruijn_word_to_index",
+    "debruijn_words",
+    "degree_summary",
+    "diameter",
+    "distance_distribution",
+    "eccentricities",
+    "enumerate_automorphisms",
+    "eulerian_circuit",
+    "find_hamiltonian_cycle",
+    "find_isomorphism",
+    "generalized_debruijn_graph",
+    "generalized_debruijn_successors",
+    "girth",
+    "imase_itoh_diameter_bound",
+    "imase_itoh_graph",
+    "imase_itoh_index_to_kautz_word",
+    "imase_itoh_successors",
+    "is_eulerian",
+    "is_hamiltonian",
+    "is_in_regular",
+    "is_kautz_word",
+    "is_out_regular",
+    "is_regular",
+    "iterated_line_digraph",
+    "kautz_graph",
+    "kautz_graph_with_loops",
+    "kautz_index_to_word",
+    "kautz_num_nodes",
+    "kautz_word_to_imase_itoh_index",
+    "kautz_word_to_index",
+    "kautz_words",
+    "line_digraph",
+    "line_digraph_arc_index",
+    "max_arc_disjoint_paths",
+    "max_node_disjoint_paths",
+    "node_connectivity",
+]

@@ -1,0 +1,45 @@
+"""Complete digraphs ``K_n`` and ``K+_n``.
+
+The POPS network of the paper is modeled as the stack-graph
+``sigma(t, K+_g)`` (Fig. 5): the complete digraph *with loops* on the
+``g`` processor groups, each arc standing for one OPS coupler.  The
+Kautz graph's line-digraph definition also starts from ``K_{d+1}``
+(``KG(d, 1) = K_{d+1}``, Fig. 6).
+"""
+
+from __future__ import annotations
+
+from .digraph import DiGraph
+
+__all__ = ["complete_digraph", "complete_digraph_with_loops"]
+
+
+def complete_digraph(n: int) -> DiGraph:
+    """Complete loopless digraph ``K_n``: every ordered pair, no loops.
+
+    ``K_n`` has ``n`` nodes and ``n * (n - 1)`` arcs; every node has
+    in- and out-degree ``n - 1``.
+
+    >>> complete_digraph(3).num_arcs
+    6
+    """
+    if n < 1:
+        raise ValueError(f"K_n needs n >= 1, got {n}")
+    arcs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    return DiGraph(n, arcs, name=f"K_{n}")
+
+
+def complete_digraph_with_loops(n: int) -> DiGraph:
+    """Complete digraph with loops ``K+_n``: all ``n**2`` ordered pairs.
+
+    This is the group-level topology of ``POPS(t, g)`` (paper Sec. 2.4):
+    OPS coupler ``(i, j)`` is the arc ``i -> j`` and the ``g`` loops are
+    the couplers connecting a group to itself.
+
+    >>> complete_digraph_with_loops(2).num_arcs
+    4
+    """
+    if n < 1:
+        raise ValueError(f"K+_n needs n >= 1, got {n}")
+    arcs = [(u, v) for u in range(n) for v in range(n)]
+    return DiGraph(n, arcs, name=f"K+_{n}")

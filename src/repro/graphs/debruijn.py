@@ -1,0 +1,112 @@
+"""De Bruijn digraphs and their Reddy-Pradhan-Kuhl generalization.
+
+The paper cites de Bruijn-based lightwave networks (Sivarajan and
+Ramaswami [22]) as the main single-OPS comparator for Kautz-based
+designs, and the generalized de Bruijn graph ``GB(d, n)`` is the exact
+sibling of the Imase-Itoh construction (same congruence trick with
+``+d*u`` instead of ``-d*u``).  We implement both as baselines for the
+comparison benchmarks (EXT-3).
+
+* ``B(d, k)``: nodes are words of length ``k`` over ``{0..d-1}``, arc
+  ``(x1..xk) -> (x2..xk, z)``; ``d**k`` nodes, degree ``d`` (loops at
+  the constant words), diameter ``k``.
+* ``GB(d, n)`` (Reddy, Pradhan, Kuhl 1980 / Imase, Itoh 1981): nodes
+  ``Z_n``, arcs ``u -> (d*u + a) mod n``, ``a = 0..d-1``; diameter
+  ``<= ceil(log_d n)``; ``GB(d, d**k) == B(d, k)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .digraph import DiGraph
+
+__all__ = [
+    "debruijn_graph",
+    "debruijn_words",
+    "debruijn_word_to_index",
+    "debruijn_index_to_word",
+    "generalized_debruijn_graph",
+    "generalized_debruijn_successors",
+]
+
+
+def debruijn_words(d: int, k: int) -> Iterator[tuple[int, ...]]:
+    """All length-``k`` words over ``{0..d-1}`` in index (radix-d) order."""
+    _check(d, k)
+    for i in range(d**k):
+        yield debruijn_index_to_word(i, d, k)
+
+
+def debruijn_word_to_index(word: tuple[int, ...], d: int) -> int:
+    """Radix-``d`` value of the word; the node id in ``B(d, k)``.
+
+    >>> debruijn_word_to_index((1, 0, 1), 2)
+    5
+    """
+    if any(not 0 <= x < d for x in word):
+        raise ValueError(f"{word!r} is not a word over {{0..{d - 1}}}")
+    idx = 0
+    for x in word:
+        idx = idx * d + x
+    return idx
+
+
+def debruijn_index_to_word(index: int, d: int, k: int) -> tuple[int, ...]:
+    """Inverse of :func:`debruijn_word_to_index`."""
+    _check(d, k)
+    if not 0 <= index < d**k:
+        raise ValueError(f"index {index} out of range [0, {d ** k})")
+    word = []
+    for _ in range(k):
+        word.append(index % d)
+        index //= d
+    return tuple(reversed(word))
+
+
+def debruijn_graph(d: int, k: int) -> DiGraph:
+    """The de Bruijn digraph ``B(d, k)`` with word labels.
+
+    The shift ``(x1..xk) -> (x2..xk, z)`` in radix-``d`` arithmetic is
+    ``u -> (d*u + z) mod d**k`` -- i.e. ``B(d, k) == GB(d, d**k)`` with
+    node ids equal to word values.
+
+    >>> g = debruijn_graph(2, 3)
+    >>> g.num_nodes, g.num_arcs
+    (8, 16)
+    """
+    _check(d, k)
+    n = d**k
+    labels = [debruijn_index_to_word(i, d, k) for i in range(n)]
+    arcs = [(u, (d * u + z) % n) for u in range(n) for z in range(d)]
+    return DiGraph(n, arcs, labels=labels, name=f"B({d},{k})")
+
+
+def generalized_debruijn_successors(u: int, d: int, n: int) -> list[int]:
+    """The ``d`` successors ``(d*u + a) mod n``, ``a = 0..d-1``."""
+    if d < 1 or n < 1:
+        raise ValueError(f"need d >= 1 and n >= 1, got d={d}, n={n}")
+    if not 0 <= u < n:
+        raise ValueError(f"node {u} out of range [0, {n})")
+    return [(d * u + a) % n for a in range(d)]
+
+
+def generalized_debruijn_graph(d: int, n: int) -> DiGraph:
+    """The generalized de Bruijn digraph ``GB(d, n)``.
+
+    >>> generalized_debruijn_graph(2, 6).num_arcs
+    12
+    """
+    arcs = [
+        (u, v)
+        for u in range(n)
+        for v in generalized_debruijn_successors(u, d, n)
+    ]
+    return DiGraph(n, arcs, name=f"GB({d},{n})")
+
+
+def _check(d: int, k: int) -> None:
+    if d < 1:
+        raise ValueError(f"de Bruijn degree d must be >= 1, got {d}")
+    if k < 1:
+        raise ValueError(f"de Bruijn diameter k must be >= 1, got {k}")

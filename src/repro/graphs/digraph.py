@@ -1,0 +1,450 @@
+"""Compact immutable directed multigraph kernel.
+
+Every topology in this package (Kautz, Imase-Itoh, de Bruijn, complete
+digraphs, line digraphs, ...) is represented as a :class:`DiGraph`: an
+immutable directed multigraph over the integer node set ``{0, ..., n-1}``
+stored in CSR (compressed sparse row) form with numpy arrays.  CSR keeps
+the successor lists of all nodes in two flat arrays, which makes
+whole-graph sweeps (BFS from every node, degree histograms, arc
+relabelling) vectorizable and cache friendly -- important because the
+benchmark harness builds Kautz graphs with tens of thousands of arcs.
+
+Nodes may optionally carry *labels* (e.g. Kautz words ``(x1, ..., xk)``);
+labels are hashable objects kept in a parallel tuple with a reverse
+index.  All algorithms work on the integer ids; labels are presentation
+only.
+
+Multigraph semantics: parallel arcs are allowed (the Imase-Itoh graph
+``II(d, n)`` has parallel arcs for small ``n``) and loops are allowed
+(``K+_g`` and ``KG+(d,k)`` require them).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["DiGraph", "ArcView"]
+
+
+class ArcView:
+    """Read-only sequence view over the arcs of a :class:`DiGraph`.
+
+    Iterating yields ``(u, v)`` pairs in CSR order (sorted by source,
+    then by target).  Supports ``len``, ``in`` and indexing.
+    """
+
+    __slots__ = ("_g",)
+
+    def __init__(self, graph: "DiGraph") -> None:
+        self._g = graph
+
+    def __len__(self) -> int:
+        return self._g.num_arcs
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        g = self._g
+        for u in range(g.num_nodes):
+            for v in g._indices[g._indptr[u] : g._indptr[u + 1]]:
+                yield (u, int(v))
+
+    def __contains__(self, arc: object) -> bool:
+        if not (isinstance(arc, tuple) and len(arc) == 2):
+            return False
+        u, v = arc
+        return self._g.has_arc(int(u), int(v))
+
+    def __getitem__(self, i: int) -> tuple[int, int]:
+        g = self._g
+        if i < 0:
+            i += g.num_arcs
+        if not 0 <= i < g.num_arcs:
+            raise IndexError("arc index out of range")
+        u = int(np.searchsorted(g._indptr, i, side="right") - 1)
+        return (u, int(g._indices[i]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ArcView({list(self)!r})"
+
+
+class DiGraph:
+    """Immutable directed multigraph in CSR form.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; nodes are ``0 .. num_nodes - 1``.
+    arcs:
+        Iterable of ``(source, target)`` pairs.  Parallel arcs and loops
+        are kept as-is.
+    labels:
+        Optional sequence of ``num_nodes`` hashable node labels.
+    name:
+        Optional human-readable graph name (used by ``repr`` and figure
+        artifacts).
+
+    Examples
+    --------
+    >>> g = DiGraph(3, [(0, 1), (1, 2), (2, 0)], name="C3")
+    >>> g.num_nodes, g.num_arcs
+    (3, 3)
+    >>> g.successors(0).tolist()
+    [1]
+    """
+
+    __slots__ = (
+        "_n",
+        "_indptr",
+        "_indices",
+        "_pred_indptr",
+        "_pred_indices",
+        "_labels",
+        "_label_index",
+        "name",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        arcs: Iterable[tuple[int, int]],
+        labels: Sequence[Hashable] | None = None,
+        name: str = "",
+    ) -> None:
+        if num_nodes < 0:
+            raise ValueError(f"num_nodes must be >= 0, got {num_nodes}")
+        self._n = int(num_nodes)
+        arc_array = np.asarray(list(arcs) if not isinstance(arcs, np.ndarray) else arcs, dtype=np.int64)
+        if arc_array.size == 0:
+            arc_array = arc_array.reshape(0, 2)
+        if arc_array.ndim != 2 or arc_array.shape[1] != 2:
+            raise ValueError("arcs must be (source, target) pairs")
+        if arc_array.size and (arc_array.min() < 0 or arc_array.max() >= num_nodes):
+            bad = arc_array[(arc_array < 0).any(axis=1) | (arc_array >= num_nodes).any(axis=1)]
+            raise ValueError(f"arc endpoints out of range [0, {num_nodes}): {bad[:5].tolist()}")
+        # Sort by (source, target) so successor lists are sorted and
+        # binary-searchable; np.lexsort sorts by the last key first.
+        if arc_array.shape[0]:
+            order = np.lexsort((arc_array[:, 1], arc_array[:, 0]))
+            arc_array = arc_array[order]
+        counts = np.bincount(arc_array[:, 0], minlength=num_nodes)
+        self._indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        self._indices = np.ascontiguousarray(arc_array[:, 1])
+        self._pred_indptr: np.ndarray | None = None
+        self._pred_indices: np.ndarray | None = None
+        self.name = name
+        if labels is not None:
+            labels = tuple(labels)
+            if len(labels) != num_nodes:
+                raise ValueError(
+                    f"labels has {len(labels)} entries for {num_nodes} nodes"
+                )
+            self._labels: tuple[Hashable, ...] | None = labels
+            self._label_index: dict[Hashable, int] | None = {
+                lab: i for i, lab in enumerate(labels)
+            }
+            if len(self._label_index) != num_nodes:
+                raise ValueError("node labels must be distinct")
+        else:
+            self._labels = None
+            self._label_index = None
+
+    # ------------------------------------------------------------------
+    # Alternative constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_successor_function(
+        cls,
+        num_nodes: int,
+        successors: Callable[[int], Iterable[int]],
+        labels: Sequence[Hashable] | None = None,
+        name: str = "",
+    ) -> "DiGraph":
+        """Build a graph by evaluating ``successors(u)`` for every node."""
+        arcs = [(u, int(v)) for u in range(num_nodes) for v in successors(u)]
+        return cls(num_nodes, arcs, labels=labels, name=name)
+
+    @classmethod
+    def from_adjacency_matrix(
+        cls,
+        matrix: np.ndarray,
+        labels: Sequence[Hashable] | None = None,
+        name: str = "",
+    ) -> "DiGraph":
+        """Build from a dense multiplicity matrix ``M[u, v] = #arcs u->v``."""
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("adjacency matrix must be square")
+        if (matrix < 0).any():
+            raise ValueError("arc multiplicities must be >= 0")
+        n = matrix.shape[0]
+        arcs: list[tuple[int, int]] = []
+        us, vs = np.nonzero(matrix)
+        for u, v in zip(us.tolist(), vs.tolist()):
+            arcs.extend([(u, v)] * int(matrix[u, v]))
+        return cls(n, arcs, labels=labels, name=name)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of arcs (counting multiplicity)."""
+        return int(self._indices.shape[0])
+
+    @property
+    def arcs(self) -> ArcView:
+        """Read-only view over all arcs in CSR order."""
+        return ArcView(self)
+
+    @property
+    def labels(self) -> tuple[Hashable, ...] | None:
+        """Node labels, or ``None`` if the graph is unlabeled."""
+        return self._labels
+
+    def label_of(self, node: int) -> Hashable:
+        """Label of ``node`` (the node id itself if unlabeled)."""
+        if self._labels is None:
+            return node
+        return self._labels[node]
+
+    def node_of(self, label: Hashable) -> int:
+        """Node id carrying ``label``.
+
+        Raises ``KeyError`` for unknown labels; for unlabeled graphs the
+        label must be the node id itself.
+        """
+        if self._label_index is None:
+            node = int(label)  # type: ignore[arg-type]
+            if not 0 <= node < self._n:
+                raise KeyError(label)
+            return node
+        return self._label_index[label]
+
+    def successors(self, u: int) -> np.ndarray:
+        """Sorted array of successors of ``u`` (with multiplicity)."""
+        self._check_node(u)
+        return self._indices[self._indptr[u] : self._indptr[u + 1]]
+
+    def predecessors(self, v: int) -> np.ndarray:
+        """Sorted array of predecessors of ``v`` (with multiplicity)."""
+        self._check_node(v)
+        self._ensure_pred()
+        assert self._pred_indptr is not None and self._pred_indices is not None
+        return self._pred_indices[self._pred_indptr[v] : self._pred_indptr[v + 1]]
+
+    def out_degree(self, u: int) -> int:
+        """Out-degree of ``u`` (counting multiplicity)."""
+        self._check_node(u)
+        return int(self._indptr[u + 1] - self._indptr[u])
+
+    def in_degree(self, v: int) -> int:
+        """In-degree of ``v`` (counting multiplicity)."""
+        self._check_node(v)
+        self._ensure_pred()
+        assert self._pred_indptr is not None
+        return int(self._pred_indptr[v + 1] - self._pred_indptr[v])
+
+    def out_degrees(self) -> np.ndarray:
+        """Vector of all out-degrees."""
+        return np.diff(self._indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """Vector of all in-degrees."""
+        if self.num_arcs == 0:
+            return np.zeros(self._n, dtype=np.int64)
+        return np.bincount(self._indices, minlength=self._n).astype(np.int64)
+
+    def has_arc(self, u: int, v: int) -> bool:
+        """Whether at least one arc ``u -> v`` exists."""
+        self._check_node(u)
+        self._check_node(v)
+        row = self._indices[self._indptr[u] : self._indptr[u + 1]]
+        i = np.searchsorted(row, v)
+        return bool(i < row.shape[0] and row[i] == v)
+
+    def arc_multiplicity(self, u: int, v: int) -> int:
+        """Number of parallel arcs ``u -> v``."""
+        self._check_node(u)
+        self._check_node(v)
+        row = self._indices[self._indptr[u] : self._indptr[u + 1]]
+        lo = int(np.searchsorted(row, v, side="left"))
+        hi = int(np.searchsorted(row, v, side="right"))
+        return hi - lo
+
+    def num_loops(self) -> int:
+        """Number of loop arcs ``u -> u`` (counting multiplicity)."""
+        total = 0
+        for u in range(self._n):
+            total += self.arc_multiplicity(u, u)
+        return total
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense ``(n, n)`` multiplicity matrix.  Only for small graphs."""
+        mat = np.zeros((self._n, self._n), dtype=np.int64)
+        for u in range(self._n):
+            np.add.at(mat[u], self.successors(u), 1)
+        return mat
+
+    def arc_array(self) -> np.ndarray:
+        """All arcs as an ``(m, 2)`` int64 array in CSR order."""
+        sources = np.repeat(np.arange(self._n, dtype=np.int64), self.out_degrees())
+        return np.column_stack((sources, self._indices))
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "DiGraph":
+        """The graph with every arc reversed."""
+        rev = self.arc_array()[:, ::-1]
+        return DiGraph(self._n, rev, labels=self._labels, name=f"reverse({self.name})" if self.name else "")
+
+    def with_loops(self) -> "DiGraph":
+        """Copy with exactly one loop added at every node lacking one.
+
+        This is the ``G+`` operation of the paper (``K+_g``,
+        ``KG+(d, k)``): every node gains a self-arc so its degree rises
+        by one, modeling the processor group that can send to itself
+        through a dedicated coupler.
+        """
+        extra = [(u, u) for u in range(self._n) if not self.has_arc(u, u)]
+        arcs = np.concatenate([self.arc_array(), np.asarray(extra, dtype=np.int64).reshape(-1, 2)])
+        name = f"{self.name}+" if self.name else ""
+        return DiGraph(self._n, arcs, labels=self._labels, name=name)
+
+    def with_extra_loops(self) -> "DiGraph":
+        """Copy with one *additional* loop arc at every node.
+
+        Unlike :meth:`with_loops`, a loop is added even where one
+        already exists (parallel loops).  This models adding a
+        dedicated loop OPS coupler per group regardless of the base
+        topology -- needed by stack-Imase-Itoh networks whose base
+        ``II(d, n)`` can itself contain loops.
+        """
+        extra = np.column_stack([np.arange(self._n, dtype=np.int64)] * 2)
+        arcs = np.concatenate([self.arc_array(), extra])
+        name = f"{self.name}++" if self.name else ""
+        return DiGraph(self._n, arcs, labels=self._labels, name=name)
+
+    def without_loops(self) -> "DiGraph":
+        """Copy with all loop arcs removed."""
+        arr = self.arc_array()
+        arr = arr[arr[:, 0] != arr[:, 1]]
+        name = f"{self.name}-loops" if self.name else ""
+        return DiGraph(self._n, arr, labels=self._labels, name=name)
+
+    def relabel(self, labels: Sequence[Hashable] | None) -> "DiGraph":
+        """Copy with new node labels (or labels dropped when ``None``)."""
+        return DiGraph(self._n, self.arc_array(), labels=labels, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def bfs_distances(self, source: int) -> np.ndarray:
+        """Unweighted distances from ``source``; ``-1`` marks unreachable."""
+        self._check_node(source)
+        dist = np.full(self._n, -1, dtype=np.int64)
+        dist[source] = 0
+        frontier = np.asarray([source], dtype=np.int64)
+        d = 0
+        while frontier.size:
+            d += 1
+            # Gather all successors of the frontier in one vectorized pull.
+            starts = self._indptr[frontier]
+            stops = self._indptr[frontier + 1]
+            total = int((stops - starts).sum())
+            if total == 0:
+                break
+            nbrs = np.concatenate(
+                [self._indices[a:b] for a, b in zip(starts.tolist(), stops.tolist())]
+            )
+            fresh = np.unique(nbrs[dist[nbrs] < 0])
+            if fresh.size == 0:
+                break
+            dist[fresh] = d
+            frontier = fresh
+        return dist
+
+    def shortest_path(self, source: int, target: int) -> list[int] | None:
+        """One shortest path ``source -> ... -> target`` or ``None``.
+
+        Ties are broken toward the smallest node id, making the result
+        deterministic.
+        """
+        self._check_node(source)
+        self._check_node(target)
+        if source == target:
+            return [source]
+        parent = np.full(self._n, -1, dtype=np.int64)
+        parent[source] = source
+        frontier = [source]
+        while frontier:
+            nxt: list[int] = []
+            for u in frontier:
+                for v in self.successors(u).tolist():
+                    if parent[v] < 0:
+                        parent[v] = u
+                        if v == target:
+                            path = [v]
+                            while path[-1] != source:
+                                path.append(int(parent[path[-1]]))
+                            return path[::-1]
+                        nxt.append(v)
+            frontier = nxt
+        return None
+
+    def is_strongly_connected(self) -> bool:
+        """Whether every node reaches every other node."""
+        if self._n == 0:
+            return True
+        if (self.bfs_distances(0) < 0).any():
+            return False
+        return not (self.reverse().bfs_distances(0) < 0).any()
+
+    # ------------------------------------------------------------------
+    # Dunder / misc
+    # ------------------------------------------------------------------
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self._n:
+            raise IndexError(f"node {u} out of range [0, {self._n})")
+
+    def _ensure_pred(self) -> None:
+        if self._pred_indptr is not None:
+            return
+        arr = self.arc_array()
+        rev = DiGraph(self._n, arr[:, ::-1])
+        self._pred_indptr = rev._indptr
+        self._pred_indices = rev._indices
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same node count and identical arc multiset."""
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._indices.tobytes(), self._indptr.tobytes()))
+
+    def __repr__(self) -> str:
+        tag = f" {self.name!r}" if self.name else ""
+        return f"<DiGraph{tag} n={self._n} m={self.num_arcs}>"
+
+    def to_networkx(self):
+        """Export as a ``networkx.MultiDiGraph`` (labels become attributes)."""
+        import networkx as nx
+
+        g = nx.MultiDiGraph(name=self.name)
+        for u in range(self._n):
+            g.add_node(u, label=self.label_of(u))
+        g.add_edges_from((int(u), int(v)) for u, v in self.arc_array())
+        return g

@@ -1,0 +1,189 @@
+"""Imase-Itoh digraphs ``II(d, n)`` (paper Sec. 2.6).
+
+Definition 3 of the paper (after Imase and Itoh [15]): ``II(d, n)`` has
+node set ``Z_n`` and an arc from ``u`` to every ``v`` with
+``v == (-d*u - a) mod n`` for ``a = 1, ..., d``.  The graph has constant
+out-degree ``d`` (parallel arcs occur when ``n < d``... more precisely
+whenever two offsets collide mod ``n``) and diameter
+``ceil(log_d n)`` [15].
+
+Relation to Kautz graphs (Imase-Itoh [16], paper Corollary 1):
+``II(d, d**(k-1) * (d+1))`` *is* the Kautz graph ``KG(d, k)``.  This
+module carries an **explicit isomorphism**, built from the line-digraph
+recursion
+
+    ``L(II(d, n)) == II(d, d*n)`` via  arc ``(u, a)`` -> node ``d*u + (a-1)``,
+
+which we prove in the docstring of :func:`line_digraph_arc_index` and
+machine-check in the test-suite.  Iterating the recursion down to
+``II(d, d+1) == K_{d+1}`` (note ``-d == 1 (mod d+1)``) converts any
+``II`` node index into a Kautz word and back.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .digraph import DiGraph
+from .kautz import is_kautz_word, kautz_num_nodes
+
+__all__ = [
+    "imase_itoh_graph",
+    "imase_itoh_successors",
+    "imase_itoh_diameter_bound",
+    "line_digraph_arc_index",
+    "imase_itoh_index_to_kautz_word",
+    "kautz_word_to_imase_itoh_index",
+]
+
+
+def imase_itoh_successors(u: int, d: int, n: int) -> list[int]:
+    """The ``d`` successors ``(-d*u - a) mod n`` for ``a = 1..d``.
+
+    Successors are returned in offset order ``a = 1, 2, ..., d`` (which
+    is *descending* node order starting from ``-d*u - 1``); duplicates
+    are kept, matching the multigraph semantics of ``II(d, n)``.
+
+    >>> imase_itoh_successors(0, 3, 12)
+    [11, 10, 9]
+    """
+    _check_params(d, n)
+    if not 0 <= u < n:
+        raise ValueError(f"node {u} out of range [0, {n})")
+    return [(-d * u - a) % n for a in range(1, d + 1)]
+
+
+def imase_itoh_graph(d: int, n: int) -> DiGraph:
+    """The Imase-Itoh digraph ``II(d, n)``.
+
+    >>> g = imase_itoh_graph(3, 12)   # paper Fig. 10 (== KG(3, 2))
+    >>> g.num_nodes, g.num_arcs
+    (12, 36)
+    """
+    _check_params(d, n)
+    arcs = [
+        (u, v) for u in range(n) for v in imase_itoh_successors(u, d, n)
+    ]
+    return DiGraph(n, arcs, name=f"II({d},{n})")
+
+
+def imase_itoh_diameter_bound(d: int, n: int) -> int:
+    """The diameter bound ``ceil(log_d n)`` proved in [15].
+
+    >>> imase_itoh_diameter_bound(3, 12)
+    3
+
+    (For ``n = d**(k-1) * (d+1)`` the true diameter is ``k``, one less
+    than this bound evaluates to whenever ``d**k < n <= d**(k+1)`` --
+    the bound is tight for general ``n``; the benchmark CLM-2 sweeps
+    both.)
+    """
+    _check_params(d, n)
+    if n == 1:
+        return 0
+    if d == 1:
+        # II(1, n) is the cycle u -> -u-1; handled separately: its
+        # diameter is not log-bounded.  The paper only uses d >= 2.
+        raise ValueError("diameter bound requires d >= 2")
+    k = 0
+    p = 1
+    while p < n:
+        p *= d
+        k += 1
+    return k
+
+
+def line_digraph_arc_index(u: int, a: int, d: int, n: int) -> int:
+    """Node of ``II(d, d*n)`` representing arc ``(u, a)`` of ``II(d, n)``.
+
+    The arc of ``II(d, n)`` leaving ``u`` with offset ``a`` (head
+    ``v = (-d*u - a) mod n``) maps to node ``w = d*u + (a - 1)`` of
+    ``II(d, d*n)``.
+
+    Proof that this realizes ``L(II(d, n)) == II(d, d*n)``: successor
+    arcs of ``(u, a)`` in the line digraph are ``(v, b)``, ``b = 1..d``,
+    with image ``w' = d*v + (b - 1)``.  From ``v == -d*u - a (mod n)``,
+    multiplying by ``d`` lifts to ``d*v == -d^2*u - d*a (mod d*n)``, so
+
+        ``w' == -d^2*u - d*a + b - 1
+             == -d*(d*u + a - 1) - (d - b + 1)
+             == -d*w - c  (mod d*n)``  with ``c = d - b + 1 in 1..d``,
+
+    exactly the out-neighborhood of ``w`` in ``II(d, d*n)``; the map is
+    a bijection since ``(u, a) -> d*u + (a-1)`` enumerates ``Z_{d*n}``.
+    """
+    _check_params(d, n)
+    if not 1 <= a <= d:
+        raise ValueError(f"offset a must be in 1..{d}, got {a}")
+    if not 0 <= u < n:
+        raise ValueError(f"node {u} out of range [0, {n})")
+    return d * u + (a - 1)
+
+
+def kautz_word_to_imase_itoh_index(word: tuple[int, ...], d: int) -> int:
+    """Node of ``II(d, d**(k-1) * (d+1))`` carrying Kautz word ``word``.
+
+    Built by iterating :func:`line_digraph_arc_index`: the word
+    ``(x1, ..., xk)`` is the line-digraph arc from ``(x1, ..., x_{k-1})``
+    to ``(x2, ..., xk)``; at the bottom, ``KG(d, 1) = K_{d+1} =
+    II(d, d+1)`` with word ``(x,)`` at node ``x``.
+
+    >>> kautz_word_to_imase_itoh_index((2, 0), 3)
+    7
+    """
+    if not is_kautz_word(word, d):
+        raise ValueError(f"{word!r} is not a Kautz word over {{0..{d}}}")
+    return _word_to_ii(word, d)
+
+
+@lru_cache(maxsize=65536)
+def _word_to_ii(word: tuple[int, ...], d: int) -> int:
+    k = len(word)
+    if k == 1:
+        return word[0]
+    n_prev = kautz_num_nodes(d, k - 1)
+    u = _word_to_ii(word[:-1], d)
+    v = _word_to_ii(word[1:], d)
+    a = (-d * u - v) % n_prev
+    if not 1 <= a <= d:  # pragma: no cover - guarded by the recursion proof
+        raise AssertionError(
+            f"line-digraph recursion broke: word={word}, u={u}, v={v}, a={a}"
+        )
+    return line_digraph_arc_index(u, a, d, n_prev)
+
+
+def imase_itoh_index_to_kautz_word(w: int, d: int, k: int) -> tuple[int, ...]:
+    """Kautz word at node ``w`` of ``II(d, d**(k-1) * (d+1))``.
+
+    Inverse of :func:`kautz_word_to_imase_itoh_index`: peel the
+    line-digraph recursion, recovering at each level the tail node of
+    the represented arc.
+
+    >>> imase_itoh_index_to_kautz_word(7, 3, 2)
+    (2, 0)
+    """
+    n = kautz_num_nodes(d, k)
+    if not 0 <= w < n:
+        raise ValueError(f"node {w} out of range [0, {n})")
+    if k == 1:
+        return (w,)
+    # w = d*u + (a-1): u is the (k-1)-prefix, v = (-d*u - a) mod n' the
+    # (k-1)-suffix; the word is prefix + last letter of suffix.
+    u, a = divmod(w, d)
+    a += 1
+    n_prev = kautz_num_nodes(d, k - 1)
+    v = (-d * u - a) % n_prev
+    prefix = imase_itoh_index_to_kautz_word(u, d, k - 1)
+    suffix = imase_itoh_index_to_kautz_word(v, d, k - 1)
+    if prefix[1:] != suffix[:-1]:  # pragma: no cover - recursion invariant
+        raise AssertionError(
+            f"prefix/suffix mismatch at w={w}: {prefix} vs {suffix}"
+        )
+    return prefix + (suffix[-1],)
+
+
+def _check_params(d: int, n: int) -> None:
+    if d < 1:
+        raise ValueError(f"II degree d must be >= 1, got {d}")
+    if n < 1:
+        raise ValueError(f"II size n must be >= 1, got {n}")

@@ -1,0 +1,278 @@
+"""Digraph isomorphism testing for topology-equivalence proofs.
+
+The paper's central identities are graph equalities:
+
+* ``KG(d, k) == L^{k-1}(K_{d+1})``        (Fig. 6, [13])
+* ``KG(d, k) == II(d, d**(k-1) * (d+1))`` (Corollary 1, [16])
+* OTIS-realized interconnect == target graph (Proposition 1)
+
+We verify them two ways: through *explicit* bijections (fast, always
+preferred -- see :func:`check_isomorphism`) and through *search* for
+small instances (:func:`find_isomorphism`), which also certifies the
+figure-sized examples independently of our own formulas.
+
+The search uses iterated degree/neighborhood color refinement (a 1-WL
+sweep) to cut the candidate space, then backtracks.  Digraphs here are
+highly regular, so refinement alone rarely separates nodes -- the
+backtracking is the workhorse and instance sizes should stay small
+(<= a few hundred nodes).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .digraph import DiGraph
+
+__all__ = [
+    "check_isomorphism",
+    "find_isomorphism",
+    "are_isomorphic",
+    "enumerate_automorphisms",
+]
+
+
+def check_isomorphism(g: DiGraph, h: DiGraph, mapping: Sequence[int]) -> bool:
+    """Whether ``mapping`` (node of g -> node of h) is an isomorphism.
+
+    Verifies bijectivity and exact arc-multiset correspondence,
+    including parallel-arc multiplicities.
+    """
+    n = g.num_nodes
+    if h.num_nodes != n or len(mapping) != n:
+        return False
+    m = np.asarray(mapping, dtype=np.int64)
+    if m.size != n or (np.sort(m) != np.arange(n)).any():
+        return False
+    if g.num_arcs != h.num_arcs:
+        return False
+    ga = g.arc_array()
+    mapped = np.column_stack((m[ga[:, 0]], m[ga[:, 1]]))
+    return _arc_multiset(mapped) == _arc_multiset(h.arc_array())
+
+
+def _arc_multiset(arr: np.ndarray) -> bytes:
+    if arr.shape[0] == 0:
+        return b""
+    order = np.lexsort((arr[:, 1], arr[:, 0]))
+    return arr[order].tobytes()
+
+
+def find_isomorphism(
+    g: DiGraph, h: DiGraph, max_steps: int = 5_000_000
+) -> list[int] | None:
+    """Search for an isomorphism ``g -> h``; ``None`` if none found.
+
+    Returns a list ``m`` with ``m[u]`` = image of node ``u``.  Raises
+    ``TimeoutError`` if the step budget is exhausted before the search
+    space is covered (so ``None`` is a definite negative).
+    """
+    n = g.num_nodes
+    if h.num_nodes != n or g.num_arcs != h.num_arcs:
+        return None
+    if n == 0:
+        return []
+
+    cg = _refine_colors(g)
+    ch = _refine_colors(h)
+    if sorted(np.bincount(cg).tolist()) != sorted(np.bincount(ch).tolist()):
+        return None
+
+    # Candidate sets per g-node: h-nodes of the same color class.  The
+    # classes must correspond; match color ids by their class signature.
+    sig_g = _class_signature(g, cg)
+    sig_h = _class_signature(h, ch)
+    if sorted(sig_g.values()) != sorted(sig_h.values()):
+        return None
+    color_map: dict[int, int] = {}
+    used_h_colors: set[int] = set()
+    for colg, s in sig_g.items():
+        match = next(
+            (colh for colh, sh in sig_h.items() if sh == s and colh not in used_h_colors),
+            None,
+        )
+        if match is None:
+            return None
+        color_map[colg] = match
+        used_h_colors.add(match)
+
+    h_nodes_by_color: dict[int, list[int]] = {}
+    for v, c in enumerate(ch.tolist()):
+        h_nodes_by_color.setdefault(c, []).append(v)
+
+    # Order g-nodes to keep the partial map connected: BFS order.
+    order = _bfs_order(g)
+    mapping = np.full(n, -1, dtype=np.int64)
+    used = np.zeros(n, dtype=bool)
+    steps = 0
+
+    def consistent(u: int, v: int) -> bool:
+        # All already-mapped neighbors must map compatibly, with exact
+        # parallel-arc multiplicities.
+        for w in np.unique(g.successors(u)).tolist():
+            if mapping[w] >= 0 and h.arc_multiplicity(v, int(mapping[w])) != g.arc_multiplicity(u, w):
+                return False
+        for w in np.unique(g.predecessors(u)).tolist():
+            if mapping[w] >= 0 and h.arc_multiplicity(int(mapping[w]), v) != g.arc_multiplicity(w, u):
+                return False
+        if g.arc_multiplicity(u, u) != h.arc_multiplicity(v, v):
+            return False
+        return True
+
+    def backtrack(i: int) -> bool:
+        nonlocal steps
+        if i == n:
+            return True
+        steps += 1
+        if steps > max_steps:
+            raise TimeoutError(f"isomorphism search exceeded {max_steps} steps")
+        u = order[i]
+        for v in h_nodes_by_color[color_map[int(cg[u])]]:
+            if not used[v] and consistent(u, v):
+                mapping[u] = v
+                used[v] = True
+                if backtrack(i + 1):
+                    return True
+                mapping[u] = -1
+                used[v] = False
+        return False
+
+    if not backtrack(0):
+        return None
+    result = mapping.tolist()
+    assert check_isomorphism(g, h, result)
+    return result
+
+
+def are_isomorphic(g: DiGraph, h: DiGraph, max_steps: int = 5_000_000) -> bool:
+    """Convenience wrapper around :func:`find_isomorphism`."""
+    return find_isomorphism(g, h, max_steps=max_steps) is not None
+
+
+def enumerate_automorphisms(
+    g: DiGraph, limit: int = 100_000, max_steps: int = 5_000_000
+) -> list[list[int]]:
+    """All automorphisms of ``g`` (node permutations preserving arcs).
+
+    Backtracking as in :func:`find_isomorphism` but collecting every
+    completion.  Knowing the automorphism group explains why two valid
+    labelings of the same construction can disagree (paper Fig. 10 vs
+    our explicit Kautz/Imase-Itoh bijection): for ``KG(d, k)`` the
+    alphabet permutations alone give ``(d+1)!`` automorphisms.
+
+    ``limit`` caps the number returned (groups grow fast).
+    """
+    n = g.num_nodes
+    if n == 0:
+        return [[]]
+    colors = _refine_colors(g)
+    nodes_by_color: dict[int, list[int]] = {}
+    for v, c in enumerate(colors.tolist()):
+        nodes_by_color.setdefault(c, []).append(v)
+
+    order = _bfs_order(g)
+    mapping = np.full(n, -1, dtype=np.int64)
+    used = np.zeros(n, dtype=bool)
+    found: list[list[int]] = []
+    steps = 0
+
+    def consistent(u: int, v: int) -> bool:
+        for w in np.unique(g.successors(u)).tolist():
+            if mapping[w] >= 0 and g.arc_multiplicity(v, int(mapping[w])) != g.arc_multiplicity(u, w):
+                return False
+        for w in np.unique(g.predecessors(u)).tolist():
+            if mapping[w] >= 0 and g.arc_multiplicity(int(mapping[w]), v) != g.arc_multiplicity(w, u):
+                return False
+        return g.arc_multiplicity(u, u) == g.arc_multiplicity(v, v)
+
+    def backtrack(i: int) -> None:
+        nonlocal steps
+        if len(found) >= limit:
+            return
+        if i == n:
+            found.append(mapping.tolist())
+            return
+        steps += 1
+        if steps > max_steps:
+            raise TimeoutError(f"automorphism search exceeded {max_steps} steps")
+        u = order[i]
+        for v in nodes_by_color[int(colors[u])]:
+            if not used[v] and consistent(u, v):
+                mapping[u] = v
+                used[v] = True
+                backtrack(i + 1)
+                mapping[u] = -1
+                used[v] = False
+
+    backtrack(0)
+    for m in found[: min(len(found), 5)]:
+        assert check_isomorphism(g, g, m)
+    return found
+
+
+def _refine_colors(g: DiGraph, rounds: int | None = None) -> np.ndarray:
+    """1-WL color refinement using (in, out) multiset signatures."""
+    n = g.num_nodes
+    colors = np.zeros(n, dtype=np.int64)
+    # Seed with (outdeg, indeg, loop multiplicity).
+    seed = [
+        (g.out_degree(u), g.in_degree(u), g.arc_multiplicity(u, u))
+        for u in range(n)
+    ]
+    colors = _canon(seed)
+    limit = rounds if rounds is not None else n
+    for _ in range(limit):
+        sigs = []
+        for u in range(n):
+            out_sig = tuple(sorted(colors[v] for v in g.successors(u).tolist()))
+            in_sig = tuple(sorted(colors[v] for v in g.predecessors(u).tolist()))
+            sigs.append((int(colors[u]), out_sig, in_sig))
+        new = _canon(sigs)
+        if np.array_equal(new, colors):
+            break
+        colors = new
+    return colors
+
+
+def _canon(signatures: list) -> np.ndarray:
+    """Assign dense integer ids to signatures, ordered canonically."""
+    uniq = sorted(set(signatures))
+    index = {s: i for i, s in enumerate(uniq)}
+    return np.asarray([index[s] for s in signatures], dtype=np.int64)
+
+
+def _class_signature(g: DiGraph, colors: np.ndarray) -> dict[int, tuple]:
+    """Per-color-class invariant used to align classes across graphs."""
+    out: dict[int, tuple] = {}
+    for c in np.unique(colors).tolist():
+        members = np.nonzero(colors == c)[0]
+        u = int(members[0])
+        out[c] = (
+            int(members.size),
+            g.out_degree(u),
+            g.in_degree(u),
+            g.arc_multiplicity(u, u),
+        )
+    return out
+
+
+def _bfs_order(g: DiGraph) -> list[int]:
+    """Nodes in BFS order from node 0, unreached nodes appended last."""
+    n = g.num_nodes
+    seen = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    for root in range(n):
+        if seen[root]:
+            continue
+        seen[root] = True
+        queue = [root]
+        while queue:
+            u = queue.pop(0)
+            order.append(u)
+            for v in np.unique(np.concatenate((g.successors(u), g.predecessors(u)))).tolist():
+                if not seen[v]:
+                    seen[v] = True
+                    queue.append(v)
+    return order

@@ -1,0 +1,153 @@
+"""Kautz digraphs ``KG(d, k)`` with word labels (paper Sec. 2.5).
+
+Definition 2 of the paper (after Kautz [18]): a node of ``KG(d, k)`` is
+a word ``(x1, ..., xk)`` over the alphabet ``{0, ..., d}`` of ``d + 1``
+letters in which consecutive letters differ; there is an arc from
+``(x1, ..., xk)`` to every ``(x2, ..., xk, z)`` with ``z != xk``.
+
+``KG(d, k)`` has ``N = d**(k-1) * (d+1)`` nodes, constant in/out degree
+``d``, diameter ``k``, and is Eulerian, Hamiltonian, and node-optimal
+with respect to the Moore bound for ``d > 2`` [18].  It equals the
+``(k-1)``-fold line digraph of ``K_{d+1}`` [13] and the Imase-Itoh graph
+``II(d, d**(k-1) * (d+1))`` [16]; both identities are verified in the
+test-suite and benchmarks.
+
+Node numbering.  We map a Kautz word to an integer in a *positional*
+scheme that is compatible with the Imase-Itoh congruence (see
+:mod:`repro.graphs.imase_itoh` and Corollary 1 of the paper): word
+digits are first re-encoded relative to the previous digit, giving a
+mixed-radix number with one digit of radix ``d + 1`` and ``k - 1``
+digits of radix ``d``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .digraph import DiGraph
+
+__all__ = [
+    "kautz_num_nodes",
+    "kautz_words",
+    "kautz_word_to_index",
+    "kautz_index_to_word",
+    "kautz_graph",
+    "kautz_graph_with_loops",
+    "is_kautz_word",
+]
+
+
+def kautz_num_nodes(d: int, k: int) -> int:
+    """Number of nodes of ``KG(d, k)``: ``d**(k-1) * (d+1)``.
+
+    >>> kautz_num_nodes(5, 4)
+    750
+
+    (The paper's worked example says "KG(5,4) has N = 3750", which
+    contradicts its own formula -- 3750 is ``kautz_num_nodes(5, 5)``.
+    See EXPERIMENTS.md, CLM-1b.)
+    """
+    _check_params(d, k)
+    return d ** (k - 1) * (d + 1)
+
+
+def is_kautz_word(word: tuple[int, ...], d: int) -> bool:
+    """Whether ``word`` is a valid Kautz word over alphabet ``{0..d}``."""
+    if len(word) == 0:
+        return False
+    if any(not 0 <= x <= d for x in word):
+        return False
+    return all(word[i] != word[i + 1] for i in range(len(word) - 1))
+
+
+def kautz_words(d: int, k: int) -> Iterator[tuple[int, ...]]:
+    """Yield all Kautz words of length ``k`` in index order.
+
+    The order matches :func:`kautz_index_to_word`, i.e. word ``i`` is
+    the label of node ``i`` of :func:`kautz_graph`.
+    """
+    _check_params(d, k)
+    for i in range(kautz_num_nodes(d, k)):
+        yield kautz_index_to_word(i, d, k)
+
+
+def kautz_word_to_index(word: tuple[int, ...], d: int) -> int:
+    """Integer id of a Kautz word.
+
+    The first letter contributes its value in radix ``d + 1``; every
+    later letter ``x_{i+1}`` contributes its *offset from the previous
+    letter*, ``(x_{i+1} - x_i - 1) mod (d + 1)``, which ranges over
+    ``0 .. d-1`` because consecutive letters differ -- a digit of radix
+    ``d``.
+
+    >>> kautz_word_to_index((0, 1), 2)
+    0
+    """
+    k = len(word)
+    if not is_kautz_word(word, d):
+        raise ValueError(f"{word!r} is not a Kautz word over {{0..{d}}}")
+    idx = word[0]
+    for i in range(1, k):
+        offset = (word[i] - word[i - 1] - 1) % (d + 1)
+        idx = idx * d + offset
+    return idx
+
+
+def kautz_index_to_word(index: int, d: int, k: int) -> tuple[int, ...]:
+    """Inverse of :func:`kautz_word_to_index`.
+
+    >>> kautz_index_to_word(0, 2, 2)
+    (0, 1)
+    """
+    _check_params(d, k)
+    n = kautz_num_nodes(d, k)
+    if not 0 <= index < n:
+        raise ValueError(f"index {index} out of range [0, {n})")
+    offsets = []
+    for _ in range(k - 1):
+        offsets.append(index % d)
+        index //= d
+    first = index
+    word = [first]
+    for off in reversed(offsets):
+        word.append((word[-1] + 1 + off) % (d + 1))
+    return tuple(word)
+
+
+def kautz_graph(d: int, k: int) -> DiGraph:
+    """The Kautz digraph ``KG(d, k)``, nodes labeled by their words.
+
+    >>> g = kautz_graph(2, 2)
+    >>> g.num_nodes, g.num_arcs
+    (6, 12)
+    """
+    _check_params(d, k)
+    n = kautz_num_nodes(d, k)
+    labels = [kautz_index_to_word(i, d, k) for i in range(n)]
+    arcs = []
+    for u, word in enumerate(labels):
+        last = word[-1]
+        for z in range(d + 1):
+            if z != last:
+                v = kautz_word_to_index(word[1:] + (z,), d)
+                arcs.append((u, v))
+    return DiGraph(n, arcs, labels=labels, name=f"KG({d},{k})")
+
+
+def kautz_graph_with_loops(d: int, k: int) -> DiGraph:
+    """``KG+(d, k)``: the Kautz graph with a loop at every node.
+
+    Used by the stack-Kautz network (Definition 4): the loop is the OPS
+    coupler through which a group talks to itself, raising node degree
+    to ``d + 1``.
+    """
+    g = kautz_graph(d, k).with_loops()
+    g.name = f"KG+({d},{k})"
+    return g
+
+
+def _check_params(d: int, k: int) -> None:
+    if d < 1:
+        raise ValueError(f"Kautz degree d must be >= 1, got {d}")
+    if k < 1:
+        raise ValueError(f"Kautz diameter k must be >= 1, got {k}")

@@ -1,0 +1,260 @@
+"""Whole-graph structural analysis: degrees, distances, Euler, Hamilton.
+
+These routines back the paper's property claims about Kautz graphs
+(Sec. 2.5): constant degree ``d``, diameter ``k <= log_d N``, Eulerian
+and Hamiltonian, near-optimal node count.  They are written for the
+sizes the paper exercises (up to a few thousand nodes); the all-pairs
+sweeps reuse the vectorized BFS of the kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .digraph import DiGraph
+
+__all__ = [
+    "DegreeSummary",
+    "degree_summary",
+    "is_out_regular",
+    "is_in_regular",
+    "is_regular",
+    "diameter",
+    "average_distance",
+    "distance_distribution",
+    "eccentricities",
+    "is_eulerian",
+    "eulerian_circuit",
+    "find_hamiltonian_cycle",
+    "is_hamiltonian",
+    "girth",
+]
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Min/max in- and out-degrees of a digraph."""
+
+    min_out: int
+    max_out: int
+    min_in: int
+    max_in: int
+
+    @property
+    def regular_degree(self) -> int | None:
+        """The common degree if the graph is in- and out-regular."""
+        if self.min_out == self.max_out == self.min_in == self.max_in:
+            return self.min_out
+        return None
+
+
+def degree_summary(g: DiGraph) -> DegreeSummary:
+    """Degree extremes of ``g``."""
+    outs = g.out_degrees()
+    ins = g.in_degrees()
+    if g.num_nodes == 0:
+        return DegreeSummary(0, 0, 0, 0)
+    return DegreeSummary(
+        int(outs.min()), int(outs.max()), int(ins.min()), int(ins.max())
+    )
+
+
+def is_out_regular(g: DiGraph, d: int) -> bool:
+    """Every node has out-degree exactly ``d``."""
+    return bool((g.out_degrees() == d).all())
+
+
+def is_in_regular(g: DiGraph, d: int) -> bool:
+    """Every node has in-degree exactly ``d``."""
+    return bool((g.in_degrees() == d).all())
+
+
+def is_regular(g: DiGraph, d: int) -> bool:
+    """Every node has in- and out-degree exactly ``d``."""
+    return is_out_regular(g, d) and is_in_regular(g, d)
+
+
+def eccentricities(g: DiGraph) -> np.ndarray:
+    """Out-eccentricity of every node; ``-1`` if some node is unreachable."""
+    ecc = np.empty(g.num_nodes, dtype=np.int64)
+    for u in range(g.num_nodes):
+        dist = g.bfs_distances(u)
+        ecc[u] = -1 if (dist < 0).any() else int(dist.max())
+    return ecc
+
+
+def diameter(g: DiGraph) -> int:
+    """Longest shortest path; ``-1`` if the graph is not strongly connected.
+
+    >>> from .kautz import kautz_graph
+    >>> diameter(kautz_graph(2, 3))
+    3
+    """
+    if g.num_nodes == 0:
+        return 0
+    ecc = eccentricities(g)
+    return -1 if (ecc < 0).any() else int(ecc.max())
+
+
+def average_distance(g: DiGraph) -> float:
+    """Mean shortest-path distance over ordered pairs ``u != v``.
+
+    Raises ``ValueError`` when the graph is not strongly connected.
+    """
+    n = g.num_nodes
+    if n <= 1:
+        return 0.0
+    total = 0
+    for u in range(n):
+        dist = g.bfs_distances(u)
+        if (dist < 0).any():
+            raise ValueError("average distance undefined: graph not strongly connected")
+        total += int(dist.sum())
+    return total / (n * (n - 1))
+
+
+def distance_distribution(g: DiGraph) -> np.ndarray:
+    """Histogram ``h[l] = #ordered pairs at distance l`` (l=0 counts nodes).
+
+    Unreachable pairs are not counted; compare ``h.sum()`` with ``n*n``
+    to detect them.
+    """
+    n = g.num_nodes
+    counts: np.ndarray = np.zeros(1, dtype=np.int64)
+    for u in range(n):
+        dist = g.bfs_distances(u)
+        reach = dist[dist >= 0]
+        if reach.size:
+            h = np.bincount(reach)
+            if h.shape[0] > counts.shape[0]:
+                h[: counts.shape[0]] += counts
+                counts = h
+            else:
+                counts[: h.shape[0]] += h
+    return counts
+
+
+def is_eulerian(g: DiGraph) -> bool:
+    """Eulerian circuit exists: strongly connected and in==out at every node.
+
+    (Nodes with degree zero would trivially break strong connectivity,
+    so the classical statement reduces to this check.)
+    """
+    if g.num_arcs == 0:
+        return False
+    if not (g.in_degrees() == g.out_degrees()).all():
+        return False
+    return g.is_strongly_connected()
+
+
+def eulerian_circuit(g: DiGraph) -> list[int]:
+    """An Eulerian circuit as a node sequence (first == last).
+
+    Hierholzer's algorithm on the CSR arc list; ``ValueError`` if the
+    graph is not Eulerian.
+    """
+    if not is_eulerian(g):
+        raise ValueError(f"{g!r} is not Eulerian")
+    next_arc = g._indptr[:-1].copy()  # noqa: SLF001 - per-node cursor into CSR
+    indptr, indices = g._indptr, g._indices  # noqa: SLF001
+    stack = [0]
+    circuit: list[int] = []
+    while stack:
+        u = stack[-1]
+        if next_arc[u] < indptr[u + 1]:
+            v = int(indices[next_arc[u]])
+            next_arc[u] += 1
+            stack.append(v)
+        else:
+            circuit.append(stack.pop())
+    circuit.reverse()
+    if len(circuit) != g.num_arcs + 1:  # pragma: no cover - guarded by is_eulerian
+        raise AssertionError("Hierholzer did not consume every arc")
+    return circuit
+
+
+def find_hamiltonian_cycle(
+    g: DiGraph, max_steps: int = 2_000_000
+) -> list[int] | None:
+    """Search for a Hamiltonian cycle (node sequence, first == last).
+
+    Backtracking with a most-constrained-successor heuristic; intended
+    for the moderate sizes of the paper's examples (``KG(2, 3)``,
+    ``KG(3, 2)``, ...).  Returns ``None`` if no cycle exists *or* the
+    step budget is exhausted -- callers that need a definite negative
+    must check small graphs only.
+    """
+    n = g.num_nodes
+    if n == 0:
+        return None
+    if n == 1:
+        return [0, 0] if g.has_arc(0, 0) else None
+    visited = np.zeros(n, dtype=bool)
+    visited[0] = True
+    path = [0]
+    steps = 0
+
+    def unvisited_successors(u: int) -> list[int]:
+        return [int(v) for v in np.unique(g.successors(u)) if not visited[v]]
+
+    def extend() -> bool:
+        nonlocal steps
+        steps += 1
+        if steps > max_steps:
+            raise TimeoutError
+        u = path[-1]
+        if len(path) == n:
+            return g.has_arc(u, 0)
+        # Most-constrained first: try successors with fewest onward moves.
+        cands = unvisited_successors(u)
+        cands.sort(key=lambda v: len(unvisited_successors(v)))
+        for v in cands:
+            visited[v] = True
+            path.append(v)
+            if extend():
+                return True
+            path.pop()
+            visited[v] = False
+        return False
+
+    try:
+        found = extend()
+    except TimeoutError:
+        return None
+    if not found:
+        return None
+    return path + [0]
+
+
+def is_hamiltonian(g: DiGraph, max_steps: int = 2_000_000) -> bool:
+    """Whether a Hamiltonian cycle was found within the step budget."""
+    return find_hamiltonian_cycle(g, max_steps=max_steps) is not None
+
+
+def girth(g: DiGraph) -> int:
+    """Length of the shortest directed cycle; ``-1`` if acyclic.
+
+    A loop gives girth 1.  Computed by BFS from each node back to
+    itself.
+    """
+    best = -1
+    for u in range(g.num_nodes):
+        if g.has_arc(u, u):
+            return 1
+        # Shortest cycle through u = 1 + min over predecessors p of u of
+        # dist(u, p): one BFS from u covers all of them.
+        dist = g.bfs_distances(u)
+        preds = np.unique(g.predecessors(u))
+        preds = preds[preds != u]
+        if preds.size:
+            dp = dist[preds]
+            dp = dp[dp >= 0]
+            if dp.size:
+                cyc = 1 + int(dp.min())
+                if best < 0 or cyc < best:
+                    best = cyc
+        if best == 2:
+            return 2  # cannot beat 2 once loops are excluded
+    return best

@@ -1,0 +1,12 @@
+"""Directed hypergraphs and stack-graphs (paper Sec. 2.3).
+
+* :class:`Hyperarc`, :class:`DirectedHypergraph` -- the one-to-many
+  model for OPS-based networks (Berge [1]);
+* :class:`StackGraph` / :func:`stack_graph` -- ``sigma(s, G)`` of
+  Definition 1 ([7]), the workhorse model for multi-OPS networks.
+"""
+
+from .hypergraph import DirectedHypergraph, Hyperarc
+from .stack_graph import StackGraph, stack_graph
+
+__all__ = ["DirectedHypergraph", "Hyperarc", "StackGraph", "stack_graph"]

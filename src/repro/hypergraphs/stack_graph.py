@@ -1,0 +1,167 @@
+"""Stack-graphs ``sigma(s, G)`` (Definition 1 of the paper, after [7]).
+
+Pile up ``s`` copies of a digraph ``G`` and view each stack of ``s``
+parallel arcs as one hyperarc: the result models a multi-OPS network in
+which each node of ``G`` is a *group* of ``s`` processors and each arc
+of ``G`` is one OPS coupler of degree ``s``.
+
+Concretely, for ``G = (V, A)``:
+
+* nodes of ``sigma(s, G)`` are pairs ``(i, v)`` with ``0 <= i < s``,
+  ``v in V`` -- processor ``i`` of group ``v``;
+* for every arc ``(u, v)`` of ``A`` there is a hyperarc from
+  ``pi^{-1}(u) = {(0,u), ..., (s-1,u)}`` to ``pi^{-1}(v)``, where
+  ``pi`` is the projection ``(i, v) -> v``.
+
+``sigma(t, K+_g)`` is the POPS network (Fig. 5) and
+``sigma(s, KG+(d,k))`` is the stack-Kautz network (Definition 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.digraph import DiGraph
+from .hypergraph import DirectedHypergraph, Hyperarc
+
+__all__ = ["StackGraph", "stack_graph"]
+
+
+class StackGraph(DirectedHypergraph):
+    """The stack-graph ``sigma(s, G)`` as a directed hypergraph.
+
+    Node numbering: processor ``(i, v)`` -- copy ``i`` of base node
+    ``v`` -- is node ``v * s + i``, so a group occupies a contiguous id
+    block (matching the paper's figures, which draw groups as blocks of
+    consecutive processors, e.g. Fig. 7's ``SK(6, 3, 2)`` numbers group
+    ``x`` as processors ``6x .. 6x+5``).
+
+    Hyperarc numbering follows the CSR arc order of the base graph, and
+    each hyperarc is labeled with its base arc ``(u, v)`` (as labels of
+    ``G`` when present).
+    """
+
+    __slots__ = ("_base", "_s")
+
+    def __init__(self, stacking_factor: int, base: DiGraph) -> None:
+        if stacking_factor < 1:
+            raise ValueError(
+                f"stacking factor must be >= 1, got {stacking_factor}"
+            )
+        self._base = base
+        self._s = int(stacking_factor)
+        s = self._s
+        hyperarcs = [
+            Hyperarc(
+                sources=tuple(range(u * s, (u + 1) * s)),
+                targets=tuple(range(v * s, (v + 1) * s)),
+                label=(base.label_of(int(u)), base.label_of(int(v))),
+            )
+            for u, v in base.arc_array().tolist()
+        ]
+        name = f"sigma({s},{base.name})" if base.name else f"sigma({s},G)"
+        super().__init__(base.num_nodes * s, hyperarcs, name=name)
+
+    # ------------------------------------------------------------------
+    @property
+    def base(self) -> DiGraph:
+        """The base digraph ``G``."""
+        return self._base
+
+    @property
+    def stacking_factor(self) -> int:
+        """The stacking factor ``s`` (OPS coupler degree)."""
+        return self._s
+
+    def node_id(self, copy: int, base_node: int) -> int:
+        """Id of processor ``(copy, base_node)``."""
+        if not 0 <= copy < self._s:
+            raise IndexError(f"copy {copy} out of range [0, {self._s})")
+        if not 0 <= base_node < self._base.num_nodes:
+            raise IndexError(
+                f"base node {base_node} out of range [0, {self._base.num_nodes})"
+            )
+        return base_node * self._s + copy
+
+    def copy_and_base(self, node: int) -> tuple[int, int]:
+        """Inverse of :func:`node_id`: ``node -> (copy, base_node)``."""
+        self._check_node(node)
+        base_node, copy = divmod(node, self._s)
+        return copy, base_node
+
+    def project(self, node: int) -> int:
+        """The projection ``pi``: group (base node) of a processor."""
+        return self.copy_and_base(node)[1]
+
+    def group_members(self, base_node: int) -> np.ndarray:
+        """All ``s`` processors of group ``base_node`` (``pi^{-1}``)."""
+        if not 0 <= base_node < self._base.num_nodes:
+            raise IndexError(f"base node {base_node} out of range")
+        start = base_node * self._s
+        return np.arange(start, start + self._s, dtype=np.int64)
+
+    def hyperarc_for_base_arc(self, u: int, v: int) -> int:
+        """Index of (the first) hyperarc stacked over base arc ``u -> v``.
+
+        Raises ``KeyError`` if the base graph has no such arc.
+        """
+        arr = self._base.arc_array()
+        matches = np.nonzero((arr[:, 0] == u) & (arr[:, 1] == v))[0]
+        if matches.size == 0:
+            raise KeyError(f"base graph has no arc {u} -> {v}")
+        return int(matches[0])
+
+    def validate_against_base(self) -> None:
+        """Cross-check Definition 1: raises ``AssertionError`` on violation.
+
+        1. every hyperarc is the full stack ``(pi^{-1}(u), pi^{-1}(v))``
+           of a base arc, in base CSR order;
+        2. hop distances in the stack-graph push through ``pi``: for a
+           processor in a *different* group the distance equals the
+           base-graph distance; for a different processor of the *same*
+           group it equals the shortest base cycle length through the
+           group (1 when the group has a loop coupler) -- a copy cannot
+           reach a sibling without leaving and re-entering the group.
+        """
+        arr = self._base.arc_array()
+        assert self.num_hyperarcs == arr.shape[0]
+        for idx, (u, v) in enumerate(arr.tolist()):
+            ha = self.hyperarc(idx)
+            assert ha.sources == tuple(self.group_members(u).tolist())
+            assert ha.targets == tuple(self.group_members(v).tolist())
+        for u in range(min(self._base.num_nodes, 8)):
+            base_dist = self._base.bfs_distances(u)
+            # shortest closed walk u -> u in the base graph
+            if self._base.has_arc(u, u):
+                cycle = 1
+            else:
+                back = [
+                    1 + int(self._base.bfs_distances(int(w))[u])
+                    for w in np.unique(self._base.successors(u)).tolist()
+                    if self._base.bfs_distances(int(w))[u] >= 0
+                ]
+                cycle = min(back, default=-1)
+            stack_dist = self.bfs_hop_distances(self.node_id(0, u))
+            for node in range(self.num_nodes):
+                copy, grp = self.copy_and_base(node)
+                if grp != u:
+                    expected = base_dist[grp]
+                elif copy == 0:
+                    expected = 0
+                else:
+                    expected = cycle
+                assert stack_dist[node] == expected, (
+                    f"distance mismatch at stack node {node}: "
+                    f"{stack_dist[node]} != {expected}"
+                )
+
+
+def stack_graph(stacking_factor: int, base: DiGraph) -> StackGraph:
+    """Build ``sigma(stacking_factor, base)``.
+
+    >>> from ..graphs.complete import complete_digraph_with_loops
+    >>> sg = stack_graph(4, complete_digraph_with_loops(2))   # POPS(4, 2)
+    >>> sg.num_nodes, sg.num_hyperarcs
+    (8, 4)
+    """
+    return StackGraph(stacking_factor, base)

@@ -1,0 +1,67 @@
+"""The paper's networks and their OTIS optical designs.
+
+Topologies (Sec. 2):
+
+* :class:`POPSNetwork` -- single-hop ``POPS(t, g)`` == ``sigma(t, K+_g)``
+* :class:`StackKautzNetwork` -- multi-hop ``SK(s, d, k)`` ==
+  ``sigma(s, KG+(d, k))``
+* :class:`StackImaseItohNetwork` -- the any-size extension
+
+Optical designs (Secs. 3-4):
+
+* :class:`GroupTransmitBlock` / :class:`GroupReceiveBlock` -- Sec. 3.1
+* :class:`OTISImaseItohRealization` -- Proposition 1;
+  :func:`otis_for_kautz` -- Corollary 1; :func:`imase_itoh_view` --
+  the conclusion's corollary
+* :class:`POPSDesign`, :class:`StackKautzDesign`,
+  :class:`StackImaseItohDesign` -- full designs with light-path tracing,
+  end-to-end verification and bills of materials (Figs. 11-12)
+"""
+
+from .design import (
+    BillOfMaterials,
+    LightPath,
+    MultiOPSOTISDesign,
+    POPSDesign,
+    StackImaseItohDesign,
+    StackKautzDesign,
+)
+from .group_blocks import GroupReceiveBlock, GroupTransmitBlock
+from .otis_networks import (
+    otis_network,
+    otis_network_size,
+    swap_distance_bound,
+    verify_swap_arcs_match_otis,
+)
+from .otis_design import (
+    OTISImaseItohRealization,
+    imase_itoh_view,
+    otis_for_kautz,
+)
+from .pops import POPSNetwork
+from .single_ops import SingleOPSNetwork, single_ops_simulator
+from .stack_imase_itoh import StackImaseItohNetwork
+from .stack_kautz import StackKautzNetwork
+
+__all__ = [
+    "BillOfMaterials",
+    "GroupReceiveBlock",
+    "GroupTransmitBlock",
+    "LightPath",
+    "MultiOPSOTISDesign",
+    "OTISImaseItohRealization",
+    "POPSDesign",
+    "POPSNetwork",
+    "SingleOPSNetwork",
+    "StackImaseItohDesign",
+    "StackImaseItohNetwork",
+    "StackKautzDesign",
+    "StackKautzNetwork",
+    "imase_itoh_view",
+    "otis_for_kautz",
+    "otis_network",
+    "otis_network_size",
+    "swap_distance_bound",
+    "verify_swap_arcs_match_otis",
+    "single_ops_simulator",
+]

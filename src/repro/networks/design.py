@@ -1,0 +1,525 @@
+"""Full optical designs of Section 4: POPS and stack-Kautz with OTIS.
+
+This module assembles the building blocks into complete, *auditable*
+machines.  A design knows every optical element between any transmitter
+and any receiver, can trace the light path of every (processor, port),
+and proves that the traced paths realize exactly the hyperarcs of the
+network's stack-graph model -- the end-to-end statement behind the
+paper's Figs. 11 and 12.
+
+Architecture (same skeleton for POPS, stack-Kautz and stack-Imase-Itoh,
+because all three group graphs are Imase-Itoh graphs -- ``K+_g ==
+II(g, g)``, ``KG(d, k) == II(d, d**(k-1)*(d+1))``):
+
+* per group ``u``: one transmit block ``OTIS(s, D)`` feeding ``D``
+  multiplexers, and one receive block ``OTIS(D, s)`` fed by ``D``
+  beam-splitters  (``s`` = group size, ``D`` = processor degree);
+* one interconnection stage ``OTIS(d, n)`` carrying multiplexer ``m``
+  of group ``u`` (``m < d``) to beam-splitter ``b`` of group
+  ``v = (-d*u - (m+1)) mod n`` -- Proposition 1;
+* when the group graph carries loops *outside* the interconnect
+  (stack-Kautz: ``KG+``), multiplexer ``d`` of each group loops back to
+  beam-splitter ``d`` of the same group over fiber.  POPS routes loops
+  through the interconnect, because ``II(g, g) = K+_g`` already
+  contains them.
+
+Port conventions (fixed by the OTIS transpose, not chosen):
+transmitter port ``j`` of any processor feeds multiplexer ``D-1-j`` of
+its group; beam-splitter ``b`` reaches every processor of its group on
+receiver port ``D-1-b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graphs.digraph import DiGraph
+from ..graphs.imase_itoh import imase_itoh_graph
+from ..graphs.kautz import kautz_num_nodes
+from ..hypergraphs.stack_graph import StackGraph
+from ..optical.components import (
+    BeamSplitter,
+    LensPair,
+    OpticalFiber,
+    OpticalMultiplexer,
+    Receiver,
+    Transmitter,
+)
+from ..optical.otis import OTIS
+from ..optical.power import PowerBudget
+from .group_blocks import GroupReceiveBlock, GroupTransmitBlock
+from .otis_design import OTISImaseItohRealization
+
+__all__ = [
+    "BillOfMaterials",
+    "LightPath",
+    "MultiOPSOTISDesign",
+    "POPSDesign",
+    "StackKautzDesign",
+    "StackImaseItohDesign",
+]
+
+
+@dataclass(frozen=True)
+class BillOfMaterials:
+    """Hardware inventory of a design (the content of Figs. 11/12).
+
+    ``otis_units`` maps ``(G, T)`` to the number of ``OTIS(G, T)``
+    stages.  All other fields are plain counts.
+    """
+
+    otis_units: dict[tuple[int, int], int]
+    multiplexers: int
+    beam_splitters: int
+    loop_fibers: int
+    transmitters: int
+    receivers: int
+    couplers: int
+
+    @property
+    def total_otis_stages(self) -> int:
+        """Total number of OTIS devices."""
+        return sum(self.otis_units.values())
+
+    @property
+    def total_lenses(self) -> int:
+        """Total lenses over all OTIS stages (``G + T`` each)."""
+        return sum((g + t) * q for (g, t), q in self.otis_units.items())
+
+    def summary(self) -> str:
+        """Human-readable inventory, one line per component type."""
+        lines = []
+        for (g, t), q in sorted(self.otis_units.items()):
+            lines.append(f"{q:>6} x OTIS({g},{t})")
+        lines.append(f"{self.multiplexers:>6} x optical multiplexer")
+        lines.append(f"{self.beam_splitters:>6} x beam-splitter")
+        if self.loop_fibers:
+            lines.append(f"{self.loop_fibers:>6} x loop fiber")
+        lines.append(f"{self.transmitters:>6} x transmitter")
+        lines.append(f"{self.receivers:>6} x receiver")
+        lines.append(f"{self.couplers:>6} x OPS coupler (mux+splitter pair)")
+        lines.append(f"{self.total_lenses:>6}   lenses total")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class LightPath:
+    """One traced beam: transmitter port -> (broadcast) receiver ports.
+
+    ``stages`` names each optical element crossed, in order.  The path
+    ends at a beam-splitter whose ``s`` outputs all carry the signal;
+    ``receivers`` lists every ``(group, index, port)`` illuminated.
+    """
+
+    src_group: int
+    src_index: int
+    src_port: int
+    via_loop_fiber: bool
+    coupler: tuple[int, int]  # (group, mux index) identifying the coupler
+    dst_group: int
+    dst_splitter: int
+    receivers: tuple[tuple[int, int, int], ...]
+    stages: tuple[str, ...]
+
+
+class MultiOPSOTISDesign:
+    """OTIS realization of ``sigma(s, II+(d, n))``-style networks.
+
+    Parameters
+    ----------
+    stacking_factor:
+        ``s``: processors per group == OPS degree.
+    ic_degree:
+        ``d``: degree of the Imase-Itoh interconnect.
+    num_groups:
+        ``n``: number of groups.
+    loop_via_fiber:
+        ``True`` adds one loop coupler per group wired over fiber
+        (stack-Kautz / stack-II); ``False`` means the interconnect
+        already carries every needed arc (POPS, where ``II(g, g)``
+        contains the loops).
+    """
+
+    def __init__(
+        self,
+        stacking_factor: int,
+        ic_degree: int,
+        num_groups: int,
+        loop_via_fiber: bool,
+        name: str = "",
+    ) -> None:
+        if stacking_factor < 1:
+            raise ValueError(f"need s >= 1, got {stacking_factor}")
+        self.stacking_factor = stacking_factor
+        self.ic_degree = ic_degree
+        self.num_groups = num_groups
+        self.loop_via_fiber = loop_via_fiber
+        self.name = name or f"design(s={stacking_factor},d={ic_degree},n={num_groups})"
+        self.interconnect = OTISImaseItohRealization(ic_degree, num_groups)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def processor_degree(self) -> int:
+        """``D``: ports per processor (``d`` + 1 when loops ride fiber)."""
+        return self.ic_degree + (1 if self.loop_via_fiber else 0)
+
+    @property
+    def num_processors(self) -> int:
+        """``s * n``."""
+        return self.stacking_factor * self.num_groups
+
+    def base_graph(self) -> DiGraph:
+        """The group graph the design must realize.
+
+        With fiber loops, one loop arc is added at *every* node on top
+        of the interconnect arcs -- even where ``II(d, n)`` happens to
+        contain a loop already (possible for general ``n``; never for
+        Kautz sizes), since the fiber coupler exists physically either
+        way.
+        """
+        g = imase_itoh_graph(self.ic_degree, self.num_groups)
+        if self.loop_via_fiber:
+            g = g.with_extra_loops()
+        return g
+
+    def stack_graph_model(self) -> StackGraph:
+        """The target hypergraph ``sigma(s, base)``."""
+        return StackGraph(self.stacking_factor, self.base_graph())
+
+    # ------------------------------------------------------------------
+    # Blocks
+    # ------------------------------------------------------------------
+    def transmit_block(self, group: int) -> GroupTransmitBlock:
+        """The ``OTIS(s, D)`` transmit stage of ``group``."""
+        self._check_group(group)
+        return GroupTransmitBlock(self.stacking_factor, self.processor_degree)
+
+    def receive_block(self, group: int) -> GroupReceiveBlock:
+        """The ``OTIS(D, s)`` receive stage of ``group``."""
+        self._check_group(group)
+        return GroupReceiveBlock(self.processor_degree, self.stacking_factor)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def mux_of_port(self, group: int, index: int, port: int) -> tuple[int, int]:
+        """Multiplexer ``(group, m)`` fed by transmitter ``port`` of a node."""
+        blk = self.transmit_block(group)
+        m, _slot = blk.multiplexer_of(index, port)
+        return (group, m)
+
+    def port_of_mux(self, m: int) -> int:
+        """Transmitter port (same for every processor) feeding mux ``m``."""
+        if not 0 <= m < self.processor_degree:
+            raise IndexError(f"mux {m} out of range [0, {self.processor_degree})")
+        return self.processor_degree - 1 - m
+
+    def coupler_destination(self, group: int, m: int) -> tuple[int, int, bool]:
+        """Where multiplexer ``(group, m)`` delivers: ``(v, splitter, via_fiber)``.
+
+        ``m < d``: through the interconnect OTIS, to group
+        ``(-d*group - (m+1)) mod n`` at the splitter the transpose
+        dictates.  ``m == d`` (loop designs only): over fiber, back to
+        this group's splitter ``d``.
+        """
+        self._check_group(group)
+        d = self.ic_degree
+        if m == d and self.loop_via_fiber:
+            return (group, d, True)
+        if not 0 <= m < d:
+            raise IndexError(f"mux {m} out of range for this design")
+        q = self.interconnect.output_port_of_arc(group, m + 1)
+        v, b = divmod(q, d)
+        return (v, b, False)
+
+    def receiver_port_of_splitter(self, b: int) -> int:
+        """Receiver port (same for every processor) fed by splitter ``b``."""
+        if not 0 <= b < self.processor_degree:
+            raise IndexError(f"splitter {b} out of range [0, {self.processor_degree})")
+        return self.processor_degree - 1 - b
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def trace(self, group: int, index: int, port: int) -> LightPath:
+        """Full light path of transmitter ``port`` on processor ``(group, index)``."""
+        self._check_group(group)
+        if not 0 <= index < self.stacking_factor:
+            raise IndexError(f"index {index} out of range [0, {self.stacking_factor})")
+        u, m = self.mux_of_port(group, index, port)
+        v, b, via_fiber = self.coupler_destination(u, m)
+        rx_port = self.receiver_port_of_splitter(b)
+        receivers = tuple(
+            (v, y, rx_port) for y in range(self.stacking_factor)
+        )
+        mid = (
+            f"loop-fiber(group {u})"
+            if via_fiber
+            else f"OTIS({self.ic_degree},{self.num_groups})"
+        )
+        stages = (
+            f"tx({group},{index})#{port}",
+            f"OTIS({self.stacking_factor},{self.processor_degree})@group{group}",
+            f"mux({u},{m})",
+            mid,
+            f"splitter({v},{b})",
+            f"OTIS({self.processor_degree},{self.stacking_factor})@group{v}",
+            f"rx(group {v} x{self.stacking_factor})#{rx_port}",
+        )
+        return LightPath(
+            src_group=group,
+            src_index=index,
+            src_port=port,
+            via_loop_fiber=via_fiber,
+            coupler=(u, m),
+            dst_group=v,
+            dst_splitter=b,
+            receivers=receivers,
+            stages=stages,
+        )
+
+    def realized_hyperarcs(self) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+        """Per coupler ``(u, m)``, the (sources, targets) in flat node ids.
+
+        Flat id of processor ``(x, y)`` is ``x*s + y``, matching
+        :class:`~repro.hypergraphs.stack_graph.StackGraph` numbering.
+        Couplers are ordered by ``(u, m)``.
+        """
+        s = self.stacking_factor
+        out = []
+        for u in range(self.num_groups):
+            for m in range(self.processor_degree):
+                port = self.port_of_mux(m)
+                sources = tuple(u * s + y for y in range(s))
+                # Trace one representative; all group members land alike.
+                path = self.trace(u, 0, port)
+                assert path.coupler == (u, m)
+                targets = tuple(path.dst_group * s + y for y, _ in enumerate(range(s)))
+                out.append((sources, targets))
+        return out
+
+    def verify(self) -> bool:
+        """End-to-end check: the optics realize exactly the stack-graph.
+
+        1. every group block has full reach (Sec. 3.1 property);
+        2. the multiset of realized couplers equals the hyperarc
+           multiset of ``sigma(s, base)``;
+        3. within a coupler, the ``s`` transmitter beams occupy the
+           ``s`` distinct multiplexer slots (no two beams collide on a
+           mux input), and the splitter illuminates all ``s`` group
+           members on a common port.
+        """
+        blk_t = self.transmit_block(0)
+        blk_r = self.receive_block(0)
+        if not blk_t.verify_full_reach() or not blk_r.verify_full_reach():
+            return False
+
+        model = self.stack_graph_model()
+        want = sorted(
+            (ha.sources, ha.targets) for ha in model.hyperarcs
+        )
+        got = sorted(self.realized_hyperarcs())
+        if want != got:
+            return False
+
+        s = self.stacking_factor
+        for u in range(min(self.num_groups, 4)):
+            for m in range(self.processor_degree):
+                port = self.port_of_mux(m)
+                slots = set()
+                for y in range(s):
+                    mux, slot = self.transmit_block(u).multiplexer_of(y, port)
+                    if mux != m:
+                        return False
+                    slots.add(slot)
+                if slots != set(range(s)):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def bill_of_materials(self) -> BillOfMaterials:
+        """Component counts (compare Fig. 11 / Fig. 12)."""
+        s, d, n = self.stacking_factor, self.ic_degree, self.num_groups
+        D = self.processor_degree
+        otis: dict[tuple[int, int], int] = {}
+        otis[(s, D)] = otis.get((s, D), 0) + n          # transmit blocks
+        otis[(D, s)] = otis.get((D, s), 0) + n          # receive blocks
+        otis[(d, n)] = otis.get((d, n), 0) + 1          # interconnect
+        return BillOfMaterials(
+            otis_units=otis,
+            multiplexers=n * D,
+            beam_splitters=n * D,
+            loop_fibers=n if self.loop_via_fiber else 0,
+            transmitters=self.num_processors * D,
+            receivers=self.num_processors * D,
+            couplers=n * D,
+        )
+
+    def worst_case_power_budget(
+        self,
+        transmitter: Transmitter | None = None,
+        receiver: Receiver | None = None,
+        fiber_length_m: float = 1.0,
+    ) -> PowerBudget:
+        """Loss audit of the longest chain (interconnect path).
+
+        transmitter -> transmit OTIS -> multiplexer -> interconnect
+        OTIS -> beam-splitter (1/s) -> receive OTIS -> receiver.
+        """
+        tx = transmitter if transmitter is not None else Transmitter()
+        rx = receiver if receiver is not None else Receiver()
+        path = (
+            LensPair(name=f"otis({self.stacking_factor},{self.processor_degree})"),
+            OpticalMultiplexer(fan_in=self.stacking_factor),
+            LensPair(name=f"otis({self.ic_degree},{self.num_groups})"),
+            BeamSplitter(fan_out=self.stacking_factor),
+            LensPair(name=f"otis({self.processor_degree},{self.stacking_factor})"),
+        )
+        _ = fiber_length_m  # loop paths swap the middle lens pair for fiber
+        return PowerBudget(tx, path, rx)
+
+    def loop_power_budget(
+        self,
+        transmitter: Transmitter | None = None,
+        receiver: Receiver | None = None,
+        fiber_length_m: float = 1.0,
+    ) -> PowerBudget:
+        """Loss audit of a loop-coupler chain (fiber instead of OTIS)."""
+        if not self.loop_via_fiber:
+            raise ValueError("this design has no fiber loops")
+        tx = transmitter if transmitter is not None else Transmitter()
+        rx = receiver if receiver is not None else Receiver()
+        path = (
+            LensPair(name=f"otis({self.stacking_factor},{self.processor_degree})"),
+            OpticalMultiplexer(fan_in=self.stacking_factor),
+            OpticalFiber(length_m=fiber_length_m),
+            BeamSplitter(fan_out=self.stacking_factor),
+            LensPair(name=f"otis({self.processor_degree},{self.stacking_factor})"),
+        )
+        return PowerBudget(tx, path, rx)
+
+    def render_ascii(self, max_groups: int = 4) -> str:
+        """Text schematic in the spirit of paper Figs. 11-12.
+
+        Draws, for up to ``max_groups`` groups, the transmit stage, the
+        multiplexers with their destinations through the interconnect
+        (or loop fiber), and the receive stage.
+        """
+        s, d, n = self.stacking_factor, self.ic_degree, self.num_groups
+        D = self.processor_degree
+        lines = [
+            f"{self.name}: {n} groups x {s} processors, degree {D}",
+            f"interconnect: OTIS({d},{n})"
+            + (f" + {n} loop fibers" if self.loop_via_fiber else ""),
+            "",
+        ]
+        shown = min(n, max_groups)
+        for u in range(shown):
+            lines.append(
+                f"group {u}:  [{s} tx x {D} ports] --OTIS({s},{D})--> muxes:"
+            )
+            for m in range(D):
+                v, b, fiber = self.coupler_destination(u, m)
+                via = "loop fiber" if fiber else f"OTIS({d},{n})"
+                lines.append(
+                    f"    mux({u},{m}) <- port {self.port_of_mux(m)}"
+                    f"  --{via}-->  splitter({v},{b})"
+                    f"  --OTIS({D},{s})--> group {v} rx port {self.receiver_port_of_splitter(b)}"
+                )
+        if shown < n:
+            lines.append(f"    ... ({n - shown} more groups, same pattern)")
+        return "\n".join(lines)
+
+    def _check_group(self, group: int) -> None:
+        if not 0 <= group < self.num_groups:
+            raise IndexError(f"group {group} out of range [0, {self.num_groups})")
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class POPSDesign(MultiOPSOTISDesign):
+    """Optical design of ``POPS(t, g)`` (paper Sec. 4.1, Fig. 11).
+
+    Uses ``g`` transmit blocks ``OTIS(t, g)``, ``g`` receive blocks
+    ``OTIS(g, t)`` and one interconnect ``OTIS(g, g)`` -- valid because
+    ``II(g, g) == K+_g`` (every node's successor set is all of ``Z_g``),
+    so Proposition 1 wires the complete group graph, loops included.
+
+    >>> d = POPSDesign(4, 2)
+    >>> d.bill_of_materials().otis_units
+    {(4, 2): 2, (2, 4): 2, (2, 2): 1}
+    >>> d.verify()
+    True
+    """
+
+    def __init__(self, group_size: int, num_groups: int) -> None:
+        super().__init__(
+            stacking_factor=group_size,
+            ic_degree=num_groups,
+            num_groups=num_groups,
+            loop_via_fiber=False,
+            name=f"POPS({group_size},{num_groups})",
+        )
+        self.group_size = group_size
+
+    def coupler_for_label(self, i: int, j: int) -> tuple[int, int]:
+        """The ``(group, mux)`` pair implementing POPS coupler ``(i, j)``.
+
+        Coupler ``(i, j)`` is the arc ``i -> j`` of ``K+_g``; as an
+        ``II(g, g)`` arc it leaves ``i`` with offset ``a = (-j) mod g``
+        (with 0 meaning ``g``), i.e. multiplexer ``m = a - 1``.
+        """
+        self._check_group(i)
+        self._check_group(j)
+        a = (-j) % self.num_groups
+        if a == 0:
+            a = self.num_groups
+        return (i, a - 1)
+
+
+class StackKautzDesign(MultiOPSOTISDesign):
+    """Optical design of ``SK(s, d, k)`` (paper Sec. 4.2, Fig. 12).
+
+    ``d**(k-1) * (d+1)`` transmit blocks ``OTIS(s, d+1)``, as many
+    receive blocks ``OTIS(d+1, s)``, one interconnect
+    ``OTIS(d, d**(k-1)*(d+1))`` (Corollary 1), and one fiber loop per
+    group.
+
+    >>> d = StackKautzDesign(6, 3, 2)
+    >>> d.bill_of_materials().otis_units
+    {(6, 4): 12, (4, 6): 12, (3, 12): 1}
+    >>> d.bill_of_materials().multiplexers
+    48
+    """
+
+    def __init__(self, stacking_factor: int, degree: int, diameter: int) -> None:
+        if diameter < 1:
+            raise ValueError(f"need k >= 1, got {diameter}")
+        super().__init__(
+            stacking_factor=stacking_factor,
+            ic_degree=degree,
+            num_groups=kautz_num_nodes(degree, diameter),
+            loop_via_fiber=True,
+            name=f"SK({stacking_factor},{degree},{diameter})",
+        )
+        self.degree = degree
+        self.diameter = diameter
+
+
+class StackImaseItohDesign(MultiOPSOTISDesign):
+    """Optical design of ``SII(s, d, n)`` -- the any-size extension."""
+
+    def __init__(self, stacking_factor: int, degree: int, num_groups: int) -> None:
+        super().__init__(
+            stacking_factor=stacking_factor,
+            ic_degree=degree,
+            num_groups=num_groups,
+            loop_via_fiber=True,
+            name=f"SII({stacking_factor},{degree},{num_groups})",
+        )
+        self.degree = degree

@@ -1,0 +1,174 @@
+"""Section 3.1 building blocks: connecting processor groups to OPS couplers.
+
+Two free-space stages per group (paper Figs. 8 and 9):
+
+* **Transmit block** -- the ``t`` processors of a group each own ``g``
+  transmitters; one ``OTIS(t, g)`` routes transmitter ``j`` of
+  processor ``i`` to input ``t-1-i`` of optical multiplexer ``g-1-j``.
+  Every processor reaches every one of the group's ``g`` multiplexers
+  (the input halves of its OPS couplers).
+* **Receive block** -- one ``OTIS(g, t)`` routes output ``c`` of
+  beam-splitter ``b`` (the output half of coupler ``b``) to receiver
+  port ``g-1-b`` of processor ``t-1-c``.  Every processor hears every
+  one of the group's ``g`` couplers.
+
+These are *within-group* wiring; the *between-group* wiring is the
+interconnection network of Sec. 3.2 / 4 (see
+:mod:`repro.networks.design`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..optical.components import BeamSplitter, OpticalMultiplexer
+from ..optical.otis import OTIS
+
+__all__ = ["GroupTransmitBlock", "GroupReceiveBlock"]
+
+
+@dataclass(frozen=True)
+class GroupTransmitBlock:
+    """OTIS(t, g) + ``g`` multiplexers: group transmitters -> OPS inputs.
+
+    Parameters
+    ----------
+    num_processors:
+        ``t``: processors in the group.
+    num_couplers:
+        ``g``: OPS couplers (hence multiplexers and transmitter ports
+        per processor).
+
+    >>> blk = GroupTransmitBlock(6, 4)     # paper Fig. 8
+    >>> blk.multiplexer_of(0, 0)           # processor 0, port 0
+    (3, 5)
+    >>> blk.otis
+    OTIS(num_groups=6, group_size=4)
+    """
+
+    num_processors: int
+    num_couplers: int
+
+    def __post_init__(self) -> None:
+        if self.num_processors < 1 or self.num_couplers < 1:
+            raise ValueError(
+                f"need t >= 1 and g >= 1, got t={self.num_processors}, g={self.num_couplers}"
+            )
+
+    @property
+    def otis(self) -> OTIS:
+        """The free-space stage: processors are OTIS groups of ``g`` ports."""
+        return OTIS(self.num_processors, self.num_couplers)
+
+    @property
+    def multiplexers(self) -> tuple[OpticalMultiplexer, ...]:
+        """The ``g`` multiplexers, each combining ``t`` transmitter beams."""
+        return tuple(
+            OpticalMultiplexer(fan_in=self.num_processors)
+            for _ in range(self.num_couplers)
+        )
+
+    def multiplexer_of(self, processor: int, port: int) -> tuple[int, int]:
+        """``(multiplexer index, input slot)`` fed by a transmitter port.
+
+        Transmitter ``(processor i, port j)`` lands, through the OTIS
+        transpose, on multiplexer ``g-1-j`` at slot ``t-1-i``.
+        """
+        mux, slot = self.otis.receiver_of(processor, port)
+        return mux, slot
+
+    def port_for_multiplexer(self, processor: int, mux: int) -> int:
+        """Which transmitter port of ``processor`` reaches ``mux``."""
+        if not 0 <= mux < self.num_couplers:
+            raise IndexError(f"multiplexer {mux} out of range [0, {self.num_couplers})")
+        if not 0 <= processor < self.num_processors:
+            raise IndexError(
+                f"processor {processor} out of range [0, {self.num_processors})"
+            )
+        return self.num_couplers - 1 - mux
+
+    def verify_full_reach(self) -> bool:
+        """Every processor reaches every multiplexer, no slot clashes.
+
+        The block is correct iff the map ``(i, j) -> (mux, slot)`` is a
+        bijection onto ``g x t`` with each processor covering all ``g``
+        multiplexers -- exactly the property Fig. 8 illustrates.
+        """
+        seen: set[tuple[int, int]] = set()
+        for i in range(self.num_processors):
+            muxes = set()
+            for j in range(self.num_couplers):
+                mux, slot = self.multiplexer_of(i, j)
+                if not (0 <= mux < self.num_couplers and 0 <= slot < self.num_processors):
+                    return False
+                seen.add((mux, slot))
+                muxes.add(mux)
+            if muxes != set(range(self.num_couplers)):
+                return False
+        return len(seen) == self.num_processors * self.num_couplers
+
+
+@dataclass(frozen=True)
+class GroupReceiveBlock:
+    """OTIS(g, t) + ``g`` beam-splitters: OPS outputs -> group receivers.
+
+    >>> blk = GroupReceiveBlock(3, 5)      # paper Fig. 9
+    >>> blk.receiver_of(0, 0)              # splitter 0, output 0
+    (4, 2)
+    """
+
+    num_couplers: int
+    num_processors: int
+
+    def __post_init__(self) -> None:
+        if self.num_processors < 1 or self.num_couplers < 1:
+            raise ValueError(
+                f"need g >= 1 and t >= 1, got g={self.num_couplers}, t={self.num_processors}"
+            )
+
+    @property
+    def otis(self) -> OTIS:
+        """The free-space stage: splitters are OTIS groups of ``t`` beams."""
+        return OTIS(self.num_couplers, self.num_processors)
+
+    @property
+    def splitters(self) -> tuple[BeamSplitter, ...]:
+        """The ``g`` beam-splitters, each fanning out to ``t`` receivers."""
+        return tuple(
+            BeamSplitter(fan_out=self.num_processors)
+            for _ in range(self.num_couplers)
+        )
+
+    def receiver_of(self, splitter: int, output: int) -> tuple[int, int]:
+        """``(processor, receiver port)`` hearing a splitter output.
+
+        Splitter ``b`` output ``c`` lands on processor ``t-1-c`` at
+        receiver port ``g-1-b``.
+        """
+        proc, port = self.otis.receiver_of(splitter, output)
+        return proc, port
+
+    def port_for_splitter(self, processor: int, splitter: int) -> int:
+        """Receiver port of ``processor`` listening to ``splitter``."""
+        if not 0 <= splitter < self.num_couplers:
+            raise IndexError(f"splitter {splitter} out of range [0, {self.num_couplers})")
+        if not 0 <= processor < self.num_processors:
+            raise IndexError(
+                f"processor {processor} out of range [0, {self.num_processors})"
+            )
+        return self.num_couplers - 1 - splitter
+
+    def verify_full_reach(self) -> bool:
+        """Every splitter reaches every processor exactly once."""
+        seen: set[tuple[int, int]] = set()
+        for b in range(self.num_couplers):
+            procs = set()
+            for c in range(self.num_processors):
+                proc, port = self.receiver_of(b, c)
+                if not (0 <= proc < self.num_processors and 0 <= port < self.num_couplers):
+                    return False
+                seen.add((proc, port))
+                procs.add(proc)
+            if procs != set(range(self.num_processors)):
+                return False
+        return len(seen) == self.num_processors * self.num_couplers

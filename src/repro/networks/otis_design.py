@@ -1,0 +1,201 @@
+"""Proposition 1: OTIS(d, n) perfectly realizes II(d, n) (paper Sec. 3.2).
+
+The paper's key result.  Associate with each node ``u`` of the
+Imase-Itoh graph ``II(d, n)``:
+
+* the ``d`` OTIS *inputs* with flat index ``d*u + (a-1)``, ``a = 1..d``
+  -- i.e. input pair ``(i, j)`` is associated to node
+  ``u = (n*i + j) // d``;
+* the ``d`` OTIS *outputs* ``(v, b)`` of receiver group ``v`` -- i.e.
+  output pair ``(gr, idx)`` is associated to node ``v = gr`` (the paper
+  states this as ``v = n - 1 - j`` for output ``s = (n-1-j, d-1-i)``).
+
+Then the OTIS transpose map sends node ``u``'s ``a``-th input to an
+output of node ``v == (-d*u - a) mod n``: exactly the out-neighborhood
+of ``u`` in ``II(d, n)``.  :class:`OTISImaseItohRealization` implements
+the association, re-derives the arc set from pure OTIS optics, and
+:meth:`OTISImaseItohRealization.verify` machine-checks Proposition 1.
+
+Corollary 1 follows: ``KG(d, k)`` is realizable with
+``OTIS(d, d**(k-1) * (d+1))`` (:func:`otis_for_kautz`), and the
+conclusion's corollary -- *the OTIS architecture can be viewed as an
+Imase-Itoh graph* -- is :func:`imase_itoh_view`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.digraph import DiGraph
+from ..graphs.imase_itoh import imase_itoh_graph, imase_itoh_successors
+from ..graphs.kautz import kautz_num_nodes
+from ..optical.otis import OTIS
+
+__all__ = [
+    "OTISImaseItohRealization",
+    "otis_for_kautz",
+    "imase_itoh_view",
+]
+
+
+@dataclass(frozen=True)
+class OTISImaseItohRealization:
+    """The input/output-to-node association of Proposition 1.
+
+    Parameters
+    ----------
+    degree:
+        ``d``: graph degree == OTIS group count.
+    num_network_nodes:
+        ``n``: node count == OTIS group size.
+
+    >>> r = OTISImaseItohRealization(3, 12)      # paper Fig. 10
+    >>> r.node_of_input(0, 1)                    # input (0, 1)
+    0
+    >>> r.inputs_of_node(0)
+    [(0, 0), (0, 1), (0, 2)]
+    >>> r.verify()
+    True
+    """
+
+    degree: int
+    num_network_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.degree < 1:
+            raise ValueError(f"degree must be >= 1, got {self.degree}")
+        if self.num_network_nodes < 1:
+            raise ValueError(
+                f"num_network_nodes must be >= 1, got {self.num_network_nodes}"
+            )
+
+    @property
+    def otis(self) -> OTIS:
+        """The underlying optical stage ``OTIS(d, n)``."""
+        return OTIS(self.degree, self.num_network_nodes)
+
+    # ------------------------------------------------------------------
+    # Input side: node u <- inputs d*u .. d*u + d-1 (flat)
+    # ------------------------------------------------------------------
+    def node_of_input(self, group: int, index: int) -> int:
+        """Node associated with OTIS input ``(i, j)``: ``(n*i + j) // d``."""
+        self.otis._check_tx(group, index)  # noqa: SLF001 - same package
+        return (self.num_network_nodes * group + index) // self.degree
+
+    def inputs_of_node(self, u: int) -> list[tuple[int, int]]:
+        """The ``d`` OTIS inputs of node ``u``, in offset order ``a = 1..d``.
+
+        Input ``a`` has flat index ``d*u + a - 1``, i.e. pair
+        ``((d*u + a - 1) // n, (d*u + a - 1) % n)`` -- the paper's
+        ``e_{d*u + a - 1}``.
+        """
+        self._check_node(u)
+        d, n = self.degree, self.num_network_nodes
+        return [divmod(d * u + a - 1, n) for a in range(1, d + 1)]
+
+    # ------------------------------------------------------------------
+    # Output side: node v <- outputs (v, 0) .. (v, d-1)
+    # ------------------------------------------------------------------
+    def node_of_output(self, group: int, index: int) -> int:
+        """Node associated with OTIS output ``(gr, idx)``: the group ``gr``.
+
+        Matches the paper's statement: output ``s = (n-1-j, d-1-i)`` is
+        associated to node ``v = n-1-j``.
+        """
+        self.otis._check_rx(group, index)  # noqa: SLF001
+        return group
+
+    def outputs_of_node(self, v: int) -> list[tuple[int, int]]:
+        """The ``d`` OTIS outputs of node ``v``: ``(v, 0) .. (v, d-1)``."""
+        self._check_node(v)
+        return [(v, b) for b in range(self.degree)]
+
+    # ------------------------------------------------------------------
+    # The realized graph
+    # ------------------------------------------------------------------
+    def realized_successors(self, u: int) -> list[int]:
+        """Out-neighbors of ``u`` as *realized by the optics alone*.
+
+        For each input of ``u``, follow the OTIS transpose map and read
+        off the node owning the receiving output.  Proposition 1 says
+        this equals ``imase_itoh_successors(u, d, n)``; we recompute it
+        from the optics so the comparison is meaningful.
+        """
+        self._check_node(u)
+        out = []
+        for (i, j) in self.inputs_of_node(u):
+            rx_group, _rx_index = self.otis.receiver_of(i, j)
+            out.append(self.node_of_output(rx_group, 0))
+        return out
+
+    def realized_graph(self) -> DiGraph:
+        """The digraph realized by the optics under the association."""
+        n = self.num_network_nodes
+        arcs = [(u, v) for u in range(n) for v in self.realized_successors(u)]
+        return DiGraph(n, arcs, name=f"OTIS({self.degree},{n})-realized")
+
+    def verify(self) -> bool:
+        """Machine-check of Proposition 1.
+
+        True iff for every node ``u`` the optics deliver ``u``'s inputs
+        to exactly the Imase-Itoh successors ``(-d*u - a) mod n``,
+        *in matching offset order* (input ``a`` lands on the node of
+        offset ``a``), and the realized arc multiset equals
+        ``II(d, n)``'s.
+        """
+        d, n = self.degree, self.num_network_nodes
+        for u in range(n):
+            if self.realized_successors(u) != imase_itoh_successors(u, d, n):
+                return False
+        return self.realized_graph() == imase_itoh_graph(d, n)
+
+    def input_port_of_arc(self, u: int, a: int) -> int:
+        """Flat OTIS input carrying the arc of offset ``a`` out of ``u``."""
+        if not 1 <= a <= self.degree:
+            raise ValueError(f"offset a must be in 1..{self.degree}, got {a}")
+        self._check_node(u)
+        return self.degree * u + a - 1
+
+    def output_port_of_arc(self, u: int, a: int) -> int:
+        """Flat OTIS output where the arc of offset ``a`` out of ``u`` lands.
+
+        The landing output group is the II successor
+        ``v = (-d*u - a) mod n``; the index within the group follows
+        from the transpose map.
+        """
+        p = self.input_port_of_arc(u, a)
+        i, j = divmod(p, self.num_network_nodes)
+        gr, idx = self.otis.receiver_of(i, j)
+        return gr * self.degree + idx
+
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self.num_network_nodes:
+            raise IndexError(
+                f"node {u} out of range [0, {self.num_network_nodes})"
+            )
+
+
+def otis_for_kautz(d: int, k: int) -> OTISImaseItohRealization:
+    """Corollary 1: the OTIS stage realizing ``KG(d, k)``.
+
+    ``KG(d, k) == II(d, d**(k-1) * (d+1))``, so one
+    ``OTIS(d, d**(k-1)*(d+1))`` wires a whole Kautz network.
+
+    >>> otis_for_kautz(3, 2).otis
+    OTIS(num_groups=3, group_size=12)
+    """
+    return OTISImaseItohRealization(d, kautz_num_nodes(d, k))
+
+
+def imase_itoh_view(otis: OTIS) -> DiGraph:
+    """The conclusion's corollary: an OTIS *is* an Imase-Itoh graph.
+
+    Group the ``G*T`` inputs of ``OTIS(G, T)`` into ``T`` consecutive
+    blocks of ``G`` and the outputs by their receiver group; the
+    resulting point-to-point pattern is ``II(G, T)``.  So properties of
+    OTIS-based networks can be read off ``II`` theory (diameter,
+    routing, connectivity).
+    """
+    return OTISImaseItohRealization(otis.num_groups, otis.group_size).realized_graph()

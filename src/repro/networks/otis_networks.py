@@ -1,0 +1,100 @@
+"""OTIS-G "swap" networks (Zane-Marchand-Paturi-Esener [24]).
+
+The paper's Sec. 2.1 recalls that OTIS also builds *point-to-point*
+multiprocessors: take any factor network G on ``n`` nodes, make ``n``
+groups each holding a copy of G (electronic, intra-group wires), and
+connect group ``g``'s processor ``p`` to group ``p``'s processor ``g``
+optically -- one OTIS(n, n) supplies every inter-group link.  The
+conclusion invites studying such networks through the Imase-Itoh view;
+this module builds the family and regenerates the classical facts:
+
+* ``N = n**2`` processors, degree ``deg(G) + 1`` (the +1 is the single
+  optical transpose port);
+* diameter ``<= 2*diam(G) + 1`` (go to the row, swap, go to the
+  column);
+* the transpose arcs alone are exactly the fixed OTIS(n, n)
+  involution, i.e. the arc set of ``II(n, n)`` restricted to the swap
+  pattern -- machine-checked against :mod:`repro.optical.otis`.
+"""
+
+from __future__ import annotations
+
+from ..graphs.digraph import DiGraph
+from ..optical.otis import OTIS
+
+__all__ = ["otis_network", "otis_network_size", "swap_distance_bound"]
+
+
+def otis_network_size(factor: DiGraph) -> int:
+    """``N = n**2`` for a factor network on ``n`` nodes."""
+    return factor.num_nodes**2
+
+
+def otis_network(factor: DiGraph) -> DiGraph:
+    """The OTIS-G network of factor ``G``.
+
+    Node ``(g, p)`` is processor ``p`` of group ``g``, numbered
+    ``g * n + p``.  Arcs:
+
+    * intra-group (electronic): ``(g, p) -> (g, q)`` for every factor
+      arc ``p -> q``;
+    * inter-group (optical, bidirectional by symmetry of the swap):
+      ``(g, p) -> (p, g)`` for ``g != p``.
+
+    Labels carry the ``(group, processor)`` pairs.
+
+    >>> from repro.graphs import complete_digraph
+    >>> net = otis_network(complete_digraph(3))
+    >>> net.num_nodes, net.num_arcs
+    (9, 24)
+    """
+    n = factor.num_nodes
+    if n < 1:
+        raise ValueError("factor network needs at least one node")
+    labels = [(g, p) for g in range(n) for p in range(n)]
+    arcs: list[tuple[int, int]] = []
+    factor_arcs = factor.arc_array().tolist()
+    for g in range(n):
+        base = g * n
+        for p, q in factor_arcs:
+            arcs.append((base + p, base + q))
+    for g in range(n):
+        for p in range(n):
+            if g != p:
+                arcs.append((g * n + p, p * n + g))
+    name = f"OTIS-{factor.name}" if factor.name else "OTIS-G"
+    return DiGraph(n * n, arcs, labels=labels, name=name)
+
+
+def swap_distance_bound(factor: DiGraph) -> int:
+    """The classical diameter bound ``2*diam(G) + 1`` of OTIS-G ([24]).
+
+    Requires the factor to be strongly connected.
+    """
+    from ..graphs.properties import diameter as graph_diameter
+
+    diam = graph_diameter(factor)
+    if diam < 0:
+        raise ValueError("factor network must be strongly connected")
+    return 2 * diam + 1
+
+
+def verify_swap_arcs_match_otis(factor: DiGraph) -> bool:
+    """The optical arcs of OTIS-G are the OTIS(n, n) transpose.
+
+    For every node pair the swap arc ``(g, p) -> (p, g)`` must be the
+    image of the hardware permutation applied to *ports*: assigning
+    processor ``(g, p)``'s optical transmitter to OTIS input
+    ``(g, n-1-p)`` makes its beam land on receiver
+    ``(p, n-1-g)`` -- processor ``(p, g)``'s optical port.  (The
+    complement in the port index absorbs the lens inversion; the
+    network-level pattern is the pure swap of [24].)
+    """
+    n = factor.num_nodes
+    o = OTIS(n, n)
+    for g in range(n):
+        for p in range(n):
+            rx_group, rx_index = o.receiver_of(g, n - 1 - p)
+            if (rx_group, n - 1 - rx_index) != (p, g):
+                return False
+    return True

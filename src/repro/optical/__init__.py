@@ -1,0 +1,45 @@
+"""Optical substrate: OTIS, OPS couplers, components, power budgets.
+
+* :class:`OTIS` -- the transpose interconnection ``(i, j) ->
+  (T-1-j, G-1-i)`` of [19] (paper Sec. 2.1);
+* :class:`OTISLayout` -- lens-plane geometry + beam tracing (Fig. 1);
+* :class:`OPSCoupler` -- single-wavelength passive star (Sec. 2.2);
+* component models and :class:`PowerBudget` loss auditing.
+"""
+
+from .components import (
+    NOMINAL,
+    BeamSplitter,
+    LensPair,
+    OpticalComponent,
+    OpticalFiber,
+    OpticalMultiplexer,
+    Receiver,
+    Transmitter,
+    splitting_loss_db,
+)
+from .layout import BeamTrace, OTISLayout
+from .layout2d import OTIS2DLayout
+from .ops import CollisionError, OPSCoupler
+from .otis import OTIS
+from .power import PowerBudget, max_ops_degree
+
+__all__ = [
+    "NOMINAL",
+    "OTIS",
+    "BeamSplitter",
+    "BeamTrace",
+    "CollisionError",
+    "LensPair",
+    "OPSCoupler",
+    "OTIS2DLayout",
+    "OTISLayout",
+    "OpticalComponent",
+    "OpticalFiber",
+    "OpticalMultiplexer",
+    "PowerBudget",
+    "Receiver",
+    "Transmitter",
+    "max_ops_degree",
+    "splitting_loss_db",
+]

@@ -1,0 +1,184 @@
+"""Optoelectronic component models with insertion-loss accounting.
+
+The paper's designs are bills of optical material: transmitters,
+receivers, lens-pair OTIS stages, optical multiplexers (the input half
+of an OPS coupler), beam-splitters (the output half), and fiber for the
+stack-Kautz loop couplers.  Each component here carries an insertion
+loss in dB so whole light paths can be audited by
+:mod:`repro.optical.power`.
+
+Default loss figures are representative free-space-optics numbers from
+the literature the paper cites ([5, 6, 12, 14]); every constructor
+accepts overrides, and nothing downstream depends on the absolute
+values -- only on the *structure* of the loss chain (e.g. the ``1/s``
+splitting loss of a degree-``s`` OPS, which is physics, not a vendor
+datasheet).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "NOMINAL",
+    "OpticalComponent",
+    "Transmitter",
+    "Receiver",
+    "LensPair",
+    "OpticalMultiplexer",
+    "BeamSplitter",
+    "OpticalFiber",
+    "splitting_loss_db",
+]
+
+
+def splitting_loss_db(ways: int) -> float:
+    """Fundamental 1/N splitting loss of an N-way broadcast, in dB.
+
+    A passive splitter divides the incoming signal into ``ways`` equal
+    parts, each carrying ``1/ways`` of the power: ``10*log10(ways)`` dB.
+
+    >>> round(splitting_loss_db(4), 2)
+    6.02
+    """
+    if ways < 1:
+        raise ValueError(f"ways must be >= 1, got {ways}")
+    return 10.0 * math.log10(ways)
+
+
+@dataclass(frozen=True)
+class OpticalComponent:
+    """Base class: anything light passes through, with a loss in dB."""
+
+    name: str
+    insertion_loss_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.insertion_loss_db < 0:
+            raise ValueError(
+                f"{self.name}: insertion loss must be >= 0 dB "
+                f"(passive components cannot amplify), got {self.insertion_loss_db}"
+            )
+
+
+@dataclass(frozen=True)
+class Transmitter(OpticalComponent):
+    """A statically tuned optical transmitter (laser + driver).
+
+    ``power_dbm`` is the launched optical power.  The paper's networks
+    use a *small constant number* of statically tuned transmitters per
+    processor -- that is the point of multi-hop topologies (Sec. 1).
+    """
+
+    name: str = "transmitter"
+    insertion_loss_db: float = 0.0
+    power_dbm: float = 0.0  # 1 mW laser
+
+
+@dataclass(frozen=True)
+class Receiver(OpticalComponent):
+    """A statically tuned optical receiver (photodiode + amp).
+
+    ``sensitivity_dbm`` is the minimum detectable power for the target
+    bit error rate; the power budget must land above it.
+    """
+
+    name: str = "receiver"
+    insertion_loss_db: float = 0.0
+    sensitivity_dbm: float = -30.0
+
+
+@dataclass(frozen=True)
+class LensPair(OpticalComponent):
+    """One traversal of the two OTIS lens planes (free-space, paper Fig. 1).
+
+    Free-space lens relays are low-loss; [5] reports of order 1 dB for
+    the whole OTIS stage.
+    """
+
+    name: str = "otis-lens-pair"
+    insertion_loss_db: float = 1.0
+
+
+@dataclass(frozen=True)
+class OpticalMultiplexer(OpticalComponent):
+    """Input half of an OPS coupler: combines ``fan_in`` sources (Fig. 2).
+
+    Modeled with excess loss only.  The *combining* loss of a passive
+    N-to-1 combiner is accounted for once, at the coupler's splitter
+    stage, to match the paper's description of the OPS as "multiplexer
+    followed by ... a beam-splitter that divides the incoming light
+    signal into s equal signals" -- a single 1/s division.
+    """
+
+    name: str = "optical-multiplexer"
+    insertion_loss_db: float = 0.5
+    fan_in: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.fan_in < 1:
+            raise ValueError(f"fan_in must be >= 1, got {self.fan_in}")
+
+
+@dataclass(frozen=True)
+class BeamSplitter(OpticalComponent):
+    """Output half of an OPS coupler: divides into ``fan_out`` beams.
+
+    ``insertion_loss_db`` is the *excess* loss of the device (hologram
+    / photorefractive splitter, [6, 14]); the fundamental
+    ``10*log10(fan_out)`` splitting loss is reported separately by
+    :func:`BeamSplitter.total_loss_db` so budgets can distinguish
+    physics from implementation.
+    """
+
+    name: str = "beam-splitter"
+    insertion_loss_db: float = 1.0
+    fan_out: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.fan_out < 1:
+            raise ValueError(f"fan_out must be >= 1, got {self.fan_out}")
+
+    def total_loss_db(self) -> float:
+        """Excess + fundamental splitting loss, in dB."""
+        return self.insertion_loss_db + splitting_loss_db(self.fan_out)
+
+
+@dataclass(frozen=True)
+class OpticalFiber(OpticalComponent):
+    """A fiber jumper (used for the stack-Kautz loop couplers, Sec. 4.2).
+
+    Loss scales with length: ``attenuation_db_per_km * length_m / 1000``
+    plus two connector losses folded into ``insertion_loss_db``.
+    """
+
+    name: str = "fiber"
+    insertion_loss_db: float = 0.5  # connectors
+    length_m: float = 1.0
+    attenuation_db_per_km: float = 0.35
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.length_m < 0:
+            raise ValueError(f"length must be >= 0, got {self.length_m}")
+        if self.attenuation_db_per_km < 0:
+            raise ValueError("attenuation must be >= 0")
+
+    def total_loss_db(self) -> float:
+        """Connector + distance loss, in dB."""
+        return self.insertion_loss_db + self.attenuation_db_per_km * self.length_m / 1000.0
+
+
+# Mutable default factories would be wrong on frozen dataclasses; keep a
+# module-level registry of nominal components for convenience instead.
+NOMINAL = {
+    "transmitter": Transmitter(),
+    "receiver": Receiver(),
+    "lens_pair": LensPair(),
+    "multiplexer": OpticalMultiplexer(),
+    "beam_splitter": BeamSplitter(),
+    "fiber": OpticalFiber(),
+}

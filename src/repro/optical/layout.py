@@ -1,0 +1,185 @@
+"""Geometric layout of the OTIS lens planes (paper Fig. 1).
+
+OTIS is a free-space system: a column of ``G*T`` transmitters, a plane
+of ``G`` macro-lenses (one per transmitter block), a plane of ``T``
+micro-lenses (one per receiver block), and a column of ``T*G``
+receivers.  Transmitter block ``i`` is imaged *as a block* by lens
+``i``; within the image, positions are inverted (lenses invert), and
+the pair of planes routes beam ``(i, j)`` to receiver ``(T-1-j,
+G-1-i)``.
+
+This module assigns 1-D coordinates (normalized to a unit-pitch device
+column) to every transmitter, lens, and receiver, traces each beam as
+the polyline transmitter -> plane-1 lens -> plane-2 lens -> receiver,
+and proves geometrically what :mod:`repro.optical.otis` states
+algebraically: the traced endpoints realize the transpose permutation.
+It also renders the ASCII figure used by the FIG-1 benchmark artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .otis import OTIS
+
+__all__ = ["OTISLayout", "BeamTrace"]
+
+
+@dataclass(frozen=True)
+class BeamTrace:
+    """The polyline of one beam through the two lens planes.
+
+    Coordinates are (x, y): x is the optical axis (0 = transmitter
+    plane, 1 = lens plane 1, 2 = lens plane 2, 3 = receiver plane),
+    y the transverse position in transmitter pitches.
+    """
+
+    transmitter: tuple[int, int]
+    receiver: tuple[int, int]
+    points: tuple[tuple[float, float], ...]
+
+
+class OTISLayout:
+    """1-D geometric model of an OTIS(G, T) stage.
+
+    Transmitter ``(i, j)`` sits at height ``i*T + j``; receiver
+    ``(a, b)`` at height ``a*G + b``.  Lens ``i`` of plane 1 sits at the
+    center of transmitter block ``i``; lens ``a`` of plane 2 at the
+    center of receiver block ``a``.
+
+    >>> lay = OTISLayout(OTIS(3, 6))
+    >>> lay.transmitter_position(0, 0)
+    0.0
+    >>> lay.plane1_lens_position(0)
+    2.5
+    """
+
+    def __init__(self, otis: OTIS) -> None:
+        self.otis = otis
+
+    # ------------------------------------------------------------------
+    # Coordinates
+    # ------------------------------------------------------------------
+    def transmitter_position(self, group: int, index: int) -> float:
+        """Transverse position of transmitter ``(group, index)``."""
+        self.otis._check_tx(group, index)  # noqa: SLF001 - same package
+        return float(group * self.otis.group_size + index)
+
+    def receiver_position(self, group: int, index: int) -> float:
+        """Transverse position of receiver ``(group, index)``."""
+        self.otis._check_rx(group, index)  # noqa: SLF001
+        return float(group * self.otis.num_groups + index)
+
+    def plane1_lens_position(self, lens: int) -> float:
+        """Center of transmitter block ``lens`` (plane-1 lens)."""
+        if not 0 <= lens < self.otis.num_groups:
+            raise IndexError(f"plane-1 lens {lens} out of range")
+        t = self.otis.group_size
+        return float(lens * t + (t - 1) / 2.0)
+
+    def plane2_lens_position(self, lens: int) -> float:
+        """Center of receiver block ``lens`` (plane-2 lens)."""
+        if not 0 <= lens < self.otis.group_size:
+            raise IndexError(f"plane-2 lens {lens} out of range")
+        g = self.otis.num_groups
+        return float(lens * g + (g - 1) / 2.0)
+
+    # ------------------------------------------------------------------
+    # Beam tracing
+    # ------------------------------------------------------------------
+    def trace(self, group: int, index: int) -> BeamTrace:
+        """Trace transmitter ``(group, index)`` through both planes.
+
+        The beam leaves through plane-1 lens ``group`` (its own block's
+        lens) and lands via plane-2 lens ``T - 1 - index`` (the block of
+        its receiver), arriving at receiver ``(T-1-index, G-1-group)``.
+        """
+        rx = self.otis.receiver_of(group, index)
+        pts = (
+            (0.0, self.transmitter_position(group, index)),
+            (1.0, self.plane1_lens_position(group)),
+            (2.0, self.plane2_lens_position(rx[0])),
+            (3.0, self.receiver_position(*rx)),
+        )
+        return BeamTrace(transmitter=(group, index), receiver=rx, points=pts)
+
+    def trace_all(self) -> list[BeamTrace]:
+        """Traces for every transmitter, in flat order."""
+        g, t = self.otis.num_groups, self.otis.group_size
+        return [self.trace(i, j) for i in range(g) for j in range(t)]
+
+    def verify_transpose_geometry(self) -> bool:
+        """Geometric cross-check of the transpose law.
+
+        Two facts must hold for the layout to be a valid OTIS imaging
+        system (cf. [19, 5]):
+
+        1. every traced endpoint equals the algebraic
+           ``receiver_of`` target (consistency);
+        2. *block imaging with inversion*: within one transmitter
+           block, increasing ``j`` maps to *decreasing* receiver block
+           index, and within one receiver block, increasing ``i`` maps
+           to decreasing position -- i.e. both stages invert, as real
+           lenses do.
+        """
+        g, t = self.otis.num_groups, self.otis.group_size
+        for i in range(g):
+            rx_blocks = [self.trace(i, j).receiver[0] for j in range(t)]
+            if rx_blocks != list(range(t - 1, -1, -1)):
+                return False
+        for j in range(t):
+            rx_pos = [self.trace(i, j).receiver[1] for i in range(g)]
+            if rx_pos != list(range(g - 1, -1, -1)):
+                return False
+        perm = self.otis.permutation()
+        for flat, trace in enumerate(self.trace_all()):
+            a, b = trace.receiver
+            if perm[flat] != a * g + b:
+                return False
+        return True
+
+    def crossing_count(self) -> int:
+        """Number of beam pairs that cross between the two lens planes.
+
+        A measure of the free-space wiring complexity replaced by the
+        lenses; computed as inversions of the plane1 -> plane2 lens
+        assignment over all beams.
+        """
+        traces = self.trace_all()
+        ys1 = np.asarray([tr.points[1][1] for tr in traces])
+        ys2 = np.asarray([tr.points[2][1] for tr in traces])
+        count = 0
+        n = len(traces)
+        for a in range(n):
+            d1 = ys1[a + 1 :] - ys1[a]
+            d2 = ys2[a + 1 :] - ys2[a]
+            count += int(((d1 * d2) < 0).sum())
+        return count
+
+    # ------------------------------------------------------------------
+    # ASCII rendering (figure artifacts)
+    # ------------------------------------------------------------------
+    def render_ascii(self) -> str:
+        """Text rendering of the layout in the spirit of paper Fig. 1."""
+        g, t = self.otis.num_groups, self.otis.group_size
+        n = g * t
+        rows: list[str] = []
+        header = f"OTIS({g},{t}): transmitters | lens plane 1 | lens plane 2 | receivers"
+        rows.append(header)
+        rows.append("-" * len(header))
+        lens1 = {round(self.plane1_lens_position(i)): i for i in range(g)}
+        lens2 = {round(self.plane2_lens_position(a)): a for a in range(t)}
+        for y in range(n):
+            i, j = divmod(y, t)
+            a, b = divmod(y, g)
+            tx = f"tx({i},{j})"
+            rx = f"rx({a},{b})"
+            l1 = f"[lens1 #{lens1[y]}]" if y in lens1 else ""
+            l2 = f"[lens2 #{lens2[y]}]" if y in lens2 else ""
+            tgt = self.otis.receiver_of(i, j)
+            rows.append(
+                f"{tx:>9}  ->{tgt!s:>9}   {l1:^12} {l2:^12}   {rx:>9}"
+            )
+        return "\n".join(rows)

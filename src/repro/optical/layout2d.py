@@ -1,0 +1,167 @@
+"""2-D lenslet-array OTIS layouts (the physical form of [19, 5]).
+
+Real OTIS hardware arranges transmitters, lenslets and receivers as
+2-D arrays: the ``G = gx * gy`` transmitter blocks form a ``gx x gy``
+grid, each block a ``tx x ty`` grid of emitters, and the two lens
+planes are 2-D lenslet arrays.  Optically, the transpose acts
+*independently in each transverse dimension*:
+
+    tx block (ix, iy), emitter (jx, jy)
+        ->  rx block (tx-1-jx, ty-1-jy), detector (gx-1-ix, gy-1-iy)
+
+:class:`OTIS2DLayout` models that factored system and proves the fact
+this module exists for: **flattening both grids row-major reproduces
+the abstract 1-D ``OTIS(G, T)`` permutation exactly**, because
+
+    (tx*ty - 1) - (jx*ty + jy) == (tx-1-jx)*ty + (ty-1-jy)
+
+and likewise for the group index -- i.e. the 2-D hardware *is* the
+paper's OTIS, not an approximation of it.  It also reports the
+physical figures of merit a 2-D arrangement buys: square-ish apertures
+(aspect ratio ~1 instead of a 1 x GT strip) and shorter maximum
+transverse beam throws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .otis import OTIS
+
+__all__ = ["OTIS2DLayout"]
+
+
+@dataclass(frozen=True)
+class OTIS2DLayout:
+    """A factored ``OTIS(gx*gy, tx*ty)`` as two 2-D lenslet stages.
+
+    Parameters
+    ----------
+    gx, gy:
+        Transmitter-block grid: ``G = gx * gy`` blocks.
+    tx, ty:
+        Emitters per block: ``T = tx * ty``.
+
+    >>> lay = OTIS2DLayout(2, 2, 3, 2)     # OTIS(4, 6) as 2x2 / 3x2 grids
+    >>> lay.receiver_of((0, 0), (0, 0))
+    ((2, 1), (1, 1))
+    >>> lay.verify_factorization()
+    True
+    """
+
+    gx: int
+    gy: int
+    tx: int
+    ty: int
+
+    def __post_init__(self) -> None:
+        for name, v in (("gx", self.gx), ("gy", self.gy), ("tx", self.tx), ("ty", self.ty)):
+            if v < 1:
+                raise ValueError(f"{name} must be >= 1, got {v}")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_groups(self) -> int:
+        """``G = gx * gy``."""
+        return self.gx * self.gy
+
+    @property
+    def group_size(self) -> int:
+        """``T = tx * ty``."""
+        return self.tx * self.ty
+
+    @property
+    def abstract(self) -> OTIS:
+        """The 1-D OTIS this hardware implements."""
+        return OTIS(self.num_groups, self.group_size)
+
+    # ------------------------------------------------------------------
+    def receiver_of(
+        self, block: tuple[int, int], emitter: tuple[int, int]
+    ) -> tuple[tuple[int, int], tuple[int, int]]:
+        """Per-dimension transpose: ``((tx-1-jx, ty-1-jy), (gx-1-ix, gy-1-iy))``."""
+        ix, iy = block
+        jx, jy = emitter
+        if not (0 <= ix < self.gx and 0 <= iy < self.gy):
+            raise IndexError(f"block {block} outside {self.gx}x{self.gy} grid")
+        if not (0 <= jx < self.tx and 0 <= jy < self.ty):
+            raise IndexError(f"emitter {emitter} outside {self.tx}x{self.ty} grid")
+        return (
+            (self.tx - 1 - jx, self.ty - 1 - jy),
+            (self.gx - 1 - ix, self.gy - 1 - iy),
+        )
+
+    def flatten_tx(self, block: tuple[int, int], emitter: tuple[int, int]) -> tuple[int, int]:
+        """Row-major 1-D (group, index) of a 2-D transmitter."""
+        ix, iy = block
+        jx, jy = emitter
+        return (ix * self.gy + iy, jx * self.ty + jy)
+
+    def flatten_rx(self, block: tuple[int, int], detector: tuple[int, int]) -> tuple[int, int]:
+        """Row-major 1-D (group, index) of a 2-D receiver."""
+        ax, ay = block
+        bx, by = detector
+        return (ax * self.ty + ay, bx * self.gy + by)
+
+    def verify_factorization(self) -> bool:
+        """The 2-D per-dimension transpose == the abstract OTIS map.
+
+        Checks every emitter: flattening the 2-D receiver must equal
+        ``abstract.receiver_of`` of the flattened transmitter.
+        """
+        o = self.abstract
+        for ix in range(self.gx):
+            for iy in range(self.gy):
+                for jx in range(self.tx):
+                    for jy in range(self.ty):
+                        rx2d = self.receiver_of((ix, iy), (jx, jy))
+                        flat_tx = self.flatten_tx((ix, iy), (jx, jy))
+                        if self.flatten_rx(*rx2d) != o.receiver_of(*flat_tx):
+                            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Physical figures of merit
+    # ------------------------------------------------------------------
+    def aperture_shape(self) -> tuple[int, int]:
+        """Transmitter-plane extent in emitter pitches: (width, height)."""
+        return (self.gx * self.tx, self.gy * self.ty)
+
+    def aspect_ratio(self) -> float:
+        """max/min of the aperture extents (1.0 = square, the optics-friendly shape)."""
+        w, h = self.aperture_shape()
+        return max(w, h) / min(w, h)
+
+    def max_transverse_throw(self) -> float:
+        """Worst-case transverse beam displacement, in emitter pitches.
+
+        In a 1-D strip the worst beam crosses ~G*T pitches; the 2-D
+        factorization bounds each axis by its own extent, shrinking the
+        lens field-of-view requirement -- the practical reason OTIS
+        hardware is built 2-D ([5]).
+        """
+        w, h = self.aperture_shape()
+        return float(max(w, h))
+
+    @staticmethod
+    def best_factorization(g: int, t: int) -> "OTIS2DLayout":
+        """The squarest 2-D arrangement of ``OTIS(g, t)``.
+
+        Picks ``gx * gy = g`` and ``tx * ty = t`` minimizing the
+        aperture aspect ratio.
+
+        >>> OTIS2DLayout.best_factorization(4, 6).aspect_ratio()
+        1.5
+        """
+        best: OTIS2DLayout | None = None
+        for gx in range(1, g + 1):
+            if g % gx:
+                continue
+            for txx in range(1, t + 1):
+                if t % txx:
+                    continue
+                cand = OTIS2DLayout(gx, g // gx, txx, t // txx)
+                if best is None or cand.aspect_ratio() < best.aspect_ratio():
+                    best = cand
+        assert best is not None
+        return best

@@ -1,0 +1,147 @@
+"""Optical Passive Star coupler OPS(s, z) (paper Sec. 2.2, Fig. 2).
+
+An OPS coupler is a *passive* one-to-many broadcast device: an optical
+multiplexer combining ``s`` inputs, a guided medium (fiber or free
+space), and a beam-splitter dividing the light into ``z`` outputs, each
+receiving ``1/z`` of the power.  With ``s == z`` the coupler is said to
+be *of degree s*.
+
+The paper restricts to **single-wavelength** couplers: at most one
+input may drive the coupler per time step; simultaneous transmissions
+collide.  :meth:`OPSCoupler.broadcast` enforces exactly that contract,
+and it is the primitive the slotted simulator
+(:mod:`repro.simulation`) builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .components import BeamSplitter, OpticalMultiplexer, splitting_loss_db
+
+__all__ = ["OPSCoupler", "CollisionError"]
+
+
+class CollisionError(RuntimeError):
+    """Two or more inputs drove a single-wavelength OPS in the same slot."""
+
+
+@dataclass(frozen=True)
+class OPSCoupler:
+    """A single-wavelength OPS coupler with ``num_inputs`` x ``num_outputs``.
+
+    Parameters
+    ----------
+    num_inputs:
+        ``s``: how many sources are fused by the input multiplexer.
+    num_outputs:
+        ``z``: how many destinations the beam-splitter feeds.
+    label:
+        Network-level identifier; the POPS network uses the group pair
+        ``(i, j)``.
+    multiplexer / splitter:
+        Component models used for loss accounting; defaults are the
+        nominal parts from :mod:`repro.optical.components`.
+
+    >>> ops = OPSCoupler(4, 4)
+    >>> ops.degree
+    4
+    >>> ops.broadcast(2)        # input 2 transmits; every output hears it
+    (2, 2, 2, 2)
+    """
+
+    num_inputs: int
+    num_outputs: int
+    label: object = None
+    multiplexer: OpticalMultiplexer = field(default=None)  # type: ignore[assignment]
+    splitter: BeamSplitter = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.num_inputs < 1 or self.num_outputs < 1:
+            raise ValueError(
+                f"OPS needs s >= 1 and z >= 1, got s={self.num_inputs}, z={self.num_outputs}"
+            )
+        if self.multiplexer is None:
+            object.__setattr__(
+                self, "multiplexer", OpticalMultiplexer(fan_in=self.num_inputs)
+            )
+        elif self.multiplexer.fan_in != self.num_inputs:
+            raise ValueError(
+                f"multiplexer fan_in {self.multiplexer.fan_in} != OPS inputs {self.num_inputs}"
+            )
+        if self.splitter is None:
+            object.__setattr__(
+                self, "splitter", BeamSplitter(fan_out=self.num_outputs)
+            )
+        elif self.splitter.fan_out != self.num_outputs:
+            raise ValueError(
+                f"splitter fan_out {self.splitter.fan_out} != OPS outputs {self.num_outputs}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        """The degree ``s`` when the coupler is square; error otherwise."""
+        if self.num_inputs != self.num_outputs:
+            raise ValueError(
+                f"OPS({self.num_inputs},{self.num_outputs}) is not square; "
+                "'degree' is defined only for s == z"
+            )
+        return self.num_inputs
+
+    @property
+    def is_passive(self) -> bool:
+        """Always ``True``: an OPS coupler requires no power source."""
+        return True
+
+    def broadcast(self, active_input: int) -> tuple[int, ...]:
+        """One time slot with ``active_input`` transmitting.
+
+        Returns, per output port, the index of the input heard there --
+        all outputs hear the same single input (that *is* the
+        broadcast).
+        """
+        if not 0 <= active_input < self.num_inputs:
+            raise IndexError(
+                f"input {active_input} out of range [0, {self.num_inputs})"
+            )
+        return tuple(active_input for _ in range(self.num_outputs))
+
+    def arbitrate(self, requested_inputs: list[int]) -> tuple[int, ...]:
+        """One slot with a *set* of inputs requesting to transmit.
+
+        Enforces the single-wavelength rule: zero requests returns an
+        empty tuple, one request broadcasts, more raise
+        :class:`CollisionError` -- media access control must serialize
+        senders (the simulator's job).
+        """
+        uniq = sorted(set(requested_inputs))
+        for r in uniq:
+            if not 0 <= r < self.num_inputs:
+                raise IndexError(f"input {r} out of range [0, {self.num_inputs})")
+        if not uniq:
+            return ()
+        if len(uniq) > 1:
+            raise CollisionError(
+                f"OPS {self.label!r}: simultaneous transmissions from inputs {uniq}"
+            )
+        return self.broadcast(uniq[0])
+
+    # ------------------------------------------------------------------
+    # Loss accounting
+    # ------------------------------------------------------------------
+    def splitting_loss_db(self) -> float:
+        """The fundamental ``10*log10(z)`` broadcast loss."""
+        return splitting_loss_db(self.num_outputs)
+
+    def total_loss_db(self) -> float:
+        """End-to-end coupler loss: mux excess + splitter excess + split."""
+        return (
+            self.multiplexer.insertion_loss_db
+            + self.splitter.insertion_loss_db
+            + self.splitting_loss_db()
+        )
+
+    def __str__(self) -> str:
+        tag = f"[{self.label!r}]" if self.label is not None else ""
+        return f"OPS({self.num_inputs},{self.num_outputs}){tag}"

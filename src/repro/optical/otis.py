@@ -1,0 +1,184 @@
+"""The Optical Transpose Interconnection System OTIS(G, T) (Sec. 2.1).
+
+``OTIS(G, T)`` (Marsden, Marchand, Harvey, Esener [19]) optically
+connects ``G`` groups of ``T`` transmitters to ``T`` groups of ``G``
+receivers through two planes of lenses in free space:
+
+    transmitter ``(i, j)``  ->  receiver ``(T - 1 - j, G - 1 - i)``
+
+for ``0 <= i <= G-1``, ``0 <= j <= T-1`` (paper Fig. 1).
+
+In flat indices (transmitter ``p = i*T + j``, receiver ``q = a*G + b``
+for receiver ``(a, b)``) the map is the *reversed transpose*:
+``q = G*T - 1 - (j*G + i)``, i.e. transpose the ``G x T`` index matrix
+and then reverse the order -- the reversal is the optical inversion
+every imaging lens pair introduces.
+
+This module models the permutation exactly (as numpy index arrays) and
+exposes the algebraic facts the designs rely on:
+
+* :meth:`OTIS.receiver_of` / :meth:`OTIS.transmitter_of` -- the map and
+  its inverse;
+* :meth:`OTIS.permutation` -- flat receiver index per transmitter;
+* the inverse system: the inverse *relation* of ``OTIS(G, T)`` is
+  realized by ``OTIS(T, G)`` (swap the planes and run light backwards);
+* ``OTIS(n, n)`` composed with itself is the identity (an involution) --
+  which is why a POPS needs distinct OTIS stages per direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["OTIS"]
+
+
+@dataclass(frozen=True)
+class OTIS:
+    """The OTIS(G, T) free-space interconnection.
+
+    Parameters
+    ----------
+    num_groups:
+        ``G``: number of transmitter-side groups.
+    group_size:
+        ``T``: transmitters per group.  The receiver side then has
+        ``T`` groups of ``G`` receivers.
+
+    >>> o = OTIS(3, 6)       # paper Fig. 1
+    >>> o.receiver_of(0, 0)  # transmitter (0,0) -> receiver (5, 2)
+    (5, 2)
+    >>> o.num_lenses
+    9
+    """
+
+    num_groups: int
+    group_size: int
+
+    def __post_init__(self) -> None:
+        if self.num_groups < 1 or self.group_size < 1:
+            raise ValueError(
+                f"OTIS needs G >= 1 and T >= 1, got G={self.num_groups}, T={self.group_size}"
+            )
+
+    # ------------------------------------------------------------------
+    # Size facts
+    # ------------------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        """Total transmitters ``G * T``."""
+        return self.num_groups * self.group_size
+
+    @property
+    def num_outputs(self) -> int:
+        """Total receivers ``T * G`` (same count, regrouped)."""
+        return self.num_groups * self.group_size
+
+    @property
+    def num_lenses(self) -> int:
+        """Lenses across both planes: ``G`` in plane 1 + ``T`` in plane 2.
+
+        Plane 1 holds one lens per transmitter group, plane 2 one lens
+        per receiver group (paper Fig. 1 shows 3 + 6 for OTIS(3, 6);
+        the figure draws the 3-lens plane first in the light path).
+        """
+        return self.num_groups + self.group_size
+
+    # ------------------------------------------------------------------
+    # The transpose map
+    # ------------------------------------------------------------------
+    def receiver_of(self, group: int, index: int) -> tuple[int, int]:
+        """Receiver ``(T-1-j, G-1-i)`` reached by transmitter ``(i, j)``."""
+        self._check_tx(group, index)
+        return (self.group_size - 1 - index, self.num_groups - 1 - group)
+
+    def transmitter_of(self, group: int, index: int) -> tuple[int, int]:
+        """Transmitter ``(i, j)`` reaching receiver ``(a, b)``: the inverse map.
+
+        Receiver groups number ``0..T-1`` and have size ``G``.
+        """
+        self._check_rx(group, index)
+        return (self.num_groups - 1 - index, self.group_size - 1 - group)
+
+    def flat_receiver_of(self, p: int) -> int:
+        """Flat receiver index for flat transmitter ``p = i*T + j``.
+
+        Equals ``G*T - 1 - (j*G + i)``: transpose, then reverse.
+        """
+        if not 0 <= p < self.num_inputs:
+            raise IndexError(f"transmitter {p} out of range [0, {self.num_inputs})")
+        i, j = divmod(p, self.group_size)
+        a, b = self.receiver_of(i, j)
+        return a * self.num_groups + b
+
+    def permutation(self) -> np.ndarray:
+        """Array ``perm`` with ``perm[p]`` = flat receiver of transmitter ``p``.
+
+        Vectorized form of :func:`flat_receiver_of`.
+        """
+        p = np.arange(self.num_inputs, dtype=np.int64)
+        i, j = np.divmod(p, self.group_size)
+        return self.num_inputs - 1 - (j * self.num_groups + i)
+
+    def inverse_permutation(self) -> np.ndarray:
+        """Array mapping flat receiver index back to its transmitter."""
+        perm = self.permutation()
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(perm.shape[0], dtype=np.int64)
+        return inv
+
+    # ------------------------------------------------------------------
+    # Algebraic structure
+    # ------------------------------------------------------------------
+    def inverse_system(self) -> "OTIS":
+        """The OTIS realizing the inverse relation: ``OTIS(T, G)``.
+
+        If ``OTIS(G, T)`` sends ``(i, j) -> (T-1-j, G-1-i)`` then
+        ``OTIS(T, G)`` sends ``(T-1-j, G-1-i) -> (i, j)``; composing the
+        two permutations (in either order) is the identity.
+        """
+        return OTIS(self.group_size, self.num_groups)
+
+    def is_involution(self) -> bool:
+        """Whether applying the system twice is the identity (G == T)."""
+        if self.num_groups != self.group_size:
+            return False
+        perm = self.permutation()
+        return bool(np.array_equal(perm[perm], np.arange(perm.shape[0])))
+
+    def fixed_points(self) -> np.ndarray:
+        """Flat transmitter indices mapped to the same flat index.
+
+        For ``OTIS(n, n)`` these are the inputs on the anti-diagonal
+        ``j = n - 1 - i`` (light going straight through the symmetric
+        lens pair); other shapes can still have coincidental fixed
+        points in the *flat* numbering.
+        """
+        perm = self.permutation()
+        return np.nonzero(perm == np.arange(perm.shape[0]))[0]
+
+    # ------------------------------------------------------------------
+    def _check_tx(self, group: int, index: int) -> None:
+        if not 0 <= group < self.num_groups:
+            raise IndexError(
+                f"transmitter group {group} out of range [0, {self.num_groups})"
+            )
+        if not 0 <= index < self.group_size:
+            raise IndexError(
+                f"transmitter index {index} out of range [0, {self.group_size})"
+            )
+
+    def _check_rx(self, group: int, index: int) -> None:
+        if not 0 <= group < self.group_size:
+            raise IndexError(
+                f"receiver group {group} out of range [0, {self.group_size})"
+            )
+        if not 0 <= index < self.num_groups:
+            raise IndexError(
+                f"receiver index {index} out of range [0, {self.num_groups})"
+            )
+
+    def __str__(self) -> str:
+        return f"OTIS({self.num_groups},{self.group_size})"

@@ -1,0 +1,99 @@
+"""Optical power-budget auditing for complete light paths.
+
+A message in a full design (paper Fig. 12) traverses, worst case:
+
+    transmitter -> OTIS(s, d+1) lens pair -> multiplexer ->
+    OTIS(d, n) lens pair (the interconnection network) ->
+    beam-splitter (1/s split) -> OTIS(d+1, s) lens pair -> receiver
+
+This module sums such chains in dB and checks them against receiver
+sensitivity, answering the engineering question behind the paper's
+"low energy loss" claims: how large can the OPS degree ``s`` grow
+before the ``10*log10(s)`` splitting loss exhausts the link margin?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .components import (
+    BeamSplitter,
+    OpticalComponent,
+    OpticalFiber,
+    Receiver,
+    Transmitter,
+)
+
+__all__ = ["PowerBudget", "max_ops_degree"]
+
+
+@dataclass(frozen=True)
+class PowerBudget:
+    """A transmitter-to-receiver light path with intermediate components.
+
+    >>> from repro.optical.components import LensPair, BeamSplitter
+    >>> b = PowerBudget(Transmitter(), (LensPair(), BeamSplitter(fan_out=8)), Receiver())
+    >>> round(b.total_loss_db(), 2)
+    11.03
+    >>> b.is_feasible()
+    True
+    """
+
+    transmitter: Transmitter
+    path: tuple[OpticalComponent, ...]
+    receiver: Receiver
+
+    def total_loss_db(self) -> float:
+        """Sum of all losses along the path, in dB.
+
+        Beam-splitters and fibers contribute their *total* loss
+        (excess + fundamental); other components their insertion loss.
+        """
+        loss = self.transmitter.insertion_loss_db + self.receiver.insertion_loss_db
+        for comp in self.path:
+            if isinstance(comp, (BeamSplitter, OpticalFiber)):
+                loss += comp.total_loss_db()
+            else:
+                loss += comp.insertion_loss_db
+        return loss
+
+    def received_power_dbm(self) -> float:
+        """Power arriving at the receiver, in dBm."""
+        return self.transmitter.power_dbm - self.total_loss_db()
+
+    def margin_db(self) -> float:
+        """Link margin: received power minus receiver sensitivity."""
+        return self.received_power_dbm() - self.receiver.sensitivity_dbm
+
+    def is_feasible(self, required_margin_db: float = 0.0) -> bool:
+        """Whether the link closes with at least ``required_margin_db``."""
+        return self.margin_db() >= required_margin_db
+
+
+def max_ops_degree(
+    transmitter: Transmitter,
+    fixed_path_loss_db: float,
+    receiver: Receiver,
+    splitter_excess_db: float = 1.0,
+    required_margin_db: float = 3.0,
+) -> int:
+    """Largest OPS degree ``s`` whose splitting loss still closes the link.
+
+    Solves ``power - fixed - excess - 10*log10(s) >= sensitivity +
+    margin`` for integer ``s``; returns 0 when not even ``s = 1``
+    closes.  This is the budget ceiling on group size in POPS and
+    stack-Kautz designs.
+
+    >>> max_ops_degree(Transmitter(power_dbm=0), 4.0, Receiver(sensitivity_dbm=-30))
+    158
+    """
+    available = (
+        transmitter.power_dbm
+        - fixed_path_loss_db
+        - splitter_excess_db
+        - receiver.sensitivity_dbm
+        - required_margin_db
+    )
+    if available < 0:
+        return 0
+    return int(10 ** (available / 10.0))

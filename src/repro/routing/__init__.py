@@ -1,0 +1,63 @@
+"""Routing algorithms for the paper's networks.
+
+* :mod:`repro.routing.kautz_routing` -- label-induced shortest paths
+  (<= k hops, no tables);
+* :mod:`repro.routing.fault_tolerant` -- the k+2 / (d-1)-fault
+  extension of [17];
+* :mod:`repro.routing.pops_routing` -- one-hop routing and slot
+  scheduling on POPS;
+* :mod:`repro.routing.stack_routing` -- group routing + loop delivery
+  on stack-Kautz;
+* :mod:`repro.routing.tables` -- BFS-exact reference tables.
+"""
+
+from .fault_tolerant import (
+    FaultSet,
+    candidate_paths,
+    fault_tolerant_route,
+    route_survives,
+)
+from .kautz_routing import (
+    kautz_distance,
+    kautz_next_hop,
+    kautz_route,
+    longest_overlap,
+    route_imase_itoh,
+)
+from .pops_routing import (
+    coupler_loads,
+    one_to_all_slots,
+    permutation_slots,
+    schedule_messages,
+    total_exchange_slots,
+)
+from .stack_routing import (
+    StackHop,
+    StackRoute,
+    stack_kautz_distance,
+    stack_kautz_route,
+)
+from .tables import RoutingTable, build_routing_table
+
+__all__ = [
+    "FaultSet",
+    "RoutingTable",
+    "StackHop",
+    "StackRoute",
+    "build_routing_table",
+    "candidate_paths",
+    "coupler_loads",
+    "fault_tolerant_route",
+    "kautz_distance",
+    "kautz_next_hop",
+    "kautz_route",
+    "longest_overlap",
+    "one_to_all_slots",
+    "permutation_slots",
+    "route_imase_itoh",
+    "route_survives",
+    "schedule_messages",
+    "stack_kautz_route",
+    "total_exchange_slots",
+    "stack_kautz_distance",
+]

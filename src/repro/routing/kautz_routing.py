@@ -1,0 +1,111 @@
+"""Label-induced shortest-path routing on Kautz graphs (Sec. 2.5).
+
+"Routing on the Kautz graph is very simple, since a shortest path
+routing algorithm (every path is of length at most k) is induced by the
+label of the nodes."  Concretely: to route from word ``x = (x1..xk)``
+to ``y = (y1..yk)``, find the longest suffix of ``x`` that is a prefix
+of ``y`` (length ``l``), then shift in the remaining ``k - l`` letters
+of ``y`` one per hop.  Each hop is a legal Kautz arc and the path
+length ``k - l <= k``; it is a *shortest* path because any walk from
+``x`` to ``y`` must shift in at least the letters of ``y`` not already
+overlapping.
+
+The same idea works on Imase-Itoh node ids through the explicit word
+isomorphism (:func:`route_imase_itoh`).
+"""
+
+from __future__ import annotations
+
+from ..graphs.imase_itoh import (
+    imase_itoh_index_to_kautz_word,
+    kautz_word_to_imase_itoh_index,
+)
+from ..graphs.kautz import is_kautz_word
+
+__all__ = [
+    "longest_overlap",
+    "kautz_route",
+    "kautz_distance",
+    "kautz_next_hop",
+    "route_imase_itoh",
+]
+
+
+def longest_overlap(x: tuple[int, ...], y: tuple[int, ...]) -> int:
+    """Length of the longest suffix of ``x`` equal to a prefix of ``y``.
+
+    >>> longest_overlap((0, 1, 2), (1, 2, 0))
+    2
+    >>> longest_overlap((0, 1), (0, 1))
+    2
+    """
+    k = min(len(x), len(y))
+    for l in range(k, -1, -1):
+        if l == 0 or x[len(x) - l :] == y[:l]:
+            return l
+    return 0  # pragma: no cover - loop always returns
+
+
+def kautz_route(
+    x: tuple[int, ...], y: tuple[int, ...], d: int
+) -> list[tuple[int, ...]]:
+    """The label-induced path from word ``x`` to word ``y``.
+
+    Returns the node sequence ``[x, ..., y]``; its length (number of
+    arcs) is ``k - longest_overlap(x, y) <= k``.
+
+    >>> kautz_route((0, 1), (2, 0), 2)
+    [(0, 1), (1, 2), (2, 0)]
+    """
+    if not is_kautz_word(x, d) or not is_kautz_word(y, d):
+        raise ValueError(f"{x!r} or {y!r} is not a Kautz word over {{0..{d}}}")
+    if len(x) != len(y):
+        raise ValueError("source and destination words must have equal length")
+    k = len(x)
+    l = longest_overlap(x, y)
+    path = [x]
+    cur = x
+    for i in range(l, k):
+        cur = cur[1:] + (y[i],)
+        path.append(cur)
+    return path
+
+
+def kautz_distance(x: tuple[int, ...], y: tuple[int, ...], d: int) -> int:
+    """Length of the label-induced route: ``k - longest_overlap``.
+
+    This equals the true graph distance (the route is shortest).
+    """
+    if not is_kautz_word(x, d) or not is_kautz_word(y, d):
+        raise ValueError(f"{x!r} or {y!r} is not a Kautz word over {{0..{d}}}")
+    if len(x) != len(y):
+        raise ValueError("source and destination words must have equal length")
+    return len(x) - longest_overlap(x, y)
+
+
+def kautz_next_hop(
+    x: tuple[int, ...], y: tuple[int, ...], d: int
+) -> tuple[int, ...]:
+    """First hop of the label-induced route (``x`` itself when ``x == y``).
+
+    This is all a node needs to *forward* a message: the header carries
+    the destination word, the node computes the overlap and shifts in
+    one letter -- O(k) work, no tables.
+    """
+    route = kautz_route(x, y, d)
+    return route[1] if len(route) > 1 else route[0]
+
+
+def route_imase_itoh(u: int, v: int, d: int, k: int) -> list[int]:
+    """Label-induced route between ``II(d, d**(k-1)(d+1))`` node ids.
+
+    Converts through the explicit Kautz-word isomorphism, routes on
+    words, converts back.  (For general ``n`` the Imase-Itoh graph has
+    its own congruence routing; this helper covers the Kautz sizes the
+    paper's networks use.)
+    """
+    wx = imase_itoh_index_to_kautz_word(u, d, k)
+    wy = imase_itoh_index_to_kautz_word(v, d, k)
+    return [
+        kautz_word_to_imase_itoh_index(w, d) for w in kautz_route(wx, wy, d)
+    ]

@@ -1,0 +1,140 @@
+"""Routing and slot scheduling on POPS networks.
+
+POPS is single-hop: the route from processor ``src`` to ``dst`` is the
+single coupler ``(group(src), group(dst))``.  The interesting problem
+is *scheduling*: each coupler is single-wavelength, so two messages
+entering the same coupler need different time slots.  This module
+provides collision-free slot schedules for message batches:
+
+* :func:`schedule_messages` -- greedy first-fit slotting of an
+  arbitrary batch (optimal here: the constraint graph is an interval
+  structure per coupler, so max-load slots suffice);
+* :func:`permutation_slots` -- slots needed by a permutation, with the
+  exact lower bound ``max_coupler_load`` it always achieves;
+* :func:`one_to_all_slots` -- broadcast cost (1 slot when a processor
+  may drive all its ``g`` transmitters at once, ``g`` when it must
+  serialize).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..networks.pops import POPSNetwork
+
+__all__ = [
+    "coupler_loads",
+    "schedule_messages",
+    "permutation_slots",
+    "one_to_all_slots",
+]
+
+
+def coupler_loads(
+    net: POPSNetwork, messages: Sequence[tuple[int, int]]
+) -> np.ndarray:
+    """Messages per coupler, as a ``(g, g)`` matrix indexed ``(i, j)``.
+
+    Entry ``(i, j)`` counts the batch messages whose source lies in
+    group ``i`` and destination in group ``j``.
+    """
+    g = net.num_groups
+    loads = np.zeros((g, g), dtype=np.int64)
+    for src, dst in messages:
+        i, j = net.route(src, dst)
+        loads[i, j] += 1
+    return loads
+
+
+def schedule_messages(
+    net: POPSNetwork, messages: Sequence[tuple[int, int]]
+) -> list[list[tuple[int, int]]]:
+    """Collision-free slot schedule for a batch of ``(src, dst)`` messages.
+
+    Greedy first-fit per coupler.  Two messages conflict iff they use
+    the same coupler; a message also cannot be sent twice by the same
+    processor *on the same transmitter port* in one slot, which for
+    distinct messages through one coupler is already excluded.  The
+    schedule length equals ``coupler_loads(...).max()`` -- the trivial
+    lower bound -- because couplers are independent resources.
+
+    Returns a list of slots, each a list of messages.
+    """
+    slots: list[list[tuple[int, int]]] = []
+    used: list[set[tuple[int, int]]] = []  # couplers occupied per slot
+    tx_busy: list[set[tuple[int, int]]] = []  # (processor, port) per slot
+    for src, dst in messages:
+        coupler = net.route(src, dst)
+        port = net.transmitter_port(src, dst)
+        placed = False
+        for t, occupied in enumerate(used):
+            if coupler in occupied or (src, port) in tx_busy[t]:
+                continue
+            occupied.add(coupler)
+            tx_busy[t].add((src, port))
+            slots[t].append((src, dst))
+            placed = True
+            break
+        if not placed:
+            slots.append([(src, dst)])
+            used.append({coupler})
+            tx_busy.append({(src, port)})
+    return slots
+
+
+def permutation_slots(net: POPSNetwork, perm: Sequence[int]) -> int:
+    """Slots needed to route permutation ``perm`` (``dst = perm[src]``).
+
+    Exactly ``max_{i,j} |{p in group i : perm[p] in group j}|``; between
+    ``ceil(t/g)``-ish loads for random permutations and ``t`` when a
+    whole group maps into a single group.
+    """
+    n = net.num_processors
+    if sorted(perm) != list(range(n)):
+        raise ValueError("perm must be a permutation of all processors")
+    messages = [(src, int(perm[src])) for src in range(n)]
+    schedule = schedule_messages(net, messages)
+    lower = int(coupler_loads(net, messages).max())
+    assert len(schedule) == lower, "greedy schedule missed the lower bound"
+    return len(schedule)
+
+
+def total_exchange_slots(net: POPSNetwork) -> int:
+    """Slots for all-to-all *personalized* exchange (every ordered pair).
+
+    Unlike gossip (identical datum to everyone, one transmission
+    serves a whole group), personalized exchange sends a distinct
+    message per (src, dst) pair and the couplers bind: coupler
+    ``(i, j)`` must carry every message from group ``i`` to group
+    ``j`` -- ``t*t`` of them (``t*(t-1)`` when ``i == j``), so
+    ``t**2`` slots are necessary, and the greedy scheduler meets that
+    bound exactly.
+
+    >>> from repro.networks import POPSNetwork
+    >>> total_exchange_slots(POPSNetwork(4, 2))
+    16
+    """
+    n = net.num_processors
+    messages = [
+        (src, dst) for src in range(n) for dst in range(n) if src != dst
+    ]
+    schedule = schedule_messages(net, messages)
+    t = net.group_size
+    expected = t * t if net.num_groups > 1 else t * (t - 1)
+    assert len(schedule) == expected, (len(schedule), expected)
+    return len(schedule)
+
+
+def one_to_all_slots(net: POPSNetwork, simultaneous_ports: bool = True) -> int:
+    """Slots for a one-to-all broadcast from any single processor.
+
+    With ``simultaneous_ports`` the source drives its ``g``
+    transmitters in one slot -- every group's inbound coupler from the
+    source's group carries the message at once: **1 slot** (the
+    single-hop headline of [9]).  Serializing the ports costs ``g``
+    slots.
+    """
+    _ = net
+    return 1 if simultaneous_ports else net.num_groups

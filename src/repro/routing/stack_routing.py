@@ -1,0 +1,109 @@
+"""Routing on stack-Kautz networks (group routing + OPS hops).
+
+A message in ``SK(s, d, k)`` travels between *groups* along the Kautz
+graph; inside a hop, any processor of the sending group may transmit
+and every processor of the receiving group hears.  Routing therefore
+decomposes as:
+
+1. group-level route: label-induced Kautz routing on the group words
+   (:mod:`repro.routing.kautz_routing`) -- at most ``k`` hops;
+2. same-group delivery: one extra hop through the group's *loop
+   coupler* when source and destination share a group but are distinct
+   processors;
+3. at each intermediate group, the message is re-transmitted by the
+   processor that received it (any group member works; the simulator
+   decides queueing).
+
+:class:`StackRoute` records the hop sequence as coupler labels plus the
+transmitter port driving each hop, ready to execute on the optical
+design (whose port conventions it shares) or in the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..networks.stack_kautz import StackKautzNetwork
+from .kautz_routing import kautz_distance, kautz_route
+
+__all__ = ["StackHop", "StackRoute", "stack_kautz_route", "stack_kautz_distance"]
+
+
+@dataclass(frozen=True)
+class StackHop:
+    """One OPS traversal: which coupler, driven on which port.
+
+    ``src_group``/``dst_group`` are group ids; ``mux`` identifies the
+    coupler as ``(src_group, mux)`` in design coordinates;
+    ``tx_port`` is the transmitter port any sender uses for it;
+    ``is_loop`` marks the group's loop coupler.
+    """
+
+    src_group: int
+    dst_group: int
+    mux: int
+    tx_port: int
+    is_loop: bool
+
+
+@dataclass(frozen=True)
+class StackRoute:
+    """A full route: source processor, hops, destination processor."""
+
+    src: int
+    dst: int
+    hops: tuple[StackHop, ...]
+
+    @property
+    def num_hops(self) -> int:
+        """Optical hops traversed (0 when src == dst)."""
+        return len(self.hops)
+
+
+def _hop(net: StackKautzNetwork, u: int, v: int) -> StackHop:
+    """The hop from group ``u`` to successor group ``v`` (or loop u==v)."""
+    d = net.degree
+    n = net.num_groups
+    if u == v:
+        # Loop coupler: mux index d, port 0 (= D-1-mux with D = d+1).
+        return StackHop(u, u, mux=d, tx_port=0, is_loop=True)
+    a = (-d * u - v) % n
+    if not 1 <= a <= d:
+        raise ValueError(f"group {v} is not an Imase-Itoh successor of {u}")
+    m = a - 1
+    return StackHop(u, v, mux=m, tx_port=d - m, is_loop=False)
+
+
+def stack_kautz_route(net: StackKautzNetwork, src: int, dst: int) -> StackRoute:
+    """Route from processor ``src`` to ``dst`` in ``net``.
+
+    >>> net = StackKautzNetwork(6, 3, 2)
+    >>> r = stack_kautz_route(net, 0, 71)
+    >>> r.num_hops <= net.diameter
+    True
+    """
+    xs, _ys = net.label_of(src)
+    xd, _yd = net.label_of(dst)
+    if src == dst:
+        return StackRoute(src, dst, ())
+    if xs == xd:
+        return StackRoute(src, dst, (_hop(net, xs, xs),))
+    words = kautz_route(net.group_word(xs), net.group_word(xd), net.degree)
+    groups = [net.group_of_word(w) for w in words]
+    hops = tuple(_hop(net, u, v) for u, v in zip(groups, groups[1:]))
+    return StackRoute(src, dst, hops)
+
+
+def stack_kautz_distance(net: StackKautzNetwork, src: int, dst: int) -> int:
+    """Hop count of the label-induced route (== optical hop distance).
+
+    0 for ``src == dst``; 1 for same-group siblings; the Kautz word
+    distance otherwise.  Never exceeds ``k``.
+    """
+    xs, _ = net.label_of(src)
+    xd, _ = net.label_of(dst)
+    if src == dst:
+        return 0
+    if xs == xd:
+        return 1
+    return kautz_distance(net.group_word(xs), net.group_word(xd), net.degree)

@@ -1,0 +1,109 @@
+"""Precomputed routing tables for arbitrary digraphs.
+
+Label-induced Kautz routing needs no tables, which is one of its
+selling points; the tables here serve two purposes:
+
+* a *reference oracle*: BFS-exact next-hop tables against which the
+  algebraic routing is validated over all pairs (benchmark CLM-5);
+* routing support for topologies without label routing (the de Bruijn
+  and generalized-II baselines at non-Kautz sizes).
+
+The table is built with one reverse BFS per destination, giving an
+``(n, n)`` next-hop matrix: ``table[u, dest]`` is the neighbor of ``u``
+that starts a shortest ``u -> dest`` path (``-1`` if unreachable,
+``u`` itself when ``u == dest``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.digraph import DiGraph
+
+__all__ = ["RoutingTable", "build_routing_table"]
+
+
+class RoutingTable:
+    """All-pairs shortest-path next hops for a :class:`DiGraph`."""
+
+    def __init__(self, graph: DiGraph, next_hop: np.ndarray, dist: np.ndarray) -> None:
+        self.graph = graph
+        self._next = next_hop
+        self._dist = dist
+
+    def next_hop(self, u: int, dest: int) -> int:
+        """Neighbor of ``u`` on a shortest path to ``dest``.
+
+        ``u`` itself when already there; ``-1`` when unreachable.  Ties
+        break toward the smallest node id (deterministic).
+        """
+        return int(self._next[u, dest])
+
+    def distance(self, u: int, dest: int) -> int:
+        """Shortest-path distance; ``-1`` when unreachable."""
+        return int(self._dist[u, dest])
+
+    def path(self, u: int, dest: int) -> list[int] | None:
+        """Full shortest path by following next hops."""
+        if self._dist[u, dest] < 0:
+            return None
+        path = [u]
+        while path[-1] != dest:
+            nxt = self.next_hop(path[-1], dest)
+            if nxt < 0:  # pragma: no cover - inconsistent table
+                return None
+            path.append(nxt)
+        return path
+
+    def verify(self) -> bool:
+        """Cross-check the table against fresh forward BFS distances."""
+        g = self.graph
+        for u in range(g.num_nodes):
+            if not np.array_equal(g.bfs_distances(u), self._dist[u]):
+                return False
+        for u in range(g.num_nodes):
+            for dest in range(g.num_nodes):
+                d = self._dist[u, dest]
+                if d < 0 or u == dest:
+                    continue
+                nxt = self.next_hop(u, dest)
+                if not g.has_arc(u, nxt):
+                    return False
+                if self._dist[nxt, dest] != d - 1:
+                    return False
+        return True
+
+    @property
+    def eccentricity_matrix_max(self) -> int:
+        """The diameter implied by the table (max finite distance)."""
+        finite = self._dist[self._dist >= 0]
+        return int(finite.max()) if finite.size else 0
+
+
+def build_routing_table(graph: DiGraph) -> RoutingTable:
+    """One reverse BFS per destination; O(n * (n + m)) total.
+
+    >>> from ..graphs.kautz import kautz_graph
+    >>> t = build_routing_table(kautz_graph(2, 2))
+    >>> t.path(0, 5) is not None
+    True
+    """
+    n = graph.num_nodes
+    rev = graph.reverse()
+    next_hop = np.full((n, n), -1, dtype=np.int64)
+    dist = np.full((n, n), -1, dtype=np.int64)
+    for dest in range(n):
+        dcol = rev.bfs_distances(dest)  # dcol[u] = dist(u -> dest) in graph
+        dist[:, dest] = dcol
+        next_hop[dest, dest] = dest
+        # For each u, the next hop is the smallest successor v with
+        # dist(v, dest) == dist(u, dest) - 1.
+        for u in range(n):
+            du = dcol[u]
+            if du <= 0:
+                continue
+            for v in graph.successors(u).tolist():
+                if dcol[v] == du - 1:
+                    next_hop[u, dest] = v
+                    break
+    return RoutingTable(graph, next_hop, dist)

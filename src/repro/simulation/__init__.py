@@ -1,0 +1,59 @@
+"""Slotted discrete-event simulation of multi-OPS networks.
+
+* :class:`SlottedSimulator` -- the engine (single-wavelength couplers,
+  pluggable arbitration);
+* :mod:`repro.simulation.traffic` -- workload generators;
+* :mod:`repro.simulation.network_sim` -- adapters for POPS /
+  stack-Kautz / stack-Imase-Itoh;
+* :func:`summarize` -- latency/throughput/utilization reports.
+"""
+
+from .deflection import DeflectionSimulator, stack_kautz_deflection_simulator
+from .engine import Message, SlotStats, SlottedSimulator
+from .metrics import SimulationReport, summarize
+from .network_sim import (
+    pops_simulator,
+    run_traffic,
+    stack_imase_itoh_simulator,
+    stack_kautz_simulator,
+)
+from .protocol import (
+    ArbitrationPolicy,
+    FurthestFirst,
+    OldestFirst,
+    RandomChoice,
+    RoundRobin,
+)
+from .traffic import (
+    bernoulli_stream,
+    broadcast_traffic,
+    group_local_traffic,
+    hotspot_traffic,
+    permutation_traffic,
+    uniform_traffic,
+)
+
+__all__ = [
+    "ArbitrationPolicy",
+    "DeflectionSimulator",
+    "FurthestFirst",
+    "Message",
+    "OldestFirst",
+    "RandomChoice",
+    "RoundRobin",
+    "SimulationReport",
+    "SlotStats",
+    "SlottedSimulator",
+    "bernoulli_stream",
+    "broadcast_traffic",
+    "group_local_traffic",
+    "hotspot_traffic",
+    "permutation_traffic",
+    "pops_simulator",
+    "run_traffic",
+    "stack_imase_itoh_simulator",
+    "stack_kautz_deflection_simulator",
+    "stack_kautz_simulator",
+    "summarize",
+    "uniform_traffic",
+]

@@ -1,0 +1,65 @@
+"""Post-run statistics for simulator executions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .engine import SlottedSimulator
+
+__all__ = ["SimulationReport", "summarize"]
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Aggregate results of one simulation run."""
+
+    num_messages: int
+    slots: int
+    mean_latency: float
+    p95_latency: float
+    max_latency: int
+    mean_hops: float
+    max_hops: int
+    throughput: float  # delivered messages per slot
+    coupler_utilization: float  # mean busy fraction over couplers
+    max_coupler_utilization: float
+    contended_slot_fraction: float
+
+    def row(self) -> str:
+        """One formatted results row (benchmark table output)."""
+        return (
+            f"msgs={self.num_messages:>6}  slots={self.slots:>6}  "
+            f"lat(mean/p95/max)={self.mean_latency:6.2f}/{self.p95_latency:6.2f}/{self.max_latency:>4}  "
+            f"hops(mean/max)={self.mean_hops:5.2f}/{self.max_hops}  "
+            f"thr={self.throughput:6.3f}  util(mean/max)={self.coupler_utilization:5.3f}/{self.max_coupler_utilization:5.3f}"
+        )
+
+
+def summarize(sim: SlottedSimulator) -> SimulationReport:
+    """Build a :class:`SimulationReport` from a completed run.
+
+    Raises ``ValueError`` when messages remain undelivered (reports on
+    partial runs would silently mix latencies of unfinished traffic).
+    """
+    if not sim.all_delivered():
+        raise ValueError("cannot summarize: undelivered messages remain")
+    lat = np.asarray([m.latency for m in sim.messages], dtype=np.float64)
+    hops = np.asarray([m.hops for m in sim.messages], dtype=np.float64)
+    slots = max(sim.now, 1)
+    busy = np.asarray(sim.coupler_busy, dtype=np.float64) / slots
+    contended = sum(1 for s in sim.slot_log if s.contended_couplers > 0)
+    return SimulationReport(
+        num_messages=len(sim.messages),
+        slots=sim.now,
+        mean_latency=float(lat.mean()) if lat.size else 0.0,
+        p95_latency=float(np.percentile(lat, 95)) if lat.size else 0.0,
+        max_latency=int(lat.max()) if lat.size else 0,
+        mean_hops=float(hops.mean()) if hops.size else 0.0,
+        max_hops=int(hops.max()) if hops.size else 0,
+        throughput=len(sim.messages) / slots,
+        coupler_utilization=float(busy.mean()) if busy.size else 0.0,
+        max_coupler_utilization=float(busy.max()) if busy.size else 0.0,
+        contended_slot_fraction=contended / slots,
+    )

@@ -1,0 +1,98 @@
+"""Unit tests for Moore bounds and comparison tables."""
+
+import pytest
+
+from repro.analysis import (
+    TopologyRow,
+    best_known_nodes,
+    debruijn_moore_ratio,
+    equal_size_comparison,
+    imase_itoh_efficiency,
+    kautz_moore_ratio,
+    moore_bound_digraph,
+    pops_row,
+    stack_kautz_row,
+)
+from repro.graphs import kautz_num_nodes
+
+
+class TestMooreBounds:
+    def test_values(self):
+        assert moore_bound_digraph(2, 3) == 15
+        assert moore_bound_digraph(3, 2) == 13
+        assert moore_bound_digraph(1, 4) == 5
+
+    def test_kautz_below_moore(self):
+        for d in (2, 3, 4, 5):
+            for k in (1, 2, 3, 4):
+                assert kautz_num_nodes(d, k) <= moore_bound_digraph(d, k)
+
+    def test_kautz_ratio_approaches_limit(self):
+        # KG(d,1) = K_{d+1} attains the Moore bound (ratio 1); for
+        # larger k the ratio decreases toward 1 - 1/d**2.
+        assert kautz_moore_ratio(3, 1) == pytest.approx(1.0)
+        assert kautz_moore_ratio(3, 4) < kautz_moore_ratio(3, 2)
+        assert kautz_moore_ratio(3, 6) > 1 - 1 / 9
+
+    def test_kautz_beats_debruijn(self):
+        for d in (2, 3, 4):
+            for k in (2, 3):
+                assert kautz_moore_ratio(d, k) > debruijn_moore_ratio(d, k)
+
+    def test_kautz_diameter1_attains_moore(self):
+        # KG(d,1) = K_{d+1} attains 1 + d exactly
+        assert kautz_num_nodes(4, 1) == moore_bound_digraph(4, 1)
+
+    def test_best_known(self):
+        assert best_known_nodes(3, 2) == 12
+
+    def test_imase_itoh_efficiency_bounds(self):
+        for d, n in [(2, 5), (3, 12), (4, 100)]:
+            eff = imase_itoh_efficiency(d, n)
+            assert 0 < eff <= 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            moore_bound_digraph(0, 2)
+        with pytest.raises(ValueError):
+            debruijn_moore_ratio(2, 0)
+
+
+class TestComparison:
+    def test_pops_row_facts(self):
+        row = pops_row(4, 2)
+        assert row.processors == 8
+        assert row.diameter == 1
+        assert row.transceivers_per_processor == 2
+        assert row.couplers == 4
+        assert row.coupler_degree == 4
+
+    def test_stack_kautz_row_facts(self):
+        row = stack_kautz_row(6, 3, 2)
+        assert row.processors == 72
+        assert row.diameter == 2
+        assert row.transceivers_per_processor == 4
+        assert row.couplers == 48
+        assert row.coupler_degree == 6
+
+    def test_formatted_and_header(self):
+        row = pops_row(4, 2)
+        assert "POPS(4,2)" in row.formatted()
+        assert "topology" in TopologyRow.header()
+
+    def test_equal_size_rows_match_target(self):
+        rows = equal_size_comparison(24)
+        assert rows, "expected at least one configuration"
+        for row in rows:
+            assert row.processors == 24
+
+    def test_equal_size_contains_both_families(self):
+        names = [r.name for r in equal_size_comparison(24)]
+        assert any(n.startswith("POPS") for n in names)
+        assert any(n.startswith("SK") for n in names)
+
+    def test_margin_decreases_with_coupler_degree(self):
+        # bigger splitting factor = less margin
+        small = pops_row(4, 2)
+        large = pops_row(64, 2)
+        assert large.link_margin_db < small.link_margin_db

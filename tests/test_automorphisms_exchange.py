@@ -1,0 +1,66 @@
+"""Tests for automorphism enumeration and total-exchange scheduling."""
+
+import math
+
+import pytest
+
+from repro.graphs import (
+    DiGraph,
+    check_isomorphism,
+    complete_digraph,
+    enumerate_automorphisms,
+    kautz_graph,
+)
+from repro.networks import POPSNetwork
+from repro.routing import total_exchange_slots
+
+
+class TestAutomorphisms:
+    @pytest.mark.parametrize("d,k", [(2, 1), (2, 2), (2, 3), (3, 2)])
+    def test_kautz_group_size_is_factorial(self, d, k):
+        """|Aut(KG(d,k))| = (d+1)!: exactly the alphabet permutations.
+
+        This is why the paper's Fig. 10 labeling and our explicit
+        bijection can differ yet both be isomorphisms.
+        """
+        autos = enumerate_automorphisms(kautz_graph(d, k))
+        assert len(autos) == math.factorial(d + 1)
+
+    def test_every_result_is_an_automorphism(self):
+        g = kautz_graph(2, 2)
+        for m in enumerate_automorphisms(g):
+            assert check_isomorphism(g, g, m)
+
+    def test_identity_always_present(self):
+        g = kautz_graph(2, 2)
+        autos = enumerate_automorphisms(g)
+        assert list(range(g.num_nodes)) in autos
+
+    def test_complete_digraph_full_symmetric_group(self):
+        assert len(enumerate_automorphisms(complete_digraph(4))) == 24
+
+    def test_asymmetric_graph_trivial_group(self):
+        g = DiGraph(4, [(0, 1), (1, 2), (2, 3), (0, 2)])
+        assert enumerate_automorphisms(g) == [[0, 1, 2, 3]]
+
+    def test_limit_respected(self):
+        autos = enumerate_automorphisms(complete_digraph(5), limit=7)
+        assert len(autos) == 7
+
+    def test_empty_graph(self):
+        assert enumerate_automorphisms(DiGraph(0, [])) == [[]]
+
+
+class TestTotalExchange:
+    @pytest.mark.parametrize("t,g,expected", [(4, 2, 16), (3, 3, 9), (2, 4, 4)])
+    def test_t_squared_slots(self, t, g, expected):
+        assert total_exchange_slots(POPSNetwork(t, g)) == expected
+
+    def test_single_group_special_case(self):
+        # one group: only the loop coupler, t*(t-1) messages serialize
+        assert total_exchange_slots(POPSNetwork(5, 1)) == 20
+
+    def test_exchange_beats_naive_serialization(self):
+        net = POPSNetwork(4, 4)
+        n = net.num_processors
+        assert total_exchange_slots(net) == 16 < n * (n - 1)

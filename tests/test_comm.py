@@ -1,0 +1,191 @@
+"""Unit tests for collectives (broadcast, gossip) and embeddings."""
+
+import pytest
+
+from repro.comm import (
+    embed_guest,
+    hypercube_embedding,
+    hypercube_graph,
+    pops_broadcast,
+    pops_gossip,
+    pops_scatter,
+    ring_embedding,
+    stack_kautz_broadcast,
+    stack_kautz_gossip,
+)
+from repro.graphs import DiGraph
+from repro.networks import POPSNetwork, StackKautzNetwork
+
+
+class TestPOPSBroadcast:
+    @pytest.mark.parametrize("t,g", [(1, 1), (4, 2), (3, 3), (2, 5)])
+    def test_one_slot_from_every_source(self, t, g):
+        net = POPSNetwork(t, g)
+        for src in range(net.num_processors):
+            sched = pops_broadcast(net, src)
+            assert sched.num_slots == 1
+            assert sched.informed == net.num_processors
+
+    def test_schedule_contents(self):
+        net = POPSNetwork(4, 2)
+        sched = pops_broadcast(net, 5)
+        senders = {s for s, _ in sched.slots[0]}
+        assert senders == {5}
+        couplers = {c for _, c in sched.slots[0]}
+        assert couplers == {(1, 0), (1, 1)}
+
+
+class TestPOPSScatter:
+    @pytest.mark.parametrize("t,g", [(1, 1), (4, 2), (3, 3), (2, 5)])
+    def test_t_slots_every_source(self, t, g):
+        net = POPSNetwork(t, g)
+        for src in range(0, net.num_processors, max(1, net.num_processors // 5)):
+            sched = pops_scatter(net, src)
+            assert sched.num_slots <= t
+            assert sched.informed == net.num_processors
+
+    def test_scatter_costs_t_while_broadcast_costs_one(self):
+        """Personalized data defeats the one-to-many shortcut."""
+        net = POPSNetwork(8, 2)
+        assert pops_broadcast(net, 0).num_slots == 1
+        assert pops_scatter(net, 0).num_slots == 8
+
+    def test_no_coupler_reuse_within_slot(self):
+        sched = pops_scatter(POPSNetwork(4, 3), 5)
+        for slot in sched.slots:
+            keys = [c for _, c in slot]
+            assert len(keys) == len(set(keys))
+
+    def test_single_processor(self):
+        sched = pops_scatter(POPSNetwork(1, 1), 0)
+        assert sched.num_slots == 0
+        assert sched.informed == 1
+
+
+class TestStackKautzBroadcast:
+    @pytest.mark.parametrize("s,d,k", [(2, 2, 2), (6, 3, 2), (2, 2, 3), (1, 3, 2)])
+    def test_at_most_k_slots(self, s, d, k):
+        net = StackKautzNetwork(s, d, k)
+        for src in range(0, net.num_processors, max(1, net.num_processors // 6)):
+            sched = stack_kautz_broadcast(net, src)
+            assert sched.informed == net.num_processors
+            assert sched.num_slots <= k or (s > 1 and sched.num_slots <= k + 1)
+
+    def test_no_coupler_reuse_within_slot(self):
+        net = StackKautzNetwork(4, 2, 3)
+        sched = stack_kautz_broadcast(net, 10)
+        for slot in sched.slots:
+            keys = [c for _, c in slot]
+            assert len(keys) == len(set(keys))
+
+    def test_senders_already_informed(self):
+        net = StackKautzNetwork(3, 2, 2)
+        sched = stack_kautz_broadcast(net, 0)
+        informed = {0}
+        base = net.base_graph()
+        for slot in sched.slots:
+            for sender, (_u, v) in slot:
+                assert sender in informed
+            for _sender, (_u, v) in slot:
+                informed.update(net.group_members(v).tolist())
+        assert len(informed) == net.num_processors
+
+    def test_trivial_single_processor(self):
+        net = StackKautzNetwork(1, 2, 1)
+        sched = stack_kautz_broadcast(net, 0)
+        assert sched.informed == net.num_processors
+
+
+class TestGossip:
+    @pytest.mark.parametrize("t,g", [(2, 2), (4, 2), (4, 3), (1, 4)])
+    def test_pops_gossip_t_slots(self, t, g):
+        assert pops_gossip(POPSNetwork(t, g)).num_slots == t
+
+    def test_pops_gossip_no_collision(self):
+        sched = pops_gossip(POPSNetwork(3, 3))
+        for slot in sched.slots:
+            keys = [c for _, c in slot]
+            assert len(keys) == len(set(keys))
+
+    @pytest.mark.parametrize("s,d,k", [(1, 2, 2), (2, 2, 2), (3, 2, 2), (2, 3, 2)])
+    def test_stack_kautz_gossip_completes(self, s, d, k):
+        net = StackKautzNetwork(s, d, k)
+        sched = stack_kautz_gossip(net)
+        assert sched.num_slots >= k
+
+    def test_stack_gossip_diameter_lower_bound(self):
+        # Gossip can never beat the hop diameter: the farthest pair
+        # must exchange data across k hops.  (POPS gossip airs one
+        # datum per slot; SK gossip combines payloads, so raw slot
+        # counts between the two are not directly comparable.)
+        net = StackKautzNetwork(2, 2, 3)
+        assert stack_kautz_gossip(net).num_slots >= net.diameter
+
+
+class TestEmbeddings:
+    def test_ring_in_pops(self):
+        host = POPSNetwork(4, 3).stack_graph_model()
+        ring = ring_embedding(host)
+        assert sorted(ring) == list(range(host.num_nodes))
+        for a, b in zip(ring, ring[1:] + ring[:1]):
+            # consecutive processors share a coupler (one-hop)
+            assert host.bfs_hop_distances(a)[b] == 1
+
+    def test_ring_in_stack_kautz(self):
+        host = StackKautzNetwork(3, 2, 2).stack_graph_model()
+        ring = ring_embedding(host)
+        assert sorted(ring) == list(range(host.num_nodes))
+        for a, b in zip(ring, ring[1:] + ring[:1]):
+            assert host.bfs_hop_distances(a)[b] == 1
+
+    def test_ring_needs_loops_for_s_gt_1(self):
+        from repro.graphs import kautz_graph
+        from repro.hypergraphs import stack_graph
+
+        host = stack_graph(2, kautz_graph(2, 2))  # no loops
+        with pytest.raises(ValueError):
+            ring_embedding(host)
+
+    def test_hypercube_graph(self):
+        q3 = hypercube_graph(3)
+        assert q3.num_nodes == 8
+        assert q3.num_arcs == 24
+        assert (q3.out_degrees() == 3).all()
+
+    def test_hypercube_into_pops_dilation_one(self):
+        host = POPSNetwork(4, 4).stack_graph_model()
+        rep = hypercube_embedding(host, 4)
+        assert rep.dilation == 1
+        assert rep.congestion >= 1
+
+    def test_hypercube_into_stack_kautz_dilation_at_most_k(self):
+        net = StackKautzNetwork(4, 2, 2)
+        rep = hypercube_embedding(net.stack_graph_model(), 4)
+        assert 1 <= rep.dilation <= net.diameter
+
+    def test_hypercube_too_big(self):
+        host = POPSNetwork(2, 2).stack_graph_model()
+        with pytest.raises(ValueError):
+            hypercube_embedding(host, 4)
+
+    def test_embed_guest_validations(self):
+        host = POPSNetwork(2, 2).stack_graph_model()
+        guest = hypercube_graph(1)
+        with pytest.raises(ValueError):
+            embed_guest(host, guest, [0])       # wrong size
+        with pytest.raises(ValueError):
+            embed_guest(host, guest, [1, 1])    # not injective
+        with pytest.raises(ValueError):
+            embed_guest(host, guest, [0, 99])   # out of range
+
+    def test_embed_guest_loop_free(self):
+        host = POPSNetwork(2, 2).stack_graph_model()
+        guest = DiGraph(2, [(0, 0), (0, 1)])
+        rep = embed_guest(host, guest, [0, 1])
+        assert rep.dilation == 1  # the guest loop costs nothing
+
+    def test_report_row(self):
+        host = POPSNetwork(4, 4).stack_graph_model()
+        rep = hypercube_embedding(host, 3)
+        assert "dilation=" in rep.row()
+        assert rep.expansion == pytest.approx(2.0)

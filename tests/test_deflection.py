@@ -1,0 +1,116 @@
+"""Unit tests for hot-potato (deflection) routing (ref [25])."""
+
+import pytest
+
+from repro.hypergraphs import DirectedHypergraph, Hyperarc
+from repro.networks import StackKautzNetwork
+from repro.simulation import (
+    DeflectionSimulator,
+    run_traffic,
+    stack_kautz_deflection_simulator,
+    stack_kautz_simulator,
+    uniform_traffic,
+)
+
+
+def two_group_network():
+    """Groups {0,1} and {2,3}; couplers both ways plus loops."""
+    return DirectedHypergraph(
+        4,
+        [
+            Hyperarc((0, 1), (2, 3)),  # 0: A -> B
+            Hyperarc((2, 3), (0, 1)),  # 1: B -> A
+            Hyperarc((0, 1), (0, 1)),  # 2: A loop
+            Hyperarc((2, 3), (2, 3)),  # 3: B loop
+        ],
+    )
+
+
+def preferred(holder, msg):
+    same_side = (holder < 2) == (msg.dst < 2)
+    if same_side:
+        return 2 if holder < 2 else 3
+    return 0 if holder < 2 else 1
+
+
+def outs(holder):
+    return [0, 2] if holder < 2 else [1, 3]
+
+
+class TestDeflectionEngine:
+    def test_uncontended_delivery(self):
+        sim = DeflectionSimulator(two_group_network(), preferred, outs)
+        sim.inject([(0, 2, 0)])
+        sim.run()
+        m = sim.messages[0]
+        assert m.delivered and m.hops == 1 and m.latency == 0
+        assert sim.deflections == 0
+
+    def test_loser_deflects_instead_of_waiting(self):
+        sim = DeflectionSimulator(two_group_network(), preferred, outs)
+        # both processors of group A want coupler 0 in slot 0
+        sim.inject([(0, 2, 0), (1, 3, 0)])
+        sim.run()
+        assert all(m.delivered for m in sim.messages)
+        assert sim.deflections >= 1
+        # the deflected message took extra hops
+        assert max(m.hops for m in sim.messages) > 1
+
+    def test_deflection_rate(self):
+        sim = DeflectionSimulator(two_group_network(), preferred, outs)
+        sim.inject([(0, 2, 0), (1, 3, 0)])
+        sim.run()
+        assert sim.deflection_rate() == sim.deflections / 2
+
+    def test_self_message(self):
+        sim = DeflectionSimulator(two_group_network(), preferred, outs)
+        sim.inject([(2, 2, 0)])
+        sim.run()
+        assert sim.messages[0].hops == 0
+
+    def test_inject_past_rejected(self):
+        sim = DeflectionSimulator(two_group_network(), preferred, outs)
+        sim.inject([(0, 2, 0)])
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.inject([(0, 2, 0)])
+
+    def test_livelock_guard(self):
+        net = two_group_network()
+        sim = DeflectionSimulator(
+            net, lambda h, m: 2 if h < 2 else 3, outs, max_hops=10
+        )  # router that never leaves the group
+        sim.inject([(0, 2, 0)])
+        with pytest.raises(RuntimeError):
+            sim.run(max_slots=50)
+
+
+class TestStackKautzDeflection:
+    @pytest.mark.parametrize("s,d,k", [(2, 2, 2), (4, 2, 3), (3, 3, 2)])
+    def test_all_delivered(self, s, d, k):
+        net = StackKautzNetwork(s, d, k)
+        sim = stack_kautz_deflection_simulator(net)
+        sim.inject(uniform_traffic(net.num_processors, 120, seed=3))
+        sim.run()
+        assert sim.all_delivered()
+
+    def test_deflection_increases_hops_vs_store_forward(self):
+        net = StackKautzNetwork(4, 2, 3)
+        traffic = uniform_traffic(net.num_processors, 300, seed=5)
+
+        defl = stack_kautz_deflection_simulator(net)
+        defl.inject(traffic)
+        defl.run()
+        mean_defl_hops = sum(m.hops for m in defl.messages) / len(defl.messages)
+
+        rep = run_traffic(stack_kautz_simulator(net), traffic)
+        assert mean_defl_hops >= rep.mean_hops
+
+    def test_uncontended_matches_shortest_path(self):
+        net = StackKautzNetwork(3, 2, 2)
+        for dst in range(0, net.num_processors, 4):
+            sim = stack_kautz_deflection_simulator(net)
+            sim.inject([(0, dst, 0)])
+            sim.run()
+            assert sim.messages[0].hops == net.hop_distance(0, dst)
+            assert sim.deflections == 0

@@ -1,0 +1,189 @@
+"""Unit tests for the full optical designs (paper Sec. 4, Figs. 11-12)."""
+
+import pytest
+
+from repro.networks import (
+    POPSDesign,
+    StackImaseItohDesign,
+    StackKautzDesign,
+)
+from repro.optical import Receiver, Transmitter
+
+
+class TestPOPSDesign:
+    @pytest.fixture
+    def design(self):
+        return POPSDesign(4, 2)  # paper Fig. 11
+
+    def test_fig11_bill_of_materials(self, design):
+        """Fig. 11 hardware: OTIS(4,2) stages, OTIS(2,4) stages, OTIS(2,2)."""
+        bom = design.bill_of_materials()
+        assert bom.otis_units == {(4, 2): 2, (2, 4): 2, (2, 2): 1}
+        assert bom.multiplexers == 4
+        assert bom.beam_splitters == 4
+        assert bom.loop_fibers == 0
+        assert bom.couplers == 4
+        assert bom.transmitters == 16  # 8 processors x 2 ports
+        assert bom.receivers == 16
+
+    def test_verify(self, design):
+        assert design.verify()
+
+    @pytest.mark.parametrize("t,g", [(1, 1), (2, 2), (3, 5), (5, 3), (4, 4)])
+    def test_verify_sweep(self, t, g):
+        assert POPSDesign(t, g).verify()
+
+    def test_coupler_for_label_delivers_right_group(self, design):
+        for i in range(2):
+            for j in range(2):
+                u, m = design.coupler_for_label(i, j)
+                v, _b, fiber = design.coupler_destination(u, m)
+                assert (u, v) == (i, j)
+                assert not fiber
+
+    def test_trace_single_hop(self, design):
+        path = design.trace(0, 2, port=1)
+        assert path.src_group == 0
+        assert not path.via_loop_fiber
+        assert len(path.receivers) == 4
+        assert all(g == path.dst_group for g, _, _ in path.receivers)
+
+    def test_every_port_reaches_every_group(self, design):
+        for y in range(4):
+            reached = {design.trace(0, y, j).dst_group for j in range(2)}
+            assert reached == {0, 1}
+
+    def test_no_loop_budget(self, design):
+        with pytest.raises(ValueError):
+            design.loop_power_budget()
+
+
+class TestStackKautzDesign:
+    @pytest.fixture
+    def design(self):
+        return StackKautzDesign(6, 3, 2)  # paper Fig. 12
+
+    def test_fig12_bill_of_materials(self, design):
+        """Fig. 12: 12 OTIS(6,4), 12 OTIS(4,6), 48 mux, 48 splitters,
+        one OTIS(3,12) -- exactly as the paper counts them."""
+        bom = design.bill_of_materials()
+        assert bom.otis_units == {(6, 4): 12, (4, 6): 12, (3, 12): 1}
+        assert bom.multiplexers == 48
+        assert bom.beam_splitters == 48
+        assert bom.loop_fibers == 12
+        assert bom.couplers == 48
+        assert bom.transmitters == 72 * 4
+        assert bom.receivers == 72 * 4
+        assert bom.total_otis_stages == 25
+
+    def test_summary_text(self, design):
+        text = design.bill_of_materials().summary()
+        assert "12 x OTIS(6,4)" in text
+        assert "1 x OTIS(3,12)" in text
+        assert "48 x optical multiplexer" in text
+
+    def test_verify(self, design):
+        assert design.verify()
+
+    @pytest.mark.parametrize("s,d,k", [(1, 2, 2), (2, 2, 3), (4, 2, 2), (3, 4, 2), (2, 3, 3)])
+    def test_verify_sweep(self, s, d, k):
+        assert StackKautzDesign(s, d, k).verify()
+
+    def test_loop_coupler_via_fiber(self, design):
+        # port 0 = mux d = the loop
+        path = design.trace(5, 2, port=0)
+        assert path.via_loop_fiber
+        assert path.dst_group == 5
+        assert path.dst_splitter == 3
+
+    def test_kautz_ports_via_interconnect(self, design):
+        for port in (1, 2, 3):
+            path = design.trace(5, 2, port=port)
+            assert not path.via_loop_fiber
+            assert path.dst_group != 5
+
+    def test_trace_stage_narrative(self, design):
+        path = design.trace(0, 0, port=3)
+        stages = " ".join(path.stages)
+        assert "OTIS(6,4)" in stages
+        assert "OTIS(3,12)" in stages
+        assert "OTIS(4,6)" in stages
+
+    def test_processor_degree(self, design):
+        assert design.processor_degree == 4
+        assert design.num_processors == 72
+
+    def test_power_budgets_close(self, design):
+        wc = design.worst_case_power_budget(Transmitter(), Receiver())
+        loop = design.loop_power_budget(Transmitter(), Receiver())
+        assert wc.is_feasible()
+        assert loop.is_feasible()
+        # loop path swaps a lens pair for fiber: slightly lower loss
+        assert loop.total_loss_db() < wc.total_loss_db()
+
+    def test_bad_diameter(self):
+        with pytest.raises(ValueError):
+            StackKautzDesign(6, 3, 0)
+
+
+class TestStackImaseItohDesign:
+    @pytest.mark.parametrize("s,d,n", [(4, 3, 10), (2, 2, 7), (3, 2, 9), (1, 3, 5)])
+    def test_verify_any_size(self, s, d, n):
+        assert StackImaseItohDesign(s, d, n).verify()
+
+    def test_bom_shape(self):
+        bom = StackImaseItohDesign(4, 3, 10).bill_of_materials()
+        assert bom.otis_units == {(4, 4): 20, (3, 10): 1}
+        assert bom.loop_fibers == 10
+        assert bom.couplers == 40
+
+    def test_ii_loops_ride_interconnect_fiber_loops_separate(self):
+        """II(3,10) has loops at nodes 2 and 7; those arcs go through the
+        interconnect while the dedicated loop coupler uses fiber."""
+        design = StackImaseItohDesign(4, 3, 10)
+        # node 2's II successors include 2 itself
+        dests = [design.coupler_destination(2, m) for m in range(3)]
+        assert any(v == 2 and not fiber for v, _b, fiber in dests)
+        v, _b, fiber = design.coupler_destination(2, 3)
+        assert v == 2 and fiber
+
+
+class TestDesignInternals:
+    def test_mux_port_duality(self):
+        design = StackKautzDesign(6, 3, 2)
+        for m in range(4):
+            port = design.port_of_mux(m)
+            assert design.mux_of_port(0, 0, port) == (0, m)
+
+    def test_receiver_port_of_splitter(self):
+        design = StackKautzDesign(6, 3, 2)
+        assert design.receiver_port_of_splitter(0) == 3
+        assert design.receiver_port_of_splitter(3) == 0
+
+    def test_bounds(self):
+        design = StackKautzDesign(6, 3, 2)
+        with pytest.raises(IndexError):
+            design.port_of_mux(4)
+        with pytest.raises(IndexError):
+            design.receiver_port_of_splitter(4)
+        with pytest.raises(IndexError):
+            design.trace(12, 0, 0)
+        with pytest.raises(IndexError):
+            design.trace(0, 6, 0)
+        with pytest.raises(IndexError):
+            design.coupler_destination(0, 5)
+
+    def test_realized_hyperarcs_count(self):
+        design = StackKautzDesign(2, 2, 2)
+        arcs = design.realized_hyperarcs()
+        assert len(arcs) == design.num_groups * design.processor_degree
+
+    def test_render_ascii(self):
+        design = StackKautzDesign(6, 3, 2)
+        art = design.render_ascii(max_groups=2)
+        assert "OTIS(3,12)" in art
+        assert "loop fiber" in art
+        assert "... (10 more groups" in art
+        # every drawn mux destination must match coupler_destination
+        pops = POPSDesign(4, 2).render_ascii()
+        assert "loop fiber" not in pops  # POPS loops ride the interconnect

@@ -1,0 +1,232 @@
+"""Unit tests for the CSR digraph kernel."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import DiGraph
+
+
+@pytest.fixture
+def triangle():
+    return DiGraph(3, [(0, 1), (1, 2), (2, 0)], name="C3")
+
+
+@pytest.fixture
+def multi():
+    # parallel arcs 0->1 (x2), loop at 2
+    return DiGraph(3, [(0, 1), (0, 1), (1, 2), (2, 2)])
+
+
+class TestConstruction:
+    def test_basic_counts(self, triangle):
+        assert triangle.num_nodes == 3
+        assert triangle.num_arcs == 3
+
+    def test_empty_graph(self):
+        g = DiGraph(0, [])
+        assert g.num_nodes == 0
+        assert g.num_arcs == 0
+
+    def test_nodes_without_arcs(self):
+        g = DiGraph(5, [])
+        assert g.num_nodes == 5
+        assert g.out_degree(4) == 0
+
+    def test_negative_num_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraph(-1, [])
+
+    def test_arc_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraph(2, [(0, 2)])
+        with pytest.raises(ValueError):
+            DiGraph(2, [(-1, 0)])
+
+    def test_bad_arc_shape_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraph(3, np.array([[0, 1, 2]]))
+
+    def test_parallel_arcs_kept(self, multi):
+        assert multi.num_arcs == 4
+        assert multi.arc_multiplicity(0, 1) == 2
+
+    def test_from_successor_function(self):
+        g = DiGraph.from_successor_function(4, lambda u: [(u + 1) % 4])
+        assert g.num_arcs == 4
+        assert g.has_arc(3, 0)
+
+    def test_from_adjacency_matrix(self):
+        mat = np.array([[0, 2], [1, 1]])
+        g = DiGraph.from_adjacency_matrix(mat)
+        assert g.arc_multiplicity(0, 1) == 2
+        assert g.arc_multiplicity(1, 1) == 1
+        assert np.array_equal(g.adjacency_matrix(), mat)
+
+    def test_from_adjacency_matrix_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            DiGraph.from_adjacency_matrix(np.zeros((2, 3)))
+
+    def test_from_adjacency_matrix_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DiGraph.from_adjacency_matrix(np.array([[0, -1], [0, 0]]))
+
+
+class TestLabels:
+    def test_labels_roundtrip(self):
+        g = DiGraph(3, [(0, 1)], labels=["a", "b", "c"])
+        assert g.label_of(1) == "b"
+        assert g.node_of("c") == 2
+
+    def test_unlabeled_uses_ids(self, triangle):
+        assert triangle.label_of(2) == 2
+        assert triangle.node_of(1) == 1
+
+    def test_unlabeled_unknown_label(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.node_of(7)
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraph(2, [], labels=["x", "x"])
+
+    def test_wrong_label_count_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraph(2, [], labels=["x"])
+
+    def test_relabel(self, triangle):
+        g = triangle.relabel(["x", "y", "z"])
+        assert g.label_of(0) == "x"
+        assert g == triangle  # structure untouched
+
+    def test_relabel_to_none(self):
+        g = DiGraph(2, [(0, 1)], labels=["a", "b"]).relabel(None)
+        assert g.labels is None
+
+
+class TestAccessors:
+    def test_successors_sorted(self):
+        g = DiGraph(4, [(0, 3), (0, 1), (0, 2)])
+        assert g.successors(0).tolist() == [1, 2, 3]
+
+    def test_predecessors(self, triangle):
+        assert triangle.predecessors(0).tolist() == [2]
+
+    def test_degrees(self, multi):
+        assert multi.out_degree(0) == 2
+        assert multi.in_degree(1) == 2
+        assert multi.out_degrees().tolist() == [2, 1, 1]
+        assert multi.in_degrees().tolist() == [0, 2, 2]
+
+    def test_degree_vectors_empty_graph(self):
+        g = DiGraph(3, [])
+        assert g.in_degrees().tolist() == [0, 0, 0]
+
+    def test_has_arc(self, triangle):
+        assert triangle.has_arc(0, 1)
+        assert not triangle.has_arc(1, 0)
+
+    def test_arc_multiplicity_zero(self, triangle):
+        assert triangle.arc_multiplicity(0, 2) == 0
+
+    def test_num_loops(self, multi):
+        assert multi.num_loops() == 1
+
+    def test_out_of_range_node(self, triangle):
+        with pytest.raises(IndexError):
+            triangle.successors(3)
+        with pytest.raises(IndexError):
+            triangle.in_degree(-1)
+
+    def test_arc_array_matches(self, multi):
+        arr = multi.arc_array()
+        assert arr.shape == (4, 2)
+        assert arr.tolist() == [[0, 1], [0, 1], [1, 2], [2, 2]]
+
+
+class TestArcView:
+    def test_len_iter(self, triangle):
+        assert len(triangle.arcs) == 3
+        assert sorted(triangle.arcs) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_contains(self, triangle):
+        assert (0, 1) in triangle.arcs
+        assert (1, 0) not in triangle.arcs
+        assert "nonsense" not in triangle.arcs
+
+    def test_getitem(self, triangle):
+        assert triangle.arcs[0] == (0, 1)
+        assert triangle.arcs[-1] == (2, 0)
+
+    def test_getitem_out_of_range(self, triangle):
+        with pytest.raises(IndexError):
+            triangle.arcs[3]
+
+
+class TestDerived:
+    def test_reverse(self, triangle):
+        rev = triangle.reverse()
+        assert rev.has_arc(1, 0)
+        assert rev.reverse() == triangle
+
+    def test_with_loops_adds_missing_only(self, multi):
+        g = multi.with_loops()
+        assert g.num_loops() == 3
+        assert g.arc_multiplicity(2, 2) == 1  # existing loop not duplicated
+
+    def test_with_extra_loops_always_adds(self, multi):
+        g = multi.with_extra_loops()
+        assert g.arc_multiplicity(2, 2) == 2
+        assert g.num_loops() == 4
+
+    def test_without_loops(self, multi):
+        g = multi.without_loops()
+        assert g.num_loops() == 0
+        assert g.num_arcs == 3
+
+
+class TestTraversal:
+    def test_bfs_distances(self, triangle):
+        assert triangle.bfs_distances(0).tolist() == [0, 1, 2]
+
+    def test_bfs_unreachable(self):
+        g = DiGraph(3, [(0, 1)])
+        d = g.bfs_distances(0)
+        assert d.tolist() == [0, 1, -1]
+
+    def test_shortest_path(self, triangle):
+        assert triangle.shortest_path(0, 2) == [0, 1, 2]
+        assert triangle.shortest_path(1, 1) == [1]
+
+    def test_shortest_path_none(self):
+        g = DiGraph(3, [(0, 1)])
+        assert g.shortest_path(2, 0) is None
+
+    def test_shortest_path_deterministic_tiebreak(self):
+        g = DiGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert g.shortest_path(0, 3) == [0, 1, 3]
+
+    def test_strongly_connected(self, triangle):
+        assert triangle.is_strongly_connected()
+        assert not DiGraph(2, [(0, 1)]).is_strongly_connected()
+
+    def test_empty_strongly_connected(self):
+        assert DiGraph(0, []).is_strongly_connected()
+
+
+class TestDunder:
+    def test_equality(self, triangle):
+        same = DiGraph(3, [(2, 0), (0, 1), (1, 2)])
+        assert triangle == same
+        assert hash(triangle) == hash(same)
+
+    def test_inequality(self, triangle):
+        assert triangle != DiGraph(3, [(0, 1), (1, 2), (2, 1)])
+        assert triangle != "not a graph"
+
+    def test_repr_contains_name(self, triangle):
+        assert "C3" in repr(triangle)
+
+    def test_to_networkx(self, multi):
+        nx_g = multi.to_networkx()
+        assert nx_g.number_of_nodes() == 3
+        assert nx_g.number_of_edges() == 4

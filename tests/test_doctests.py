@@ -1,0 +1,40 @@
+"""Run every docstring example in the library as a test.
+
+The public API's docstrings carry ``>>>`` examples (sizes from the
+paper's figures, mostly); this keeps them honest.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.endswith("__main__")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+        verbose=False,
+    )
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"
+
+
+def test_doctests_exist_somewhere():
+    """Guard: the sweep above must actually exercise examples."""
+    total = 0
+    for name in MODULES:
+        module = importlib.import_module(name)
+        finder = doctest.DocTestFinder()
+        total += sum(len(t.examples) for t in finder.find(module))
+    assert total > 40, f"expected a rich example set, found {total}"

@@ -1,0 +1,159 @@
+"""Unit tests for directed hypergraphs and stack-graphs (Defs. 1, Fig. 3-5)."""
+
+import pytest
+
+from repro.graphs import (
+    complete_digraph_with_loops,
+    kautz_graph_with_loops,
+    DiGraph,
+)
+from repro.hypergraphs import DirectedHypergraph, Hyperarc, StackGraph, stack_graph
+
+
+class TestHyperarc:
+    def test_ops_shape(self):
+        ha = Hyperarc((0, 1, 2, 3), (4, 5, 6, 7))
+        assert ha.in_size == ha.out_size == 4
+        assert ha.is_ops_of_degree(4)
+        assert not ha.is_ops_of_degree(3)
+
+    def test_sorted_storage(self):
+        ha = Hyperarc((3, 1), (2, 0))
+        assert ha.sources == (1, 3)
+        assert ha.targets == (0, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Hyperarc((), (0,))
+        with pytest.raises(ValueError):
+            Hyperarc((0,), ())
+
+
+class TestDirectedHypergraph:
+    @pytest.fixture
+    def h(self):
+        return DirectedHypergraph(
+            6,
+            [
+                Hyperarc((0, 1), (2, 3), label="a"),
+                Hyperarc((2, 3), (4, 5), label="b"),
+                Hyperarc((4, 5), (0, 1), label="c"),
+            ],
+        )
+
+    def test_counts(self, h):
+        assert h.num_nodes == 6
+        assert h.num_hyperarcs == 3
+
+    def test_membership_queries(self, h):
+        assert h.out_hyperarcs(0) == [0]
+        assert h.in_hyperarcs(4) == [1]
+        assert h.out_degree(2) == 1
+        assert h.in_degree(2) == 1
+
+    def test_neighbors_out(self, h):
+        assert h.neighbors_out(0).tolist() == [2, 3]
+
+    def test_underlying_digraph(self, h):
+        g = h.underlying_digraph()
+        assert g.num_arcs == 3 * 4
+        assert g.has_arc(0, 2)
+        assert not g.has_arc(0, 4)
+
+    def test_hop_distances(self, h):
+        d = h.bfs_hop_distances(0)
+        assert d[2] == 1 and d[4] == 2 and d[0] == 0
+
+    def test_hop_diameter(self, h):
+        # Reaching the co-source sharing your hyperarc (e.g. 0 -> 1)
+        # takes the whole 3-hop cycle.
+        assert h.hop_diameter() == 3
+        assert not h.is_single_hop()
+
+    def test_disconnected_diameter(self):
+        h = DirectedHypergraph(3, [Hyperarc((0,), (1,))])
+        assert h.hop_diameter() == -1
+
+    def test_degree_set(self, h):
+        assert h.degree_set() == {(2, 2)}
+
+    def test_node_out_of_range(self, h):
+        with pytest.raises(IndexError):
+            h.out_hyperarcs(6)
+        with pytest.raises(IndexError):
+            DirectedHypergraph(2, [Hyperarc((0,), (5,))])
+
+
+class TestStackGraph:
+    def test_pops_model_shape(self):
+        sg = stack_graph(4, complete_digraph_with_loops(2))
+        assert sg.num_nodes == 8
+        assert sg.num_hyperarcs == 4
+        assert sg.degree_set() == {(4, 4)}
+        assert sg.is_single_hop()
+
+    def test_stack_kautz_model_shape(self):
+        sg = stack_graph(6, kautz_graph_with_loops(3, 2))
+        assert sg.num_nodes == 72
+        assert sg.num_hyperarcs == 48
+        assert sg.hop_diameter() == 2
+
+    def test_node_numbering(self):
+        sg = stack_graph(3, complete_digraph_with_loops(2))
+        assert sg.node_id(0, 0) == 0
+        assert sg.node_id(2, 1) == 5
+        assert sg.copy_and_base(5) == (2, 1)
+        assert sg.project(4) == 1
+
+    def test_group_members(self):
+        sg = stack_graph(3, complete_digraph_with_loops(2))
+        assert sg.group_members(1).tolist() == [3, 4, 5]
+
+    def test_hyperarc_labels_carry_base_labels(self):
+        base = DiGraph(2, [(0, 1)], labels=["left", "right"])
+        sg = stack_graph(2, base)
+        assert sg.hyperarc(0).label == ("left", "right")
+
+    def test_hyperarc_for_base_arc(self):
+        base = complete_digraph_with_loops(3)
+        sg = stack_graph(2, base)
+        idx = sg.hyperarc_for_base_arc(1, 2)
+        ha = sg.hyperarc(idx)
+        assert ha.sources == (2, 3)
+        assert ha.targets == (4, 5)
+
+    def test_hyperarc_for_missing_arc(self):
+        sg = stack_graph(2, DiGraph(2, [(0, 1)]))
+        with pytest.raises(KeyError):
+            sg.hyperarc_for_base_arc(1, 0)
+
+    def test_validate_against_base(self):
+        stack_graph(4, complete_digraph_with_loops(3)).validate_against_base()
+        stack_graph(2, kautz_graph_with_loops(2, 2)).validate_against_base()
+
+    def test_validate_without_loops(self):
+        # groups cannot reach siblings in 1 hop without a loop: cycle len
+        from repro.graphs import kautz_graph
+
+        sg = stack_graph(2, kautz_graph(2, 2))
+        sg.validate_against_base()
+
+    def test_stacking_factor_one(self):
+        base = complete_digraph_with_loops(3)
+        sg = stack_graph(1, base)
+        assert sg.num_nodes == 3
+        ug = sg.underlying_digraph()
+        assert ug == base
+
+    def test_bad_stacking_factor(self):
+        with pytest.raises(ValueError):
+            stack_graph(0, complete_digraph_with_loops(2))
+
+    def test_node_id_bounds(self):
+        sg = stack_graph(2, complete_digraph_with_loops(2))
+        with pytest.raises(IndexError):
+            sg.node_id(2, 0)
+        with pytest.raises(IndexError):
+            sg.node_id(0, 2)
+        with pytest.raises(IndexError):
+            sg.group_members(5)

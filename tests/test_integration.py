@@ -1,0 +1,149 @@
+"""Integration tests: designs, routing and simulation working together.
+
+These tests cross module boundaries on purpose -- each one executes a
+pipeline a user of the library would run, end to end.
+"""
+
+import pytest
+
+from repro.comm import pops_broadcast, stack_kautz_broadcast
+from repro.graphs import diameter, kautz_graph
+from repro.networks import (
+    POPSDesign,
+    POPSNetwork,
+    StackKautzDesign,
+    StackKautzNetwork,
+    otis_for_kautz,
+)
+from repro.routing import stack_kautz_route
+from repro.simulation import (
+    pops_simulator,
+    run_traffic,
+    stack_kautz_simulator,
+    uniform_traffic,
+)
+
+
+class TestDesignRealizesNetwork:
+    """The optical design's light paths == the network's stack-graph."""
+
+    @pytest.mark.parametrize("s,d,k", [(2, 2, 2), (6, 3, 2), (3, 2, 3)])
+    def test_stack_kautz_design_vs_network_model(self, s, d, k):
+        net = StackKautzNetwork(s, d, k)
+        design = StackKautzDesign(s, d, k)
+        model = net.stack_graph_model()
+        realized = sorted(design.realized_hyperarcs())
+        want = sorted((ha.sources, ha.targets) for ha in model.hyperarcs)
+        assert realized == want
+
+    @pytest.mark.parametrize("t,g", [(4, 2), (2, 3), (3, 3)])
+    def test_pops_design_vs_network_model(self, t, g):
+        net = POPSNetwork(t, g)
+        design = POPSDesign(t, g)
+        model = net.stack_graph_model()
+        realized = sorted(design.realized_hyperarcs())
+        want = sorted((ha.sources, ha.targets) for ha in model.hyperarcs)
+        assert realized == want
+
+
+class TestRoutesExecuteOnDesign:
+    """Routes computed by the routing layer drive actual design ports."""
+
+    def test_every_route_traces_through_hardware(self):
+        net = StackKautzNetwork(3, 2, 2)
+        design = StackKautzDesign(3, 2, 2)
+        for src in range(net.num_processors):
+            for dst in range(net.num_processors):
+                route = stack_kautz_route(net, src, dst)
+                holder_group, holder_idx = net.label_of(src)
+                for hop in route.hops:
+                    path = design.trace(holder_group, holder_idx, hop.tx_port)
+                    assert path.coupler == (hop.src_group, hop.mux)
+                    assert path.dst_group == hop.dst_group
+                    # every processor of the target group hears it
+                    assert len(path.receivers) == net.stacking_factor
+                    holder_group = path.dst_group
+                    holder_idx = net.label_of(dst)[1] if holder_group == net.label_of(dst)[0] else 0
+                assert holder_group == net.label_of(dst)[0]
+
+
+class TestSimulatorAgreesWithTheory:
+    def test_pops_single_message_latency_zero(self):
+        net = POPSNetwork(4, 4)
+        sim = pops_simulator(net)
+        rep = run_traffic(sim, [(0, 15, 0)])
+        assert rep.max_latency == 0
+        assert rep.max_hops == 1
+
+    def test_sk_single_message_hops_equal_distance(self):
+        net = StackKautzNetwork(4, 2, 3)
+        for dst in range(0, net.num_processors, 5):
+            sim = stack_kautz_simulator(net)
+            rep = run_traffic(sim, [(0, dst, 0)])
+            hops = net.hop_distance(0, dst)
+            assert rep.max_hops == hops
+            # uncontended: first hop fires at the injection slot
+            assert rep.max_latency == max(hops - 1, 0)
+
+    def test_sk_uncontended_latency_is_hops_minus_one(self):
+        """A lone message delivered at slot inject+hops-1 (first hop at
+        its injection slot)."""
+        net = StackKautzNetwork(2, 2, 2)
+        for dst in range(1, net.num_processors):
+            sim = stack_kautz_simulator(net)
+            run_traffic(sim, [(0, dst, 0)])
+            m = sim.messages[0]
+            assert m.latency == m.hops - 1
+
+    def test_broadcast_schedule_beats_unicast_simulation(self):
+        """One-to-many couplers make collective broadcast much cheaper
+        than N unicasts."""
+        net = StackKautzNetwork(4, 2, 2)
+        sched = stack_kautz_broadcast(net, 0)
+        sim = stack_kautz_simulator(net)
+        from repro.simulation import broadcast_traffic
+
+        rep = run_traffic(sim, broadcast_traffic(net.num_processors, src=0))
+        assert sched.num_slots < rep.slots
+
+    def test_pops_broadcast_one_slot_vs_simulation(self):
+        net = POPSNetwork(8, 2)
+        sched = pops_broadcast(net, 0)
+        sim = pops_simulator(net)
+        from repro.simulation import broadcast_traffic
+
+        rep = run_traffic(sim, broadcast_traffic(net.num_processors, src=0))
+        assert sched.num_slots == 1
+        assert rep.slots >= net.group_size  # unicast serializes per coupler
+
+
+class TestCorollary1EndToEnd:
+    """OTIS(d, n) wiring == Kautz graph == network group topology."""
+
+    @pytest.mark.parametrize("d,k", [(2, 2), (3, 2), (2, 3)])
+    def test_chain(self, d, k):
+        r = otis_for_kautz(d, k)
+        realized = r.realized_graph()
+        net = StackKautzNetwork(1, d, k)
+        base_no_loops = net.base_graph().without_loops()
+        assert realized == base_no_loops
+        assert diameter(realized) == diameter(kautz_graph(d, k)) == k
+
+
+class TestScaleSanity:
+    def test_medium_design_verifies(self):
+        # SK(4, 3, 3): 36 groups, 144 processors -- beyond figure scale
+        design = StackKautzDesign(4, 3, 3)
+        assert design.verify()
+        bom = design.bill_of_materials()
+        assert bom.otis_units[(3, 36)] == 1
+        assert bom.couplers == 144
+
+    def test_medium_simulation(self):
+        net = StackKautzNetwork(4, 3, 2)  # 48 processors
+        rep = run_traffic(
+            stack_kautz_simulator(net),
+            uniform_traffic(net.num_processors, 400, seed=9),
+        )
+        assert rep.num_messages == 400
+        assert rep.max_hops <= net.diameter

@@ -1,0 +1,119 @@
+"""Unit tests for isomorphism search and connectivity/max-flow."""
+
+import pytest
+
+from repro.graphs import (
+    DiGraph,
+    arc_connectivity,
+    are_isomorphic,
+    check_isomorphism,
+    complete_digraph,
+    debruijn_graph,
+    find_isomorphism,
+    imase_itoh_graph,
+    kautz_graph,
+    max_arc_disjoint_paths,
+    max_node_disjoint_paths,
+    node_connectivity,
+)
+
+
+class TestCheckIsomorphism:
+    def test_identity(self):
+        g = kautz_graph(2, 2)
+        assert check_isomorphism(g, g, list(range(g.num_nodes)))
+
+    def test_rejects_non_bijection(self):
+        g = complete_digraph(3)
+        assert not check_isomorphism(g, g, [0, 0, 1])
+
+    def test_rejects_wrong_size(self):
+        assert not check_isomorphism(complete_digraph(3), complete_digraph(4), [0, 1, 2])
+
+    def test_rejects_non_isomorphism(self):
+        g = DiGraph(3, [(0, 1), (1, 2), (2, 0)])
+        h = DiGraph(3, [(0, 1), (1, 2), (1, 0)])
+        assert not check_isomorphism(g, h, [0, 1, 2])
+
+    def test_respects_multiplicity(self):
+        g = DiGraph(2, [(0, 1), (0, 1)])
+        h = DiGraph(2, [(0, 1), (1, 0)])
+        assert not check_isomorphism(g, h, [0, 1])
+        assert not check_isomorphism(g, h, [1, 0])
+
+
+class TestFindIsomorphism:
+    def test_cycle_relabeled(self):
+        g = DiGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        h = DiGraph(4, [(2, 0), (0, 3), (3, 1), (1, 2)])
+        m = find_isomorphism(g, h)
+        assert m is not None
+        assert check_isomorphism(g, h, m)
+
+    def test_negative_different_structure(self):
+        g = DiGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        h = DiGraph(4, [(0, 1), (1, 0), (2, 3), (3, 2)])
+        assert find_isomorphism(g, h) is None
+
+    def test_kautz_vs_imase_itoh_searched(self):
+        assert are_isomorphic(kautz_graph(2, 2), imase_itoh_graph(2, 6))
+
+    def test_kautz_not_debruijn(self):
+        # same degree, different node counts
+        assert not are_isomorphic(kautz_graph(2, 2), debruijn_graph(2, 3))
+
+    def test_loop_placement_matters(self):
+        g = DiGraph(2, [(0, 0), (0, 1), (1, 0)])
+        h = DiGraph(2, [(1, 1), (0, 1), (1, 0)])
+        m = find_isomorphism(g, h)
+        assert m == [1, 0]
+
+    def test_empty_graphs(self):
+        assert find_isomorphism(DiGraph(0, []), DiGraph(0, [])) == []
+
+
+class TestFlows:
+    def test_arc_disjoint_simple(self):
+        g = DiGraph(4, [(0, 1), (1, 3), (0, 2), (2, 3)])
+        assert max_arc_disjoint_paths(g, 0, 3) == 2
+
+    def test_arc_disjoint_bottleneck(self):
+        g = DiGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3), (1, 2)])
+        assert max_arc_disjoint_paths(g, 0, 3) == 2
+
+    def test_node_disjoint_vs_arc_disjoint(self):
+        # node 3 is a cut vertex crossed by two arc-disjoint paths
+        g = DiGraph(
+            6, [(0, 1), (1, 3), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]
+        )
+        assert max_arc_disjoint_paths(g, 0, 5) == 2
+        assert max_node_disjoint_paths(g, 0, 5) == 1
+
+    def test_same_node_rejected(self):
+        g = complete_digraph(3)
+        with pytest.raises(ValueError):
+            max_arc_disjoint_paths(g, 1, 1)
+        with pytest.raises(ValueError):
+            max_node_disjoint_paths(g, 1, 1)
+
+    @pytest.mark.parametrize("d,k", [(2, 2), (2, 3), (3, 2)])
+    def test_kautz_arc_connectivity_is_d(self, d, k):
+        assert arc_connectivity(kautz_graph(d, k)) == d
+
+    @pytest.mark.parametrize("d,k", [(2, 2), (3, 2)])
+    def test_kautz_node_connectivity_is_d(self, d, k):
+        # Kautz digraphs are maximally connected (Imase-Soneoka-Okada).
+        assert node_connectivity(kautz_graph(d, k)) == d
+
+    def test_complete_convention(self):
+        assert node_connectivity(complete_digraph(4)) == 3
+
+    def test_sampled_connectivity_upper_bound(self):
+        g = kautz_graph(2, 3)
+        exact = arc_connectivity(g)
+        sampled = arc_connectivity(g, sample_pairs=3, seed=1)
+        assert sampled >= exact
+
+    def test_connectivity_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            arc_connectivity(DiGraph(1, []))

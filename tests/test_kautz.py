@@ -1,0 +1,143 @@
+"""Unit tests for Kautz graphs (paper Sec. 2.5, Definition 2, Fig. 6)."""
+
+import pytest
+
+from repro.graphs import (
+    DiGraph,
+    diameter,
+    is_kautz_word,
+    is_regular,
+    kautz_graph,
+    kautz_graph_with_loops,
+    kautz_index_to_word,
+    kautz_num_nodes,
+    kautz_word_to_index,
+    kautz_words,
+)
+
+
+class TestWordValidation:
+    def test_valid_words(self):
+        assert is_kautz_word((0, 1, 0), 2)
+        assert is_kautz_word((2,), 2)
+
+    def test_repeated_letter_invalid(self):
+        assert not is_kautz_word((0, 0), 2)
+        assert not is_kautz_word((1, 2, 2), 2)
+
+    def test_letter_out_of_alphabet_invalid(self):
+        assert not is_kautz_word((0, 3), 2)   # alphabet {0,1,2} for d=2
+        assert not is_kautz_word((-1, 0), 2)
+
+    def test_empty_word_invalid(self):
+        assert not is_kautz_word((), 2)
+
+
+class TestCounting:
+    @pytest.mark.parametrize(
+        "d,k,n",
+        [(1, 1, 2), (2, 1, 3), (2, 2, 6), (2, 3, 12), (3, 2, 12), (3, 3, 36), (4, 3, 80), (5, 5, 3750)],
+    )
+    def test_num_nodes_formula(self, d, k, n):
+        assert kautz_num_nodes(d, k) == n
+
+    def test_paper_example_erratum(self):
+        """The paper claims KG(5,4) has 3750 nodes; its own formula gives
+        750 (3750 is KG(5,5)).  Recorded as an erratum in EXPERIMENTS.md."""
+        assert kautz_num_nodes(5, 4) == 750
+        assert kautz_num_nodes(5, 5) == 3750
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            kautz_num_nodes(0, 2)
+        with pytest.raises(ValueError):
+            kautz_num_nodes(2, 0)
+
+
+class TestIndexing:
+    @pytest.mark.parametrize("d,k", [(1, 3), (2, 2), (2, 4), (3, 3), (4, 2)])
+    def test_roundtrip_all_indices(self, d, k):
+        n = kautz_num_nodes(d, k)
+        for i in range(n):
+            w = kautz_index_to_word(i, d, k)
+            assert is_kautz_word(w, d)
+            assert len(w) == k
+            assert kautz_word_to_index(w, d) == i
+
+    def test_words_iterator_order(self):
+        ws = list(kautz_words(2, 2))
+        assert len(ws) == 6
+        assert len(set(ws)) == 6
+        assert ws[0] == kautz_index_to_word(0, 2, 2)
+
+    def test_invalid_word_rejected(self):
+        with pytest.raises(ValueError):
+            kautz_word_to_index((0, 0), 2)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            kautz_index_to_word(6, 2, 2)
+        with pytest.raises(ValueError):
+            kautz_index_to_word(-1, 2, 2)
+
+
+class TestGraph:
+    @pytest.mark.parametrize("d,k", [(2, 1), (2, 2), (2, 3), (3, 2), (4, 2)])
+    def test_sizes_and_regularity(self, d, k):
+        g = kautz_graph(d, k)
+        assert g.num_nodes == kautz_num_nodes(d, k)
+        assert g.num_arcs == d * g.num_nodes
+        assert is_regular(g, d)
+
+    @pytest.mark.parametrize("d,k", [(2, 1), (2, 2), (2, 3), (3, 2), (3, 3)])
+    def test_diameter_is_k(self, d, k):
+        assert diameter(kautz_graph(d, k)) == k
+
+    def test_kg21_is_k3(self):
+        """Fig. 6: KG(2,1) is the complete digraph on 3 nodes."""
+        g = kautz_graph(2, 1)
+        assert g.num_nodes == 3
+        for u in range(3):
+            assert sorted(g.successors(u).tolist()) == [v for v in range(3) if v != u]
+
+    def test_arcs_follow_definition(self):
+        """Definition 2: (x1..xk) -> (x2..xk, z), z != xk."""
+        d, k = 3, 2
+        g = kautz_graph(d, k)
+        for u in range(g.num_nodes):
+            w = g.label_of(u)
+            expected = sorted(
+                kautz_word_to_index(w[1:] + (z,), d)
+                for z in range(d + 1)
+                if z != w[-1]
+            )
+            assert g.successors(u).tolist() == expected
+
+    def test_no_loops(self):
+        assert kautz_graph(3, 2).num_loops() == 0
+
+    def test_labels_are_words(self):
+        g = kautz_graph(2, 3)
+        for u in range(g.num_nodes):
+            assert is_kautz_word(g.label_of(u), 2)
+
+    def test_fig6_kg22_contains_pictured_arcs(self):
+        """Spot-check arcs drawn in Fig. 6 for KG(2,2)."""
+        g = kautz_graph(2, 2)
+        for a, b in [((2, 0), (0, 2)), ((0, 2), (2, 1)), ((1, 0), (0, 1))]:
+            assert g.has_arc(g.node_of(a), g.node_of(b))
+
+
+class TestWithLoops:
+    def test_degree_rises_by_one(self):
+        g = kautz_graph_with_loops(3, 2)
+        assert is_regular(g, 4)
+        assert g.num_loops() == g.num_nodes
+
+    def test_loop_at_every_node(self):
+        g = kautz_graph_with_loops(2, 2)
+        for u in range(g.num_nodes):
+            assert g.has_arc(u, u)
+
+    def test_name(self):
+        assert "KG+" in kautz_graph_with_loops(2, 2).name

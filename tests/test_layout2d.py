@@ -1,0 +1,75 @@
+"""Unit tests for the 2-D lenslet-array OTIS layout."""
+
+import pytest
+
+from repro.optical import OTIS2DLayout
+
+
+class TestReceiverMap:
+    def test_documented_example(self):
+        lay = OTIS2DLayout(2, 2, 3, 2)
+        assert lay.receiver_of((0, 0), (0, 0)) == ((2, 1), (1, 1))
+
+    def test_corner_cases(self):
+        lay = OTIS2DLayout(2, 2, 3, 2)
+        assert lay.receiver_of((1, 1), (2, 1)) == ((0, 0), (0, 0))
+
+    def test_bounds(self):
+        lay = OTIS2DLayout(2, 2, 3, 2)
+        with pytest.raises(IndexError):
+            lay.receiver_of((2, 0), (0, 0))
+        with pytest.raises(IndexError):
+            lay.receiver_of((0, 0), (3, 0))
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            OTIS2DLayout(0, 2, 3, 2)
+
+
+class TestFactorization:
+    @pytest.mark.parametrize(
+        "gx,gy,tx,ty",
+        [(1, 1, 1, 1), (2, 2, 3, 2), (1, 3, 6, 2), (3, 2, 2, 3), (4, 1, 1, 5), (2, 3, 3, 4)],
+    )
+    def test_flattening_reproduces_abstract_otis(self, gx, gy, tx, ty):
+        assert OTIS2DLayout(gx, gy, tx, ty).verify_factorization()
+
+    def test_sizes(self):
+        lay = OTIS2DLayout(2, 3, 4, 5)
+        assert lay.num_groups == 6
+        assert lay.group_size == 20
+        assert lay.abstract.num_inputs == 120
+
+    def test_flatten_inverses_are_consistent(self):
+        lay = OTIS2DLayout(2, 2, 2, 2)
+        seen = set()
+        for ix in range(2):
+            for iy in range(2):
+                for jx in range(2):
+                    for jy in range(2):
+                        seen.add(lay.flatten_tx((ix, iy), (jx, jy)))
+        assert len(seen) == 16
+
+
+class TestFiguresOfMerit:
+    def test_aperture(self):
+        lay = OTIS2DLayout(2, 2, 3, 2)
+        assert lay.aperture_shape() == (6, 4)
+        assert lay.aspect_ratio() == pytest.approx(1.5)
+        assert lay.max_transverse_throw() == 6.0
+
+    def test_best_factorization_beats_strip(self):
+        strip = OTIS2DLayout(1, 3, 1, 12)  # the 1-D drawing of Fig. 1
+        best = OTIS2DLayout.best_factorization(3, 12)
+        assert best.aspect_ratio() <= strip.aspect_ratio()
+        assert best.verify_factorization()
+
+    def test_best_factorization_square_when_possible(self):
+        best = OTIS2DLayout.best_factorization(4, 4)
+        assert best.aspect_ratio() == pytest.approx(1.0)
+
+    def test_best_preserves_shape(self):
+        best = OTIS2DLayout.best_factorization(5, 7)  # primes: strip only
+        assert best.num_groups == 5
+        assert best.group_size == 7
+        assert best.verify_factorization()

@@ -1,0 +1,77 @@
+"""Unit tests for the line-digraph operator (Fig. 6 identity)."""
+
+import pytest
+
+from repro.graphs import (
+    are_isomorphic,
+    complete_digraph,
+    diameter,
+    is_regular,
+    iterated_line_digraph,
+    kautz_graph,
+    line_digraph,
+)
+from repro.graphs.digraph import DiGraph
+
+
+class TestSizeLaws:
+    def test_node_count_equals_arc_count(self):
+        g = complete_digraph(4)
+        lg = line_digraph(g)
+        assert lg.num_nodes == g.num_arcs
+
+    def test_arc_count_sum_indeg_outdeg(self):
+        g = DiGraph(3, [(0, 1), (0, 2), (1, 2), (2, 0), (2, 2)])
+        lg = line_digraph(g)
+        expected = sum(g.in_degree(v) * g.out_degree(v) for v in range(3))
+        assert lg.num_arcs == expected
+
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_regular_scaling(self, d):
+        g = complete_digraph(d + 1)
+        lg = line_digraph(g)
+        assert lg.num_nodes == d * g.num_nodes
+        assert is_regular(lg, d)
+
+    def test_diameter_increases_by_one(self):
+        g = kautz_graph(2, 2)
+        assert diameter(line_digraph(g)) == diameter(g) + 1
+
+
+class TestLabels:
+    def test_labels_are_arc_pairs(self):
+        g = DiGraph(2, [(0, 1)], labels=["a", "b"])
+        lg = line_digraph(g)
+        assert lg.label_of(0) == ("a", "b")
+
+    def test_parallel_arcs_get_counters(self):
+        g = DiGraph(2, [(0, 1), (0, 1), (1, 0)])
+        lg = line_digraph(g)
+        labels = set(lg.labels)
+        assert (0, 1, 0) in labels and (0, 1, 1) in labels
+
+    def test_loop_becomes_loop(self):
+        g = DiGraph(1, [(0, 0)])
+        lg = line_digraph(g)
+        assert lg.num_nodes == 1
+        assert lg.has_arc(0, 0)
+
+
+class TestKautzIdentity:
+    """Fig. 6: KG(d, k) == L^{k-1}(K_{d+1})."""
+
+    @pytest.mark.parametrize("d,k", [(2, 1), (2, 2), (2, 3), (3, 2), (3, 3), (4, 2)])
+    def test_iterated_line_of_complete_is_kautz(self, d, k):
+        lg = iterated_line_digraph(complete_digraph(d + 1), k - 1)
+        assert are_isomorphic(lg, kautz_graph(d, k))
+
+    def test_zero_iterations_identity(self):
+        g = complete_digraph(3)
+        assert iterated_line_digraph(g, 0) == g
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            iterated_line_digraph(complete_digraph(3), -1)
+
+    def test_line_of_kautz_is_next_kautz(self):
+        assert are_isomorphic(line_digraph(kautz_graph(2, 2)), kautz_graph(2, 3))

@@ -1,0 +1,179 @@
+"""Unit tests for POPS / stack-Kautz / stack-Imase-Itoh topologies."""
+
+import pytest
+
+from repro.graphs import is_kautz_word
+from repro.networks import (
+    POPSNetwork,
+    StackImaseItohNetwork,
+    StackKautzNetwork,
+)
+
+
+class TestPOPSNetwork:
+    @pytest.fixture
+    def net(self):
+        return POPSNetwork(4, 2)  # paper Fig. 4
+
+    def test_sizes(self, net):
+        assert net.num_processors == 8
+        assert net.num_couplers == 4
+        assert net.transmitters_per_processor == 2
+        assert net.receivers_per_processor == 2
+
+    def test_processor_numbering(self, net):
+        assert net.processor_id(0, 0) == 0
+        assert net.processor_id(1, 3) == 7
+        assert net.group_of(5) == 1
+        assert net.group_members(0).tolist() == [0, 1, 2, 3]
+
+    def test_coupler_labels(self, net):
+        assert net.coupler_label_between(0, 1) == (0, 1)
+        couplers = net.couplers()
+        assert len(couplers) == 4
+        assert [c.label for c in couplers] == [(0, 0), (0, 1), (1, 0), (1, 1)]
+        assert all(c.degree == 4 for c in couplers)
+
+    def test_single_hop(self, net):
+        assert net.is_single_hop()
+
+    def test_route(self, net):
+        assert net.route(0, 7) == (0, 1)
+        assert net.route(5, 2) == (1, 0)
+        assert net.transmitter_port(0, 7) == 1
+
+    def test_stack_model_is_complete_with_loops(self, net):
+        model = net.stack_graph_model()
+        assert model.num_hyperarcs == 4
+        assert model.base.num_loops() == 2
+
+    def test_bounds(self, net):
+        with pytest.raises(IndexError):
+            net.processor_id(2, 0)
+        with pytest.raises(IndexError):
+            net.processor_id(0, 4)
+        with pytest.raises(IndexError):
+            net.group_of(8)
+        with pytest.raises(ValueError):
+            POPSNetwork(0, 2)
+
+    def test_str(self, net):
+        assert str(net) == "POPS(4,2)"
+
+
+class TestStackKautzNetwork:
+    @pytest.fixture
+    def net(self):
+        return StackKautzNetwork(6, 3, 2)  # paper Fig. 7
+
+    def test_paper_fig7_facts(self, net):
+        """SK(6,3,2): 72 processors, 12 groups of 6, degree 4, diameter 2."""
+        assert net.num_processors == 72
+        assert net.num_groups == 12
+        assert net.processor_degree == 4
+        assert net.diameter == 2
+        assert net.num_couplers == 48
+
+    def test_labels(self, net):
+        assert net.label_of(0) == (0, 0)
+        assert net.label_of(71) == (11, 5)
+        assert net.processor_id(11, 5) == 71
+
+    def test_group_words(self, net):
+        for x in range(net.num_groups):
+            w = net.group_word(x)
+            assert is_kautz_word(w, 3)
+            assert net.group_of_word(w) == x
+
+    def test_group_word_length_check(self, net):
+        with pytest.raises(ValueError):
+            net.group_of_word((0, 1, 2))
+
+    def test_group_successors(self, net):
+        for x in range(net.num_groups):
+            succ = net.group_successors(x)
+            assert len(succ) == 3
+            assert x not in succ  # Kautz graphs are loopless
+
+    def test_base_graph_is_kg_plus(self, net):
+        base = net.base_graph()
+        assert base.num_nodes == 12
+        assert (base.out_degrees() == 4).all()
+        assert base.num_loops() == 12
+
+    def test_hop_distance(self, net):
+        assert net.hop_distance(0, 0) == 0
+        assert net.hop_distance(0, 1) == 1  # sibling via loop
+        assert 1 <= net.hop_distance(0, 70) <= 2
+
+    def test_verify_definition(self, net):
+        net.verify_definition()
+
+    def test_verify_definition_other_params(self):
+        StackKautzNetwork(2, 2, 3).verify_definition()
+        StackKautzNetwork(1, 2, 2).verify_definition()
+        StackKautzNetwork(4, 4, 1).verify_definition()
+
+    def test_couplers_match_model(self, net):
+        couplers = net.couplers()
+        model = net.stack_graph_model()
+        assert len(couplers) == model.num_hyperarcs
+        for c, ha in zip(couplers, model.hyperarcs):
+            assert c.degree == 6
+            u, v = c.label
+            assert ha.sources == tuple(net.group_members(u).tolist())
+            assert ha.targets == tuple(net.group_members(v).tolist())
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            StackKautzNetwork(0, 3, 2)
+        with pytest.raises(ValueError):
+            StackKautzNetwork(6, 0, 2)
+        with pytest.raises(ValueError):
+            StackKautzNetwork(6, 3, 0)
+
+    def test_str(self, net):
+        assert str(net) == "SK(6,3,2)"
+
+
+class TestStackImaseItohNetwork:
+    @pytest.fixture
+    def net(self):
+        return StackImaseItohNetwork(4, 3, 10)
+
+    def test_sizes(self, net):
+        assert net.num_processors == 40
+        assert net.processor_degree == 4
+        assert net.num_couplers == 40
+        assert net.diameter_bound == 3
+
+    def test_any_group_count_allowed(self):
+        # sizes with no Kautz equivalent
+        for n in (5, 7, 10, 11, 13):
+            net = StackImaseItohNetwork(2, 2, n)
+            assert net.num_groups == n
+
+    def test_base_graph_has_extra_loops(self, net):
+        base = net.base_graph()
+        for u in range(net.num_groups):
+            assert base.has_arc(u, u)
+        assert (base.out_degrees() == 4).all()
+
+    def test_labels(self, net):
+        assert net.label_of(0) == (0, 0)
+        assert net.processor_id(9, 3) == 39
+        with pytest.raises(IndexError):
+            net.label_of(40)
+
+    def test_group_members(self, net):
+        assert net.group_members(2).tolist() == [8, 9, 10, 11]
+
+    def test_model_consistency(self, net):
+        model = net.stack_graph_model()
+        assert model.num_nodes == 40
+        assert model.num_hyperarcs == 40
+        model.validate_against_base()
+
+    def test_d1_rejected(self):
+        with pytest.raises(ValueError):
+            StackImaseItohNetwork(2, 1, 5)

@@ -1,0 +1,163 @@
+"""Unit tests for optical components, OPS couplers and power budgets."""
+
+import math
+
+import pytest
+
+from repro.optical import (
+    NOMINAL,
+    BeamSplitter,
+    CollisionError,
+    LensPair,
+    OPSCoupler,
+    OpticalFiber,
+    OpticalMultiplexer,
+    PowerBudget,
+    Receiver,
+    Transmitter,
+    max_ops_degree,
+    splitting_loss_db,
+)
+
+
+class TestSplittingLoss:
+    def test_values(self):
+        assert splitting_loss_db(1) == 0.0
+        assert splitting_loss_db(2) == pytest.approx(10 * math.log10(2))
+        assert splitting_loss_db(10) == pytest.approx(10.0)
+
+    def test_monotone(self):
+        assert splitting_loss_db(8) > splitting_loss_db(4)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            splitting_loss_db(0)
+
+
+class TestComponents:
+    def test_negative_loss_rejected(self):
+        with pytest.raises(ValueError):
+            LensPair(insertion_loss_db=-0.1)
+
+    def test_mux_fan_in(self):
+        with pytest.raises(ValueError):
+            OpticalMultiplexer(fan_in=0)
+
+    def test_splitter_total_loss(self):
+        s = BeamSplitter(insertion_loss_db=1.0, fan_out=4)
+        assert s.total_loss_db() == pytest.approx(1.0 + splitting_loss_db(4))
+
+    def test_fiber_total_loss_scales_with_length(self):
+        short = OpticalFiber(length_m=1.0)
+        long = OpticalFiber(length_m=1000.0)
+        assert long.total_loss_db() > short.total_loss_db()
+        assert long.total_loss_db() == pytest.approx(
+            short.insertion_loss_db + short.attenuation_db_per_km
+        )
+
+    def test_fiber_invalid(self):
+        with pytest.raises(ValueError):
+            OpticalFiber(length_m=-1.0)
+
+    def test_nominal_registry(self):
+        assert set(NOMINAL) == {
+            "transmitter",
+            "receiver",
+            "lens_pair",
+            "multiplexer",
+            "beam_splitter",
+            "fiber",
+        }
+
+
+class TestOPSCoupler:
+    def test_degree(self):
+        assert OPSCoupler(4, 4).degree == 4
+
+    def test_degree_requires_square(self):
+        with pytest.raises(ValueError):
+            _ = OPSCoupler(4, 5).degree
+
+    def test_passive(self):
+        assert OPSCoupler(2, 2).is_passive
+
+    def test_broadcast_reaches_all_outputs(self):
+        assert OPSCoupler(3, 5).broadcast(1) == (1,) * 5
+
+    def test_broadcast_bad_input(self):
+        with pytest.raises(IndexError):
+            OPSCoupler(3, 3).broadcast(3)
+
+    def test_arbitrate_empty(self):
+        assert OPSCoupler(3, 3).arbitrate([]) == ()
+
+    def test_arbitrate_single(self):
+        assert OPSCoupler(3, 3).arbitrate([2, 2]) == (2, 2, 2)
+
+    def test_arbitrate_collision(self):
+        with pytest.raises(CollisionError):
+            OPSCoupler(3, 3, label="x").arbitrate([0, 1])
+
+    def test_arbitrate_bad_index(self):
+        with pytest.raises(IndexError):
+            OPSCoupler(3, 3).arbitrate([5])
+
+    def test_loss_structure(self):
+        ops = OPSCoupler(8, 8)
+        assert ops.splitting_loss_db() == pytest.approx(splitting_loss_db(8))
+        assert ops.total_loss_db() == pytest.approx(
+            ops.multiplexer.insertion_loss_db
+            + ops.splitter.insertion_loss_db
+            + splitting_loss_db(8)
+        )
+
+    def test_mismatched_parts_rejected(self):
+        with pytest.raises(ValueError):
+            OPSCoupler(4, 4, multiplexer=OpticalMultiplexer(fan_in=3))
+        with pytest.raises(ValueError):
+            OPSCoupler(4, 4, splitter=BeamSplitter(fan_out=5))
+
+    def test_str(self):
+        assert "OPS(4,4)" in str(OPSCoupler(4, 4, label=(0, 1)))
+
+
+class TestPowerBudget:
+    def test_loss_sums_components(self):
+        b = PowerBudget(
+            Transmitter(),
+            (LensPair(insertion_loss_db=1.0), BeamSplitter(insertion_loss_db=1.0, fan_out=4)),
+            Receiver(),
+        )
+        assert b.total_loss_db() == pytest.approx(2.0 + splitting_loss_db(4))
+
+    def test_received_power(self):
+        b = PowerBudget(Transmitter(power_dbm=3.0), (LensPair(insertion_loss_db=1.0),), Receiver())
+        assert b.received_power_dbm() == pytest.approx(2.0)
+
+    def test_margin_and_feasibility(self):
+        b = PowerBudget(
+            Transmitter(power_dbm=0.0),
+            (BeamSplitter(insertion_loss_db=0.0, fan_out=1000),),
+            Receiver(sensitivity_dbm=-30.0),
+        )
+        # 10*log10(1000) = 30 dB of splitting eats the whole budget
+        assert b.margin_db() == pytest.approx(0.0, abs=1e-9)
+        assert b.is_feasible()
+        assert not b.is_feasible(required_margin_db=1.0)
+
+    def test_fiber_counts_distance(self):
+        b = PowerBudget(Transmitter(), (OpticalFiber(length_m=2000.0),), Receiver())
+        assert b.total_loss_db() == pytest.approx(0.5 + 0.35 * 2.0)
+
+
+class TestMaxOPSDegree:
+    def test_documented_value(self):
+        assert max_ops_degree(Transmitter(power_dbm=0), 4.0, Receiver(sensitivity_dbm=-30)) == 158
+
+    def test_zero_when_infeasible(self):
+        assert max_ops_degree(Transmitter(power_dbm=0), 40.0, Receiver(sensitivity_dbm=-30)) == 0
+
+    def test_monotone_in_power(self):
+        lo = max_ops_degree(Transmitter(power_dbm=0), 4.0, Receiver())
+        hi = max_ops_degree(Transmitter(power_dbm=3), 4.0, Receiver())
+        assert hi > lo

@@ -1,0 +1,144 @@
+"""Unit tests for the OTIS transpose architecture and lens layout (Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.optical import OTIS, OTISLayout
+
+
+class TestTransposeMap:
+    def test_paper_formula(self):
+        """(i, j) -> (T-1-j, G-1-i) for OTIS(3, 6)."""
+        o = OTIS(3, 6)
+        assert o.receiver_of(0, 0) == (5, 2)
+        assert o.receiver_of(2, 5) == (0, 0)
+        assert o.receiver_of(1, 3) == (2, 1)
+
+    def test_inverse_map(self):
+        o = OTIS(3, 6)
+        for i in range(3):
+            for j in range(6):
+                a, b = o.receiver_of(i, j)
+                assert o.transmitter_of(a, b) == (i, j)
+
+    def test_sizes(self):
+        o = OTIS(3, 6)
+        assert o.num_inputs == o.num_outputs == 18
+        assert o.num_lenses == 9  # 3 + 6, as drawn in Fig. 1
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            OTIS(0, 5)
+        with pytest.raises(ValueError):
+            OTIS(5, 0)
+
+    def test_index_checks(self):
+        o = OTIS(3, 6)
+        with pytest.raises(IndexError):
+            o.receiver_of(3, 0)
+        with pytest.raises(IndexError):
+            o.receiver_of(0, 6)
+        with pytest.raises(IndexError):
+            o.transmitter_of(6, 0)
+        with pytest.raises(IndexError):
+            o.flat_receiver_of(18)
+
+
+class TestPermutation:
+    @pytest.mark.parametrize("g,t", [(1, 1), (2, 3), (3, 6), (4, 4), (5, 2), (7, 7)])
+    def test_is_permutation(self, g, t):
+        perm = OTIS(g, t).permutation()
+        assert np.array_equal(np.sort(perm), np.arange(g * t))
+
+    def test_flat_formula(self):
+        """Flat form: q = G*T - 1 - (j*G + i)."""
+        o = OTIS(3, 6)
+        for p in range(18):
+            i, j = divmod(p, 6)
+            assert o.flat_receiver_of(p) == 18 - 1 - (j * 3 + i)
+
+    def test_permutation_matches_scalar(self):
+        o = OTIS(4, 5)
+        perm = o.permutation()
+        for p in range(20):
+            assert perm[p] == o.flat_receiver_of(p)
+
+    def test_inverse_permutation(self):
+        o = OTIS(3, 6)
+        perm, inv = o.permutation(), o.inverse_permutation()
+        assert np.array_equal(inv[perm], np.arange(18))
+
+    def test_inverse_system_composition(self):
+        o = OTIS(3, 6)
+        back = o.inverse_system()
+        assert back.num_groups == 6 and back.group_size == 3
+        assert np.array_equal(back.permutation()[o.permutation()], np.arange(18))
+
+
+class TestAlgebra:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 6])
+    def test_square_is_involution(self, n):
+        assert OTIS(n, n).is_involution()
+
+    def test_non_square_not_involution(self):
+        assert not OTIS(2, 3).is_involution()
+
+    def test_fixed_points_antidiagonal(self):
+        o = OTIS(4, 4)
+        fp = o.fixed_points()
+        expected = [i * 4 + (3 - i) for i in range(4)]
+        assert fp.tolist() == expected
+
+    def test_str(self):
+        assert str(OTIS(3, 6)) == "OTIS(3,6)"
+
+
+class TestLayout:
+    @pytest.fixture
+    def layout(self):
+        return OTISLayout(OTIS(3, 6))
+
+    def test_positions(self, layout):
+        assert layout.transmitter_position(0, 0) == 0.0
+        assert layout.transmitter_position(2, 5) == 17.0
+        assert layout.receiver_position(5, 2) == 17.0
+        assert layout.plane1_lens_position(0) == 2.5
+        assert layout.plane2_lens_position(0) == 1.0
+
+    def test_position_bounds(self, layout):
+        with pytest.raises(IndexError):
+            layout.plane1_lens_position(3)
+        with pytest.raises(IndexError):
+            layout.plane2_lens_position(6)
+
+    def test_trace_endpoints(self, layout):
+        tr = layout.trace(0, 0)
+        assert tr.transmitter == (0, 0)
+        assert tr.receiver == (5, 2)
+        assert tr.points[0] == (0.0, 0.0)
+        assert tr.points[-1][0] == 3.0
+
+    def test_trace_lens_assignment(self, layout):
+        tr = layout.trace(1, 4)
+        # beam uses plane-1 lens of its own group...
+        assert tr.points[1][1] == layout.plane1_lens_position(1)
+        # ...and plane-2 lens of its receiver block
+        assert tr.points[2][1] == layout.plane2_lens_position(tr.receiver[0])
+
+    @pytest.mark.parametrize("g,t", [(2, 2), (3, 6), (4, 3), (5, 5)])
+    def test_geometry_realizes_transpose(self, g, t):
+        assert OTISLayout(OTIS(g, t)).verify_transpose_geometry()
+
+    def test_crossings_positive(self, layout):
+        assert layout.crossing_count() > 0
+
+    def test_trivial_crossings(self):
+        assert OTISLayout(OTIS(1, 1)).crossing_count() == 0
+
+    def test_ascii_render_mentions_every_lens(self, layout):
+        art = layout.render_ascii()
+        assert "OTIS(3,6)" in art
+        for i in range(3):
+            assert f"[lens1 #{i}]" in art
+        for a in range(6):
+            assert f"[lens2 #{a}]" in art

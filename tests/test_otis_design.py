@@ -1,0 +1,160 @@
+"""Unit tests for Proposition 1, Corollary 1 and the group blocks."""
+
+import pytest
+
+from repro.graphs import imase_itoh_graph, imase_itoh_successors, kautz_num_nodes
+from repro.networks import (
+    GroupReceiveBlock,
+    GroupTransmitBlock,
+    OTISImaseItohRealization,
+    imase_itoh_view,
+    otis_for_kautz,
+)
+from repro.optical import OTIS
+
+
+class TestProposition1:
+    @pytest.fixture
+    def r(self):
+        return OTISImaseItohRealization(3, 12)  # paper Fig. 10
+
+    def test_input_association(self, r):
+        """Input (i, j) -> node (n*i + j) // d, and its inverse."""
+        assert r.node_of_input(0, 0) == 0
+        assert r.node_of_input(0, 11) == 3
+        assert r.node_of_input(2, 11) == 11
+        assert r.inputs_of_node(0) == [(0, 0), (0, 1), (0, 2)]
+        assert r.inputs_of_node(4) == [(1, 0), (1, 1), (1, 2)]
+
+    def test_input_association_consistency(self, r):
+        for i in range(3):
+            for j in range(12):
+                u = r.node_of_input(i, j)
+                assert (i, j) in r.inputs_of_node(u)
+
+    def test_output_association(self, r):
+        assert r.node_of_output(5, 1) == 5
+        assert r.outputs_of_node(5) == [(5, 0), (5, 1), (5, 2)]
+
+    def test_realized_successors_match_definition(self, r):
+        for u in range(12):
+            assert r.realized_successors(u) == imase_itoh_successors(u, 3, 12)
+
+    def test_realized_graph_equals_ii(self, r):
+        assert r.realized_graph() == imase_itoh_graph(3, 12)
+
+    @pytest.mark.parametrize(
+        "d,n",
+        [(1, 1), (2, 2), (2, 5), (2, 6), (3, 7), (3, 12), (4, 20), (5, 30), (3, 36), (2, 48)],
+    )
+    def test_verify_sweep(self, d, n):
+        assert OTISImaseItohRealization(d, n).verify()
+
+    def test_port_maps(self, r):
+        assert r.input_port_of_arc(0, 1) == 0
+        assert r.input_port_of_arc(4, 3) == 14
+        # the arc of offset a out of u lands in output group (-3u-a) % 12
+        for u in range(12):
+            for a in range(1, 4):
+                q = r.output_port_of_arc(u, a)
+                assert q // 3 == (-3 * u - a) % 12
+
+    def test_port_map_bounds(self, r):
+        with pytest.raises(ValueError):
+            r.input_port_of_arc(0, 0)
+        with pytest.raises(ValueError):
+            r.input_port_of_arc(0, 4)
+        with pytest.raises(IndexError):
+            r.inputs_of_node(12)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            OTISImaseItohRealization(0, 5)
+        with pytest.raises(ValueError):
+            OTISImaseItohRealization(3, 0)
+
+
+class TestCorollaries:
+    @pytest.mark.parametrize("d,k", [(2, 2), (2, 3), (3, 2), (3, 3), (4, 2)])
+    def test_corollary_1(self, d, k):
+        """KG(d,k) realizable with OTIS(d, d^{k-1}(d+1))."""
+        r = otis_for_kautz(d, k)
+        assert r.otis.num_groups == d
+        assert r.otis.group_size == kautz_num_nodes(d, k)
+        assert r.verify()
+
+    def test_conclusion_corollary(self):
+        """OTIS(G, T) viewed as II(G, T)."""
+        g = imase_itoh_view(OTIS(3, 12))
+        assert g == imase_itoh_graph(3, 12)
+        g2 = imase_itoh_view(OTIS(4, 7))
+        assert g2 == imase_itoh_graph(4, 7)
+
+
+class TestGroupBlocks:
+    def test_fig8_transmit_block(self):
+        """Fig. 8: 6 processors to 4 multiplexers via OTIS(6, 4)."""
+        blk = GroupTransmitBlock(6, 4)
+        assert blk.otis == OTIS(6, 4)
+        assert len(blk.multiplexers) == 4
+        assert all(m.fan_in == 6 for m in blk.multiplexers)
+        assert blk.verify_full_reach()
+
+    def test_fig9_receive_block(self):
+        """Fig. 9: 3 beam-splitters to 5 processors via OTIS(3, 5)."""
+        blk = GroupReceiveBlock(3, 5)
+        assert blk.otis == OTIS(3, 5)
+        assert len(blk.splitters) == 3
+        assert all(s.fan_out == 5 for s in blk.splitters)
+        assert blk.verify_full_reach()
+
+    def test_transmit_port_mux_inverse(self):
+        blk = GroupTransmitBlock(6, 4)
+        for i in range(6):
+            for m in range(4):
+                j = blk.port_for_multiplexer(i, m)
+                assert blk.multiplexer_of(i, j)[0] == m
+
+    def test_receive_port_splitter_inverse(self):
+        blk = GroupReceiveBlock(3, 5)
+        for p in range(5):
+            for b in range(3):
+                port = blk.port_for_splitter(p, b)
+                # splitter b must hit processor p on that port
+                hits = [
+                    blk.receiver_of(b, c) for c in range(5)
+                ]
+                assert (p, port) in hits
+
+    @pytest.mark.parametrize("t,g", [(1, 1), (2, 3), (6, 4), (5, 5), (8, 2)])
+    def test_full_reach_sweep(self, t, g):
+        assert GroupTransmitBlock(t, g).verify_full_reach()
+        assert GroupReceiveBlock(g, t).verify_full_reach()
+
+    def test_mux_slot_distinct_per_processor(self):
+        """No two processors collide on a multiplexer input slot."""
+        blk = GroupTransmitBlock(6, 4)
+        for m in range(4):
+            slots = set()
+            for i in range(6):
+                j = blk.port_for_multiplexer(i, m)
+                mux, slot = blk.multiplexer_of(i, j)
+                assert mux == m
+                slots.add(slot)
+            assert slots == set(range(6))
+
+    def test_bounds(self):
+        blk = GroupTransmitBlock(6, 4)
+        with pytest.raises(IndexError):
+            blk.port_for_multiplexer(6, 0)
+        with pytest.raises(IndexError):
+            blk.port_for_multiplexer(0, 4)
+        rblk = GroupReceiveBlock(3, 5)
+        with pytest.raises(IndexError):
+            rblk.port_for_splitter(5, 0)
+        with pytest.raises(IndexError):
+            rblk.port_for_splitter(0, 3)
+        with pytest.raises(ValueError):
+            GroupTransmitBlock(0, 4)
+        with pytest.raises(ValueError):
+            GroupReceiveBlock(3, 0)

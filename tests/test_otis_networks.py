@@ -1,0 +1,92 @@
+"""Tests for OTIS-G swap networks (Zane et al. [24], paper Sec. 2.1)."""
+
+import pytest
+
+from repro.comm import hypercube_graph
+from repro.graphs import DiGraph, complete_digraph, diameter, kautz_graph
+from repro.networks import (
+    otis_network,
+    otis_network_size,
+    swap_distance_bound,
+    verify_swap_arcs_match_otis,
+)
+
+
+class TestConstruction:
+    def test_size(self):
+        factor = complete_digraph(3)
+        net = otis_network(factor)
+        assert net.num_nodes == otis_network_size(factor) == 9
+
+    def test_arc_count(self):
+        # n copies of the factor + n*(n-1) swap arcs
+        factor = complete_digraph(3)
+        net = otis_network(factor)
+        assert net.num_arcs == 3 * factor.num_arcs + 3 * 2
+
+    def test_labels_are_group_processor_pairs(self):
+        net = otis_network(complete_digraph(2))
+        assert net.label_of(0) == (0, 0)
+        assert net.label_of(3) == (1, 1)
+
+    def test_intra_group_arcs_copy_factor(self):
+        factor = kautz_graph(2, 2)
+        net = otis_network(factor)
+        n = factor.num_nodes
+        for g in range(n):
+            for p, q in factor.arcs:
+                assert net.has_arc(g * n + p, g * n + q)
+
+    def test_swap_arcs(self):
+        factor = complete_digraph(3)
+        net = otis_network(factor)
+        for g in range(3):
+            for p in range(3):
+                if g != p:
+                    assert net.has_arc(g * 3 + p, p * 3 + g)
+        # no self-swap arc
+        assert not net.has_arc(0, 0)
+
+    def test_degree(self):
+        # degree of G + 1 optical port (except the diagonal, which has
+        # no swap partner)
+        factor = complete_digraph(3)
+        net = otis_network(factor)
+        for g in range(3):
+            for p in range(3):
+                expected = 2 + (0 if g == p else 1)
+                assert net.out_degree(g * 3 + p) == expected
+
+    def test_empty_factor_rejected(self):
+        with pytest.raises(ValueError):
+            otis_network(DiGraph(0, []))
+
+
+class TestProperties:
+    @pytest.mark.parametrize(
+        "factor_builder",
+        [
+            lambda: complete_digraph(3),
+            lambda: complete_digraph(4),
+            lambda: kautz_graph(2, 2),
+            lambda: hypercube_graph(2),
+            lambda: hypercube_graph(3),
+        ],
+    )
+    def test_diameter_within_swap_bound(self, factor_builder):
+        factor = factor_builder()
+        net = otis_network(factor)
+        assert 0 < diameter(net) <= swap_distance_bound(factor)
+
+    def test_bound_tight_for_hypercube(self):
+        """OTIS-Q3: the 2*diam+1 bound of [24] is attained."""
+        q3 = hypercube_graph(3)
+        assert diameter(otis_network(q3)) == swap_distance_bound(q3) == 7
+
+    def test_bound_requires_strong_connectivity(self):
+        with pytest.raises(ValueError):
+            swap_distance_bound(DiGraph(2, [(0, 1)]))
+
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_swap_arcs_are_the_otis_hardware(self, n):
+        assert verify_swap_arcs_match_otis(complete_digraph(n))

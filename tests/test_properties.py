@@ -1,0 +1,152 @@
+"""Unit tests for whole-graph property analysis."""
+
+import pytest
+
+from repro.graphs import (
+    DiGraph,
+    average_distance,
+    complete_digraph,
+    degree_summary,
+    diameter,
+    distance_distribution,
+    eccentricities,
+    eulerian_circuit,
+    find_hamiltonian_cycle,
+    girth,
+    is_eulerian,
+    is_hamiltonian,
+    is_in_regular,
+    is_out_regular,
+    is_regular,
+    kautz_graph,
+)
+
+
+@pytest.fixture
+def cycle5():
+    return DiGraph(5, [(i, (i + 1) % 5) for i in range(5)])
+
+
+class TestDegrees:
+    def test_summary(self, cycle5):
+        s = degree_summary(cycle5)
+        assert (s.min_out, s.max_out, s.min_in, s.max_in) == (1, 1, 1, 1)
+        assert s.regular_degree == 1
+
+    def test_summary_irregular(self):
+        g = DiGraph(3, [(0, 1), (0, 2)])
+        s = degree_summary(g)
+        assert s.regular_degree is None
+
+    def test_empty_graph_summary(self):
+        s = degree_summary(DiGraph(0, []))
+        assert s.regular_degree == 0
+
+    def test_regularity_predicates(self, cycle5):
+        assert is_out_regular(cycle5, 1)
+        assert is_in_regular(cycle5, 1)
+        assert is_regular(cycle5, 1)
+        assert not is_regular(cycle5, 2)
+
+
+class TestDistances:
+    def test_diameter_cycle(self, cycle5):
+        assert diameter(cycle5) == 4
+
+    def test_diameter_disconnected(self):
+        assert diameter(DiGraph(2, [(0, 1)])) == -1
+
+    def test_diameter_trivial(self):
+        assert diameter(DiGraph(0, [])) == 0
+        assert diameter(DiGraph(1, [])) == 0
+
+    def test_eccentricities(self, cycle5):
+        assert eccentricities(cycle5).tolist() == [4] * 5
+
+    def test_average_distance_cycle(self, cycle5):
+        # distances 1..4 from each node: mean = 2.5
+        assert average_distance(cycle5) == pytest.approx(2.5)
+
+    def test_average_distance_disconnected_raises(self):
+        with pytest.raises(ValueError):
+            average_distance(DiGraph(2, [(0, 1)]))
+
+    def test_average_distance_single_node(self):
+        assert average_distance(DiGraph(1, [])) == 0.0
+
+    def test_distance_distribution(self, cycle5):
+        h = distance_distribution(cycle5)
+        assert h.tolist() == [5, 5, 5, 5, 5]
+        assert h.sum() == 25
+
+    def test_distribution_counts_unreachable_by_omission(self):
+        g = DiGraph(2, [(0, 1)])
+        h = distance_distribution(g)
+        assert h.sum() == 3  # (0,0),(1,1),(0,1); (1,0) missing
+
+
+class TestEuler:
+    @pytest.mark.parametrize("d,k", [(2, 2), (2, 3), (3, 2)])
+    def test_kautz_is_eulerian(self, d, k):
+        assert is_eulerian(kautz_graph(d, k))
+
+    def test_unbalanced_not_eulerian(self):
+        assert not is_eulerian(DiGraph(3, [(0, 1), (0, 2), (1, 0), (2, 0), (0, 1)]))
+
+    def test_empty_not_eulerian(self):
+        assert not is_eulerian(DiGraph(3, []))
+
+    def test_circuit_covers_every_arc_once(self):
+        g = kautz_graph(2, 2)
+        circuit = eulerian_circuit(g)
+        assert len(circuit) == g.num_arcs + 1
+        assert circuit[0] == circuit[-1]
+        used = list(zip(circuit, circuit[1:]))
+        assert len(used) == len(set(used)) == g.num_arcs
+        for a, b in used:
+            assert g.has_arc(a, b)
+
+    def test_circuit_rejects_non_eulerian(self):
+        with pytest.raises(ValueError):
+            eulerian_circuit(DiGraph(2, [(0, 1)]))
+
+
+class TestHamilton:
+    @pytest.mark.parametrize("d,k", [(2, 2), (2, 3), (3, 2)])
+    def test_kautz_is_hamiltonian(self, d, k):
+        cycle = find_hamiltonian_cycle(kautz_graph(d, k))
+        assert cycle is not None
+        g = kautz_graph(d, k)
+        assert len(cycle) == g.num_nodes + 1
+        assert sorted(cycle[:-1]) == list(range(g.num_nodes))
+        for a, b in zip(cycle, cycle[1:]):
+            assert g.has_arc(a, b)
+
+    def test_complete_is_hamiltonian(self):
+        assert is_hamiltonian(complete_digraph(5))
+
+    def test_dag_not_hamiltonian(self):
+        assert not is_hamiltonian(DiGraph(3, [(0, 1), (1, 2)]))
+
+    def test_single_node_with_loop(self):
+        assert find_hamiltonian_cycle(DiGraph(1, [(0, 0)])) == [0, 0]
+
+    def test_single_node_without_loop(self):
+        assert find_hamiltonian_cycle(DiGraph(1, [])) is None
+
+    def test_empty(self):
+        assert find_hamiltonian_cycle(DiGraph(0, [])) is None
+
+
+class TestGirth:
+    def test_loop_gives_one(self):
+        assert girth(DiGraph(2, [(0, 0), (0, 1)])) == 1
+
+    def test_two_cycle(self):
+        assert girth(kautz_graph(2, 2)) == 2  # 01 <-> 10
+
+    def test_long_cycle(self):
+        assert girth(DiGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])) == 4
+
+    def test_acyclic(self):
+        assert girth(DiGraph(3, [(0, 1), (1, 2)])) == -1

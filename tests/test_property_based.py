@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Each property encodes a law the paper's constructions must satisfy for
+*every* parameter choice, not just the figure-sized examples.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    DiGraph,
+    check_isomorphism,
+    imase_itoh_graph,
+    imase_itoh_index_to_kautz_word,
+    imase_itoh_successors,
+    is_kautz_word,
+    kautz_graph,
+    kautz_index_to_word,
+    kautz_num_nodes,
+    kautz_word_to_imase_itoh_index,
+    kautz_word_to_index,
+    line_digraph,
+)
+from repro.networks import OTISImaseItohRealization, POPSDesign, StackKautzDesign
+from repro.optical import OTIS
+from repro.routing import FaultSet, fault_tolerant_route, kautz_distance, kautz_route
+
+# Small-but-diverse parameter strategies; sizes stay test-suite friendly.
+dims = st.tuples(st.integers(2, 5), st.integers(1, 3)).filter(
+    lambda dk: kautz_num_nodes(*dk) <= 150
+)
+otis_shapes = st.tuples(st.integers(1, 12), st.integers(1, 12))
+
+
+class TestOTISProperties:
+    @given(otis_shapes)
+    def test_permutation_is_bijection(self, shape):
+        g, t = shape
+        perm = OTIS(g, t).permutation()
+        assert np.array_equal(np.sort(perm), np.arange(g * t))
+
+    @given(otis_shapes)
+    def test_inverse_system_inverts(self, shape):
+        g, t = shape
+        o = OTIS(g, t)
+        perm = o.permutation()
+        back = o.inverse_system().permutation()
+        assert np.array_equal(back[perm], np.arange(g * t))
+
+    @given(st.integers(1, 12))
+    def test_square_involution(self, n):
+        assert OTIS(n, n).is_involution()
+
+    @given(otis_shapes)
+    def test_scalar_matches_vector(self, shape):
+        g, t = shape
+        o = OTIS(g, t)
+        perm = o.permutation()
+        for p in range(0, g * t, max(1, (g * t) // 7)):
+            assert perm[p] == o.flat_receiver_of(p)
+
+
+class TestKautzWordProperties:
+    @given(dims, st.data())
+    def test_index_word_roundtrip(self, dk, data):
+        d, k = dk
+        n = kautz_num_nodes(d, k)
+        i = data.draw(st.integers(0, n - 1))
+        w = kautz_index_to_word(i, d, k)
+        assert is_kautz_word(w, d)
+        assert kautz_word_to_index(w, d) == i
+
+    @given(dims, st.data())
+    def test_ii_isomorphism_roundtrip(self, dk, data):
+        d, k = dk
+        n = kautz_num_nodes(d, k)
+        w_idx = data.draw(st.integers(0, n - 1))
+        word = imase_itoh_index_to_kautz_word(w_idx, d, k)
+        assert kautz_word_to_imase_itoh_index(word, d) == w_idx
+
+    @given(dims, st.data())
+    def test_word_arcs_map_to_ii_arcs(self, dk, data):
+        d, k = dk
+        n = kautz_num_nodes(d, k)
+        u = data.draw(st.integers(0, n - 1))
+        word = imase_itoh_index_to_kautz_word(u, d, k)
+        for z in range(d + 1):
+            if z != word[-1]:
+                v = kautz_word_to_imase_itoh_index(word[1:] + (z,), d)
+                assert v in imase_itoh_successors(u, d, n)
+
+
+class TestProposition1Property:
+    @given(st.tuples(st.integers(1, 5), st.integers(1, 40)))
+    @settings(max_examples=40)
+    def test_otis_realizes_ii(self, dn):
+        d, n = dn
+        assert OTISImaseItohRealization(d, n).verify()
+
+
+class TestLineDigraphProperties:
+    @given(st.integers(2, 8), st.integers(0, 40), st.data())
+    @settings(max_examples=30)
+    def test_size_laws_random_graphs(self, n, m, data):
+        arcs = [
+            (data.draw(st.integers(0, n - 1)), data.draw(st.integers(0, n - 1)))
+            for _ in range(m)
+        ]
+        g = DiGraph(n, arcs)
+        lg = line_digraph(g)
+        assert lg.num_nodes == g.num_arcs
+        assert lg.num_arcs == sum(
+            g.in_degree(v) * g.out_degree(v) for v in range(n)
+        )
+
+    @given(dims)
+    @settings(max_examples=15)
+    def test_line_of_kautz_is_kautz(self, dk):
+        d, k = dk
+        lg = line_digraph(kautz_graph(d, k))
+        target = kautz_graph(d, k + 1)
+        assert lg.num_nodes == target.num_nodes
+        assert lg.num_arcs == target.num_arcs
+        assert sorted(lg.out_degrees().tolist()) == sorted(
+            target.out_degrees().tolist()
+        )
+
+
+class TestRoutingProperties:
+    @given(dims, st.data())
+    @settings(max_examples=60)
+    def test_route_valid_and_bounded(self, dk, data):
+        d, k = dk
+        n = kautz_num_nodes(d, k)
+        x = kautz_index_to_word(data.draw(st.integers(0, n - 1)), d, k)
+        y = kautz_index_to_word(data.draw(st.integers(0, n - 1)), d, k)
+        route = kautz_route(x, y, d)
+        assert route[0] == x and route[-1] == y
+        assert len(route) - 1 <= k
+        for a, b in zip(route, route[1:]):
+            assert b[:-1] == a[1:] and b[-1] != a[-1]
+        assert len(route) - 1 == kautz_distance(x, y, d)
+
+    @given(dims, st.data())
+    @settings(max_examples=30)
+    def test_fault_tolerant_route_avoids_faults(self, dk, data):
+        d, k = dk
+        n = kautz_num_nodes(d, k)
+        idxs = st.integers(0, n - 1)
+        x = kautz_index_to_word(data.draw(idxs), d, k)
+        y = kautz_index_to_word(data.draw(idxs), d, k)
+        if x == y:
+            return
+        pool = [
+            kautz_index_to_word(i, d, k)
+            for i in range(n)
+            if kautz_index_to_word(i, d, k) not in (x, y)
+        ]
+        count = data.draw(st.integers(0, min(d - 1, len(pool))))
+        faults = FaultSet.of(nodes=pool[:count])
+        path = fault_tolerant_route(x, y, d, faults, max_length=k + 2)
+        assert path is not None
+        assert not faults.blocks(path)
+        assert len(path) - 1 <= k + 2
+
+
+class TestDesignProperties:
+    @given(st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=16, deadline=None)
+    def test_pops_design_always_verifies(self, t, g):
+        assert POPSDesign(t, g).verify()
+
+    @given(st.integers(1, 3), st.integers(2, 3), st.integers(1, 2))
+    @settings(max_examples=12, deadline=None)
+    def test_stack_kautz_design_always_verifies(self, s, d, k):
+        assert StackKautzDesign(s, d, k).verify()
+
+
+class TestIsomorphismProperty:
+    @given(dims, st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_explicit_kautz_ii_iso(self, dk, data):
+        _ = data
+        d, k = dk
+        kg = kautz_graph(d, k)
+        ii = imase_itoh_graph(d, kautz_num_nodes(d, k))
+        mapping = [
+            kautz_word_to_imase_itoh_index(kg.label_of(u), d)
+            for u in range(kg.num_nodes)
+        ]
+        assert check_isomorphism(kg, ii, mapping)

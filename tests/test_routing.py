@@ -1,0 +1,269 @@
+"""Unit tests for routing: label-induced, fault-tolerant, POPS, stack."""
+
+import itertools
+
+import pytest
+
+from repro.graphs import kautz_graph, kautz_words
+from repro.networks import POPSNetwork, StackKautzNetwork
+from repro.routing import (
+    FaultSet,
+    build_routing_table,
+    candidate_paths,
+    coupler_loads,
+    fault_tolerant_route,
+    kautz_distance,
+    kautz_next_hop,
+    kautz_route,
+    longest_overlap,
+    one_to_all_slots,
+    permutation_slots,
+    route_imase_itoh,
+    route_survives,
+    schedule_messages,
+    stack_kautz_distance,
+    stack_kautz_route,
+)
+
+
+class TestOverlap:
+    def test_basic(self):
+        assert longest_overlap((0, 1, 2), (1, 2, 0)) == 2
+        assert longest_overlap((0, 1), (0, 1)) == 2
+        assert longest_overlap((0, 1), (2, 0)) == 0
+
+    def test_single_letters(self):
+        assert longest_overlap((1,), (1,)) == 1
+        assert longest_overlap((1,), (2,)) == 0
+
+
+class TestKautzRoute:
+    def test_identity(self):
+        assert kautz_route((0, 1), (0, 1), 2) == [(0, 1)]
+        assert kautz_distance((0, 1), (0, 1), 2) == 0
+
+    def test_one_hop(self):
+        assert kautz_route((0, 1), (1, 2), 2) == [(0, 1), (1, 2)]
+
+    def test_example(self):
+        assert kautz_route((0, 1), (2, 0), 2) == [(0, 1), (1, 2), (2, 0)]
+
+    @pytest.mark.parametrize("d,k", [(2, 2), (2, 3), (2, 4), (3, 2), (3, 3), (4, 2)])
+    def test_route_valid_and_shortest_all_pairs(self, d, k):
+        g = kautz_graph(d, k)
+        table = build_routing_table(g)
+        words = list(kautz_words(d, k))
+        for u, wu in enumerate(words):
+            for v, wv in enumerate(words):
+                route = kautz_route(wu, wv, d)
+                # valid consecutive arcs
+                for a, b in zip(route, route[1:]):
+                    assert b[:-1] == a[1:] and b[-1] != a[-1]
+                # shortest
+                assert len(route) - 1 == table.distance(u, v)
+                assert len(route) - 1 <= k
+
+    def test_next_hop(self):
+        assert kautz_next_hop((0, 1), (2, 0), 2) == (1, 2)
+        assert kautz_next_hop((0, 1), (0, 1), 2) == (0, 1)
+
+    def test_rejects_invalid_words(self):
+        with pytest.raises(ValueError):
+            kautz_route((0, 0), (0, 1), 2)
+        with pytest.raises(ValueError):
+            kautz_route((0, 1), (0, 1, 2), 2)
+        with pytest.raises(ValueError):
+            kautz_distance((0, 1, 2), (0, 1), 2)
+
+    @pytest.mark.parametrize("d,k", [(2, 3), (3, 2)])
+    def test_route_imase_itoh_is_ii_walk(self, d, k):
+        from repro.graphs import imase_itoh_graph, kautz_num_nodes
+
+        n = kautz_num_nodes(d, k)
+        ii = imase_itoh_graph(d, n)
+        for u in range(0, n, 3):
+            for v in range(n):
+                path = route_imase_itoh(u, v, d, k)
+                assert path[0] == u and path[-1] == v
+                for a, b in zip(path, path[1:]):
+                    assert ii.has_arc(a, b)
+
+
+class TestFaultTolerant:
+    def test_candidates_cover_first_hops(self):
+        cands = candidate_paths((0, 1), (2, 0), 2)
+        first_hops = {p[1] for p in cands if len(p) > 1}
+        assert first_hops == {(1, 0), (1, 2)}
+
+    def test_candidates_sorted_by_length(self):
+        cands = candidate_paths((0, 1), (2, 0), 2)
+        lengths = [len(p) for p in cands]
+        assert lengths == sorted(lengths)
+
+    def test_candidates_simple_paths(self):
+        for p in candidate_paths((0, 1, 2), (2, 1, 0), 2):
+            assert len(set(p)) == len(p)
+
+    def test_identity(self):
+        assert candidate_paths((0, 1), (0, 1), 2) == [[(0, 1)]]
+        assert fault_tolerant_route((0, 1), (0, 1), 2, FaultSet.of()) == [(0, 1)]
+
+    def test_no_faults_gives_greedy(self):
+        p = fault_tolerant_route((0, 1), (2, 0), 2, FaultSet.of())
+        assert p == kautz_route((0, 1), (2, 0), 2)
+
+    def test_blocked_node_avoided(self):
+        greedy = kautz_route((0, 1), (2, 0), 2)
+        faults = FaultSet.of(nodes=[greedy[1]])
+        p = fault_tolerant_route((0, 1), (2, 0), 2, faults)
+        assert p is not None
+        assert greedy[1] not in p[1:-1]
+
+    def test_blocked_arc_avoided(self):
+        greedy = kautz_route((0, 1), (2, 0), 2)
+        faults = FaultSet.of(arcs=[(greedy[0], greedy[1])])
+        p = fault_tolerant_route((0, 1), (2, 0), 2, faults)
+        assert p is not None
+        assert (p[0], p[1]) != (greedy[0], greedy[1])
+
+    def test_faulty_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            fault_tolerant_route((0, 1), (2, 0), 2, FaultSet.of(nodes=[(0, 1)]))
+
+    @pytest.mark.parametrize("d,k", [(2, 2), (2, 3), (3, 2)])
+    def test_paper_k_plus_2_bound_exhaustive(self, d, k):
+        """d-1 node faults: a route of length <= k+2 always survives."""
+        words = list(kautz_words(d, k))
+        for x, y in itertools.permutations(words[: min(len(words), 8)], 2):
+            others = [w for w in words if w not in (x, y)]
+            for fs in itertools.combinations(others, d - 1):
+                faults = FaultSet.of(nodes=list(fs))
+                assert route_survives(x, y, d, faults, max_length=k + 2)
+
+    def test_arc_faults_survive(self):
+        d, k = 2, 2
+        words = list(kautz_words(d, k))
+        for x, y in itertools.permutations(words, 2):
+            arcs = [(x, nb) for nb in [x[1:] + (z,) for z in range(3) if z != x[-1]]]
+            faults = FaultSet.of(arcs=arcs[: d - 1])
+            assert route_survives(x, y, d, faults, max_length=k + 2)
+
+    def test_disconnection_returns_none(self):
+        # kill both neighbors of the source: nothing survives
+        d, k = 2, 2
+        x, y = (0, 1), (2, 1)
+        nbrs = [x[1:] + (z,) for z in range(3) if z != x[-1]]
+        faults = FaultSet.of(nodes=nbrs)
+        assert fault_tolerant_route(x, y, d, faults) is None
+
+    def test_fault_set_size(self):
+        fs = FaultSet.of(nodes=[(0, 1)], arcs=[((0, 1), (1, 2))])
+        assert fs.size == 2
+
+
+class TestPOPSRouting:
+    @pytest.fixture
+    def net(self):
+        return POPSNetwork(4, 3)
+
+    def test_coupler_loads(self, net):
+        msgs = [(0, 4), (1, 5), (2, 0), (8, 11)]
+        loads = coupler_loads(net, msgs)
+        assert loads[0, 1] == 2
+        assert loads[0, 0] == 1
+        assert loads[2, 2] == 1
+        assert loads.sum() == 4
+
+    def test_schedule_no_collisions(self, net):
+        msgs = [(0, 4), (1, 5), (2, 6), (3, 7)]  # all need coupler (0,1)
+        slots = schedule_messages(net, msgs)
+        assert len(slots) == 4
+        for slot in slots:
+            used = [net.route(s, t) for s, t in slot]
+            assert len(used) == len(set(used))
+
+    def test_schedule_parallel_couplers(self, net):
+        msgs = [(0, 4), (4, 8), (8, 0)]  # three distinct couplers
+        assert len(schedule_messages(net, msgs)) == 1
+
+    def test_permutation_slots_identity_like(self, net):
+        perm = [(p + 4) % 12 for p in range(12)]  # whole group shifts
+        assert permutation_slots(net, perm) == 4
+
+    def test_permutation_slots_group_preserving(self, net):
+        # rotate within groups: every coupler (i, i) carries 4 messages
+        perm = [(p // 4) * 4 + (p + 1) % 4 for p in range(12)]
+        assert permutation_slots(net, perm) == 4
+
+    def test_permutation_rejects_non_permutation(self, net):
+        with pytest.raises(ValueError):
+            permutation_slots(net, [0] * 12)
+
+    def test_broadcast_slots(self, net):
+        assert one_to_all_slots(net) == 1
+        assert one_to_all_slots(net, simultaneous_ports=False) == 3
+
+
+class TestStackRouting:
+    @pytest.fixture
+    def net(self):
+        return StackKautzNetwork(4, 2, 3)
+
+    def test_all_pairs_distance_consistency(self, net):
+        for src in range(0, net.num_processors, 5):
+            for dst in range(net.num_processors):
+                r = stack_kautz_route(net, src, dst)
+                assert r.num_hops == stack_kautz_distance(net, src, dst)
+                assert r.num_hops == net.hop_distance(src, dst)
+                assert r.num_hops <= net.diameter
+
+    def test_hop_chain_contiguous(self, net):
+        r = stack_kautz_route(net, 0, net.num_processors - 1)
+        g = net.label_of(0)[0]
+        for h in r.hops:
+            assert h.src_group == g
+            g = h.dst_group
+        assert g == net.label_of(net.num_processors - 1)[0]
+
+    def test_same_processor(self, net):
+        r = stack_kautz_route(net, 3, 3)
+        assert r.num_hops == 0
+
+    def test_sibling_uses_loop(self, net):
+        r = stack_kautz_route(net, 0, 1)
+        assert r.num_hops == 1
+        assert r.hops[0].is_loop
+        assert r.hops[0].tx_port == 0
+
+    def test_hop_ports_match_design_convention(self, net):
+        from repro.networks import StackKautzDesign
+
+        design = StackKautzDesign(4, 2, 3)
+        for dst in range(0, net.num_processors, 7):
+            r = stack_kautz_route(net, 0, dst)
+            for h in r.hops:
+                v, _b, fiber = design.coupler_destination(h.src_group, h.mux)
+                assert v == h.dst_group
+                assert fiber == h.is_loop
+                assert design.port_of_mux(h.mux) == h.tx_port
+
+
+class TestRoutingTable:
+    def test_verify(self):
+        assert build_routing_table(kautz_graph(2, 3)).verify()
+
+    def test_path_reconstruction(self):
+        t = build_routing_table(kautz_graph(2, 2))
+        p = t.path(0, 5)
+        assert p is not None and p[0] == 0 and p[-1] == 5
+
+    def test_unreachable(self):
+        from repro.graphs import DiGraph
+
+        t = build_routing_table(DiGraph(2, [(0, 1)]))
+        assert t.path(1, 0) is None
+        assert t.distance(1, 0) == -1
+
+    def test_diameter_from_table(self):
+        t = build_routing_table(kautz_graph(3, 2))
+        assert t.eccentricity_matrix_max == 2

@@ -1,0 +1,235 @@
+"""Unit tests for the slotted simulator, policies, traffic and metrics."""
+
+import pytest
+
+from repro.hypergraphs import DirectedHypergraph, Hyperarc
+from repro.networks import POPSNetwork, StackImaseItohNetwork, StackKautzNetwork
+from repro.simulation import (
+    FurthestFirst,
+    Message,
+    OldestFirst,
+    RandomChoice,
+    SlottedSimulator,
+    bernoulli_stream,
+    broadcast_traffic,
+    group_local_traffic,
+    hotspot_traffic,
+    permutation_traffic,
+    pops_simulator,
+    run_traffic,
+    stack_imase_itoh_simulator,
+    stack_kautz_simulator,
+    summarize,
+    uniform_traffic,
+)
+
+
+def tiny_network():
+    """Two couplers: 0,1 -> 2,3 and 2,3 -> 0,1."""
+    return DirectedHypergraph(
+        4,
+        [Hyperarc((0, 1), (2, 3)), Hyperarc((2, 3), (0, 1))],
+    )
+
+
+def tiny_router(holder, msg):
+    return 0 if holder in (0, 1) else 1
+
+
+class TestEngine:
+    def test_single_message_delivery(self):
+        sim = SlottedSimulator(tiny_network(), tiny_router)
+        sim.inject([(0, 2, 0)])
+        sim.run()
+        m = sim.messages[0]
+        assert m.delivered and m.latency == 0 and m.hops == 1
+
+    def test_self_message_zero_slots(self):
+        sim = SlottedSimulator(tiny_network(), tiny_router)
+        sim.inject([(0, 0, 0)])
+        sim.run()
+        assert sim.messages[0].hops == 0
+        assert sim.messages[0].latency == 0
+
+    def test_contention_serializes(self):
+        sim = SlottedSimulator(tiny_network(), tiny_router)
+        sim.inject([(0, 2, 0), (1, 3, 0)])
+        sim.run()
+        lats = sorted(m.latency for m in sim.messages)
+        assert lats == [0, 1]  # one waits a slot
+
+    def test_oldest_first_priority(self):
+        sim = SlottedSimulator(tiny_network(), tiny_router, policy=OldestFirst())
+        sim.inject([(0, 2, 1), (1, 3, 0)])
+        sim.run()
+        early = next(m for m in sim.messages if m.inject_slot == 0)
+        assert early.latency == 0
+
+    def test_two_hop_route(self):
+        sim = SlottedSimulator(tiny_network(), tiny_router)
+        sim.inject([(0, 1, 0)])  # 0 -> (2|3) -> 1
+        sim.run()
+        m = sim.messages[0]
+        assert m.hops == 2
+        assert m.trace == [0, 1]
+
+    def test_future_injection(self):
+        sim = SlottedSimulator(tiny_network(), tiny_router)
+        sim.inject([(0, 2, 5)])
+        sim.run()
+        m = sim.messages[0]
+        assert m.deliver_slot == 5 and m.latency == 0
+
+    def test_inject_into_past_rejected(self):
+        sim = SlottedSimulator(tiny_network(), tiny_router)
+        sim.inject([(0, 2, 0)])
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.inject([(0, 2, 0)])
+
+    def test_bad_router_detected(self):
+        sim = SlottedSimulator(tiny_network(), lambda h, m: 1)  # wrong side
+        sim.inject([(0, 2, 0)])
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_slot_cap_raises(self):
+        net = DirectedHypergraph(3, [Hyperarc((0,), (1,)), Hyperarc((1,), (0,))])
+
+        def ping_pong(holder, msg):
+            return 0 if holder == 0 else 1
+
+        sim = SlottedSimulator(net, ping_pong)
+        sim.inject([(0, 2, 0)])  # 2 is unreachable
+        with pytest.raises(RuntimeError):
+            sim.run(max_slots=20)
+
+    def test_conservation(self):
+        sim = SlottedSimulator(tiny_network(), tiny_router)
+        sim.inject([(0, 2, 0), (1, 0, 0), (2, 1, 0)])
+        sim.run()
+        assert sim.verify_conservation()
+
+    def test_slot_log(self):
+        sim = SlottedSimulator(tiny_network(), tiny_router)
+        sim.inject([(0, 2, 0), (1, 3, 0)])
+        sim.run()
+        assert sim.slot_log[0].contended_couplers == 1
+        assert sim.slot_log[0].delivered == 1
+
+
+class TestPolicies:
+    def _msgs(self):
+        return [
+            Message(0, 0, 2, inject_slot=3),
+            Message(1, 1, 2, inject_slot=1),
+            Message(2, 1, 3, inject_slot=1),
+        ]
+
+    def test_oldest_first(self):
+        assert OldestFirst().pick(self._msgs(), 5).ident == 1
+
+    def test_furthest_first_prefers_hops(self):
+        msgs = self._msgs()
+        msgs[2].hops = 2
+        assert FurthestFirst().pick(msgs, 5).ident == 2
+
+    def test_random_choice_reproducible(self):
+        a = RandomChoice(seed=7).pick(self._msgs(), 0).ident
+        b = RandomChoice(seed=7).pick(self._msgs(), 0).ident
+        assert a == b
+
+
+class TestAdapters:
+    def test_pops_always_one_hop(self):
+        rep = run_traffic(pops_simulator(POPSNetwork(3, 3)), uniform_traffic(9, 60, seed=0))
+        assert rep.max_hops == 1
+        assert rep.num_messages == 60
+
+    def test_stack_kautz_hops_bounded_by_diameter(self):
+        net = StackKautzNetwork(3, 2, 3)
+        rep = run_traffic(stack_kautz_simulator(net), uniform_traffic(net.num_processors, 120, seed=1))
+        assert rep.max_hops <= net.diameter
+
+    def test_stack_kautz_latency_at_least_hops(self):
+        net = StackKautzNetwork(2, 2, 2)
+        sim = stack_kautz_simulator(net)
+        run_traffic(sim, uniform_traffic(net.num_processors, 40, seed=2))
+        for m in sim.messages:
+            assert m.latency >= m.hops - 1
+
+    def test_stack_imase_itoh_runs(self):
+        net = StackImaseItohNetwork(3, 2, 7)
+        rep = run_traffic(stack_imase_itoh_simulator(net), uniform_traffic(net.num_processors, 50, seed=3))
+        assert rep.num_messages == 50
+
+    def test_run_traffic_summary_consistency(self):
+        net = POPSNetwork(4, 2)
+        rep = run_traffic(pops_simulator(net), permutation_traffic(8, seed=4))
+        assert rep.num_messages == 8
+        assert rep.throughput == pytest.approx(8 / rep.slots)
+
+
+class TestTraffic:
+    def test_uniform_no_self_messages(self):
+        for src, dst, _ in uniform_traffic(10, 200, seed=0):
+            assert src != dst
+            assert 0 <= src < 10 and 0 <= dst < 10
+
+    def test_uniform_needs_two(self):
+        with pytest.raises(ValueError):
+            uniform_traffic(1, 5)
+
+    def test_permutation_covers_all_sources(self):
+        t = permutation_traffic(16, seed=1)
+        assert sorted(s for s, _, _ in t) == list(range(16))
+        assert all(s != d for s, d, _ in t)
+
+    def test_hotspot_fraction(self):
+        t = hotspot_traffic(20, 1000, hotspot=5, fraction=0.5, seed=2)
+        hits = sum(1 for _, d, _ in t if d == 5)
+        assert 350 < hits < 650
+
+    def test_hotspot_bad_fraction(self):
+        with pytest.raises(ValueError):
+            hotspot_traffic(10, 10, fraction=1.5)
+
+    def test_broadcast_traffic(self):
+        t = broadcast_traffic(6, src=2)
+        assert len(t) == 5
+        assert all(s == 2 for s, _, _ in t)
+
+    def test_group_local_majority_local(self):
+        t = group_local_traffic(24, 4, 1000, local_fraction=0.9, seed=3)
+        local = sum(1 for s, d, _ in t if s // 4 == d // 4)
+        assert local > 700
+
+    def test_group_local_divisibility(self):
+        with pytest.raises(ValueError):
+            group_local_traffic(10, 3, 5)
+
+    def test_bernoulli_rate(self):
+        t = bernoulli_stream(10, 100, 0.1, seed=4)
+        assert 40 < len(t) < 170
+        assert all(0 <= slot < 100 for _, _, slot in t)
+
+    def test_bernoulli_bad_rate(self):
+        with pytest.raises(ValueError):
+            bernoulli_stream(10, 10, 1.5)
+
+
+class TestMetrics:
+    def test_summarize_requires_completion(self):
+        sim = SlottedSimulator(tiny_network(), tiny_router)
+        sim.inject([(0, 2, 0)])
+        with pytest.raises(ValueError):
+            summarize(sim)
+
+    def test_report_row_formats(self):
+        sim = SlottedSimulator(tiny_network(), tiny_router)
+        sim.inject([(0, 2, 0)])
+        sim.run()
+        rep = summarize(sim)
+        assert "msgs=" in rep.row()
+        assert rep.mean_hops == 1.0
+        assert 0 < rep.coupler_utilization <= 1.0

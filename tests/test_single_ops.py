@@ -1,0 +1,83 @@
+"""Unit tests for the single-OPS baseline network."""
+
+import pytest
+
+from repro.graphs import debruijn_graph
+from repro.networks import SingleOPSNetwork, single_ops_simulator
+from repro.simulation import run_traffic, uniform_traffic
+
+
+class TestSingleOPSNetwork:
+    def test_basic_shape(self):
+        net = SingleOPSNetwork(8)
+        assert net.num_couplers == 1
+        assert net.coupler().degree == 8
+        assert net.is_single_hop()
+
+    def test_splitting_loss_grows_with_n(self):
+        assert SingleOPSNetwork(64).splitting_loss_db() > SingleOPSNetwork(8).splitting_loss_db()
+
+    def test_hypergraph_one_hyperarc(self):
+        h = SingleOPSNetwork(5).hypergraph()
+        assert h.num_hyperarcs == 1
+        assert h.hyperarc(0).sources == tuple(range(5))
+        assert h.is_single_hop()
+
+    def test_hop_distance_flat(self):
+        net = SingleOPSNetwork(6)
+        assert net.hop_distance(0, 0) == 0
+        assert net.hop_distance(0, 5) == 1
+
+    def test_hop_distance_virtual(self):
+        net = SingleOPSNetwork(8, virtual_topology=debruijn_graph(2, 3))
+        assert net.hop_distance(0, 7) >= 1
+        assert not net.is_single_hop()
+
+    def test_virtual_topology_size_mismatch(self):
+        with pytest.raises(ValueError):
+            SingleOPSNetwork(5, virtual_topology=debruijn_graph(2, 3))
+
+    def test_bounds(self):
+        net = SingleOPSNetwork(4)
+        with pytest.raises(IndexError):
+            net.hop_distance(4, 0)
+        with pytest.raises(ValueError):
+            SingleOPSNetwork(0)
+
+    def test_str(self):
+        assert str(SingleOPSNetwork(8)) == "SingleOPS(8)"
+        assert "virtual" in str(SingleOPSNetwork(8, virtual_topology=debruijn_graph(2, 3)))
+
+
+class TestSingleOPSSimulation:
+    def test_serialization_is_exact(self):
+        """m single-hop messages need exactly m slots on one star."""
+        net = SingleOPSNetwork(10)
+        traffic = uniform_traffic(10, 37, seed=0)
+        rep = run_traffic(single_ops_simulator(net), traffic)
+        assert rep.slots == 37
+        assert rep.throughput == pytest.approx(1.0)
+        assert rep.max_hops == 1
+
+    def test_virtual_topology_hops_cost_slots(self):
+        n = 8
+        flat = SingleOPSNetwork(n)
+        shuffled = SingleOPSNetwork(n, virtual_topology=debruijn_graph(2, 3))
+        traffic = uniform_traffic(n, 40, seed=1)
+        flat_rep = run_traffic(single_ops_simulator(flat), traffic)
+        shuf_rep = run_traffic(single_ops_simulator(shuffled), traffic, max_slots=10_000)
+        assert shuf_rep.slots >= flat_rep.slots
+        assert shuf_rep.mean_hops >= flat_rep.mean_hops
+
+    def test_virtual_hops_match_topology_distance(self):
+        vt = debruijn_graph(2, 3)
+        net = SingleOPSNetwork(8, virtual_topology=vt)
+        for dst in range(1, 8):
+            sim = single_ops_simulator(net)
+            run_traffic(sim, [(0, dst, 0)], max_slots=100)
+            assert sim.messages[0].hops == int(vt.bfs_distances(0)[dst])
+
+    def test_utilization_always_full(self):
+        net = SingleOPSNetwork(12)
+        rep = run_traffic(single_ops_simulator(net), uniform_traffic(12, 50, seed=2))
+        assert rep.coupler_utilization == pytest.approx(1.0)

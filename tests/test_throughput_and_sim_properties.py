@@ -1,0 +1,117 @@
+"""Capacity bounds + property-based simulator invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    pops_capacity,
+    single_ops_capacity,
+    stack_kautz_capacity,
+    stack_kautz_mean_hops_uniform,
+)
+from repro.graphs import debruijn_graph
+from repro.networks import (
+    POPSNetwork,
+    SingleOPSNetwork,
+    StackKautzNetwork,
+    single_ops_simulator,
+)
+from repro.simulation import (
+    pops_simulator,
+    run_traffic,
+    stack_kautz_simulator,
+    uniform_traffic,
+)
+
+
+class TestCapacityBounds:
+    def test_single_ops_capacity(self):
+        assert single_ops_capacity(SingleOPSNetwork(48)) == 1.0
+
+    def test_single_ops_virtual_capacity_below_one(self):
+        net = SingleOPSNetwork(8, virtual_topology=debruijn_graph(2, 3))
+        assert single_ops_capacity(net) < 1.0
+
+    def test_pops_capacity(self):
+        assert pops_capacity(POPSNetwork(12, 4)) == 16.0
+
+    def test_sk_mean_hops_matches_exhaustive(self):
+        net = StackKautzNetwork(3, 2, 2)
+        from repro.routing import stack_kautz_distance
+
+        total = 0
+        n = net.num_processors
+        for src in range(n):
+            for dst in range(n):
+                if src != dst:
+                    total += stack_kautz_distance(net, src, dst)
+        assert stack_kautz_mean_hops_uniform(net) == pytest.approx(
+            total / (n * (n - 1))
+        )
+
+    def test_measured_throughput_below_capacity(self):
+        """The simulator can never beat the analytic coupler bound."""
+        pops = POPSNetwork(12, 4)
+        rep = run_traffic(pops_simulator(pops), uniform_traffic(48, 480, seed=41))
+        assert rep.throughput <= pops_capacity(pops) + 1e-9
+
+        sk = StackKautzNetwork(4, 2, 3)
+        rep = run_traffic(stack_kautz_simulator(sk), uniform_traffic(48, 480, seed=42))
+        assert rep.throughput <= stack_kautz_capacity(sk) + 1e-9
+
+        star = SingleOPSNetwork(16)
+        rep = run_traffic(single_ops_simulator(star), uniform_traffic(16, 100, seed=43))
+        assert rep.throughput <= single_ops_capacity(star) + 1e-9
+
+
+class TestSimulatorProperties:
+    """Hypothesis invariants over random traffic batches."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 23), st.integers(0, 23), st.integers(0, 5)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=25)
+    def test_pops_conservation_and_bounds(self, raw):
+        net = POPSNetwork(4, 6)  # 24 processors
+        sim = pops_simulator(net)
+        traffic = sorted(raw, key=lambda x: x[2])
+        sim.inject(traffic)
+        sim.run(max_slots=5000)
+        assert sim.verify_conservation()
+        for m in sim.messages:
+            assert m.hops == (0 if m.src == m.dst else 1)
+            assert m.deliver_slot >= m.inject_slot
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 23), st.integers(0, 23), st.integers(0, 3)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=20)
+    def test_stack_kautz_conservation_and_bounds(self, raw):
+        net = StackKautzNetwork(2, 2, 3)  # 24 processors
+        sim = stack_kautz_simulator(net)
+        traffic = sorted(raw, key=lambda x: x[2])
+        sim.inject(traffic)
+        sim.run(max_slots=5000)
+        assert sim.verify_conservation()
+        for m in sim.messages:
+            assert m.hops <= net.diameter
+            assert m.hops >= net.hop_distance(m.src, m.dst)
+            assert m.latency >= m.hops - 1
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=15)
+    def test_seeded_runs_are_reproducible(self, seed):
+        net = StackKautzNetwork(2, 2, 2)
+        t = uniform_traffic(net.num_processors, 30, seed=seed)
+        rep1 = run_traffic(stack_kautz_simulator(net), t)
+        rep2 = run_traffic(stack_kautz_simulator(net), t)
+        assert rep1 == rep2

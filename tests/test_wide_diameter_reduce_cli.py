@@ -1,0 +1,155 @@
+"""Unit tests for wide diameter, reduction schedules, and the CLI."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.wide_diameter import (
+    disjoint_paths_within,
+    fault_diameter,
+    min_max_disjoint_path_length,
+    wide_diameter,
+)
+from repro.comm import pops_reduce, stack_kautz_reduce
+from repro.graphs import DiGraph, complete_digraph, kautz_graph
+from repro.networks import POPSNetwork, StackKautzNetwork
+
+
+class TestDisjointPathsWithin:
+    def test_simple_diamond(self):
+        g = DiGraph(4, [(0, 1), (1, 3), (0, 2), (2, 3)])
+        assert disjoint_paths_within(g, 0, 3, 2) == 2
+        assert disjoint_paths_within(g, 0, 3, 1) == 0
+
+    def test_direct_arc_counts(self):
+        g = DiGraph(3, [(0, 2), (0, 1), (1, 2)])
+        assert disjoint_paths_within(g, 0, 2, 1) == 1
+        assert disjoint_paths_within(g, 0, 2, 2) == 2
+
+    def test_length_bound_is_respected(self):
+        # second path has length 3; bound 2 admits only one path
+        g = DiGraph(5, [(0, 4), (0, 1), (1, 2), (2, 4), (1, 4)])
+        assert disjoint_paths_within(g, 0, 4, 2) == 2
+        assert disjoint_paths_within(g, 0, 4, 3) == 2
+
+    def test_same_node_rejected(self):
+        with pytest.raises(ValueError):
+            disjoint_paths_within(complete_digraph(3), 1, 1, 2)
+
+    def test_complete_digraph_many_paths(self):
+        g = complete_digraph(5)
+        # direct + 3 two-hop detours
+        assert disjoint_paths_within(g, 0, 4, 2) == 4
+
+
+class TestWideDiameter:
+    @pytest.mark.parametrize(
+        "d,k,expected",
+        [(2, 2, 4), (3, 2, 4), (2, 3, 5)],
+    )
+    def test_kautz_d_wide_diameter_is_k_plus_2(self, d, k, expected):
+        """The structural fact behind the paper's k+2 routing claim."""
+        assert wide_diameter(kautz_graph(d, k), d) == expected == k + 2
+
+    def test_width_one_is_plain_diameter(self):
+        from repro.graphs import diameter
+
+        g = kautz_graph(2, 2)
+        assert wide_diameter(g, 1) == diameter(g)
+
+    def test_min_max_length_unreachable(self):
+        g = DiGraph(2, [(0, 1)])
+        assert min_max_disjoint_path_length(g, 1, 0, 1) is None
+
+    def test_pair_restriction(self):
+        g = kautz_graph(2, 2)
+        assert wide_diameter(g, 2, pairs=[(0, 1)]) <= 4
+
+
+class TestFaultDiameter:
+    def test_kautz_fault_diameter_within_k_plus_2(self):
+        for d, k in [(2, 2), (3, 2)]:
+            fd = fault_diameter(kautz_graph(d, k), d - 1)
+            assert k <= fd <= k + 2
+
+    def test_zero_faults_is_diameter(self):
+        from repro.graphs import diameter
+
+        g = kautz_graph(2, 2)
+        assert fault_diameter(g, 0) == diameter(g)
+
+    def test_disconnection_detected(self):
+        g = DiGraph(3, [(0, 1), (1, 2), (2, 0)])
+        with pytest.raises(ValueError):
+            fault_diameter(g, 1)  # removing any cycle node disconnects
+
+
+class TestReduce:
+    @pytest.mark.parametrize("t,g", [(2, 2), (4, 3), (1, 4)])
+    def test_pops_reduce_t_slots(self, t, g):
+        net = POPSNetwork(t, g)
+        for root in (0, net.num_processors - 1):
+            sched = pops_reduce(net, root)
+            assert sched.num_slots == t
+            assert sched.root == root
+
+    def test_pops_reduce_no_collisions(self):
+        sched = pops_reduce(POPSNetwork(3, 3), 4)
+        for slot in sched.slots:
+            keys = [c for _, c in slot]
+            assert len(keys) == len(set(keys))
+
+    @pytest.mark.parametrize("s,d,k", [(1, 2, 2), (2, 2, 3), (6, 3, 2), (4, 2, 2)])
+    def test_stack_kautz_reduce_completes(self, s, d, k):
+        net = StackKautzNetwork(s, d, k)
+        sched = stack_kautz_reduce(net, 0)
+        # local fold (s-1) + at least the tree depth
+        assert sched.num_slots >= max(s - 1, 1)
+
+    def test_stack_kautz_reduce_any_root(self):
+        net = StackKautzNetwork(2, 2, 2)
+        for root in range(net.num_processors):
+            stack_kautz_reduce(net, root)  # raises on any lost value
+
+
+class TestCLI:
+    def test_design_sk(self, capsys):
+        assert main(["design", "sk", "2", "2", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "verified: True" in out
+        assert "OTIS(2,6)" in out
+
+    def test_design_pops(self, capsys):
+        assert main(["design", "pops", "4", "2"]) == 0
+        assert "OTIS(2,2)" in capsys.readouterr().out
+
+    def test_design_pops_wrong_arity(self):
+        assert main(["design", "pops", "4", "2", "9"]) == 2
+
+    def test_design_sk_wrong_arity(self):
+        assert main(["design", "sk", "4", "2"]) == 2
+
+    def test_otis(self, capsys):
+        assert main(["otis", "3", "6"]) == 0
+        assert "lens plane" in capsys.readouterr().out
+
+    def test_route(self, capsys):
+        assert main(["route", "6", "3", "2", "0", "71"]) == 0
+        out = capsys.readouterr().out
+        assert "hops:" in out
+
+    def test_route_bad_processor(self):
+        assert main(["route", "6", "3", "2", "0", "999"]) == 2
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "2", "2", "2", "--messages", "40"]) == 0
+        assert "msgs=" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "POPS" in out and "SK" in out
+
+    def test_compare_impossible_n(self, capsys):
+        # N must factor as t*g; every N >= 1 works with g = 1, so use the
+        # return path by picking n with rows -- check exit code 0 shape.
+        assert main(["compare", "7"]) == 0
