@@ -2,26 +2,27 @@
 """Design-space exploration: pick a multiprocessor interconnect.
 
 The engineering workflow the paper enables: given a target machine
-size, enumerate every POPS and stack-Kautz configuration, compare
-transceiver cost, coupler count, lens count, diameter and optical
-power margin, and check which configurations close the link budget
-with a chosen laser/receiver pair.
+size, enumerate every registered configuration through the family
+registry, compare transceiver cost, coupler count, lens count,
+diameter and optical power margin, check which configurations close
+the link budget with a chosen laser/receiver pair -- then sweep
+workloads over the shortlist in one ``repro.sweep`` call.
 
 Run:  python examples/design_explorer.py [N]
 """
 
 import sys
 
+import repro
 from repro.analysis import TopologyRow, equal_size_comparison
-from repro.networks import StackKautzDesign
 from repro.optical import Receiver, Transmitter, max_ops_degree
 
 
 def main() -> None:
     target_n = int(sys.argv[1]) if len(sys.argv) > 1 else 144
 
-    print(f"=== all POPS / stack-Kautz configurations with N = {target_n} ===\n")
-    rows = equal_size_comparison(target_n)
+    print(f"=== all configurations with N = {target_n} (every registered family) ===\n")
+    rows = equal_size_comparison(target_n, families=repro.family_keys())
     print(TopologyRow.header())
     for row in rows:
         print(row.formatted())
@@ -41,7 +42,7 @@ def main() -> None:
 
     # ------------------------------------------------------------------
     # Pick the cheapest feasible stack-Kautz design by lens count and
-    # print its full inventory.
+    # print its full inventory -- rebuilt from its name via the facade.
     # ------------------------------------------------------------------
     sk_rows = [r for r in feasible if r.name.startswith("SK")]
     if not sk_rows:
@@ -51,13 +52,20 @@ def main() -> None:
     print(f"\nselected design: {best.name} "
           f"(diameter {best.diameter}, {best.transceivers_per_processor} tx/node)")
 
-    # Rebuild it as a full design object for the complete BOM.
-    import re
-
-    s, d, k = map(int, re.match(r"SK\((\d+),(\d+),(\d+)\)", best.name).groups())
-    design = StackKautzDesign(s, d, k)
+    spec = repro.NetworkSpec.parse(best.name.lower())
+    design = repro.design(spec)
     assert design.verify()
     print(design.bill_of_materials().summary())
+
+    # ------------------------------------------------------------------
+    # Shake out the shortlist under real traffic: a specs x workloads
+    # matrix in one call.
+    # ------------------------------------------------------------------
+    shortlist = [r.name.lower() for r in feasible[:3]]
+    if shortlist:
+        print(f"\n=== workload sweep over {', '.join(shortlist)} ===\n")
+        result = repro.sweep(shortlist, ["uniform", "permutation"], messages=200)
+        print(result.formatted())
 
 
 if __name__ == "__main__":

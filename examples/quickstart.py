@@ -1,33 +1,37 @@
 #!/usr/bin/env python3
-"""Quickstart: build, verify and inspect the paper's flagship design.
+"""Quickstart: drive the paper's flagship design through the facade.
 
 Reproduces in a few lines what Sections 2-4 of the paper develop: the
 stack-Kautz network SK(6,3,2) of Fig. 7 and its complete OTIS optical
-design of Fig. 12, then routes a message through the actual hardware
+design of Fig. 12 -- all through the spec-string facade
+(``repro.build`` / ``repro.route`` / ``repro.simulate`` /
+``repro.design``), then routes a message through the actual hardware
 ports.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import StackKautzDesign, StackKautzNetwork, stack_kautz_route
+import repro
+
+SPEC = "sk(6,3,2)"
 
 
 def main() -> None:
     # ------------------------------------------------------------------
-    # 1. The network topology (paper Fig. 7).
+    # 1. The network topology (paper Fig. 7), by name.
     # ------------------------------------------------------------------
-    net = StackKautzNetwork(stacking_factor=6, degree=3, diameter=2)
+    net = repro.build(SPEC)
     print(f"network: {net}")
     print(f"  processors: {net.num_processors} in {net.num_groups} groups of 6")
     print(f"  transceivers per processor: {net.processor_degree}")
-    print(f"  OPS couplers: {net.num_couplers} of degree {net.stacking_factor}")
+    print(f"  OPS couplers: {net.num_couplers} of degree {net.coupler_degree}")
     print(f"  optical hop diameter: {net.diameter}")
     print()
 
     # ------------------------------------------------------------------
     # 2. The optical design (paper Fig. 12) and its bill of materials.
     # ------------------------------------------------------------------
-    design = StackKautzDesign(6, 3, 2)
+    design = repro.design(SPEC)
     assert design.verify(), "light paths must realize the stack-graph exactly"
     print("optical design verified end-to-end; bill of materials:")
     print(design.bill_of_materials().summary())
@@ -37,7 +41,7 @@ def main() -> None:
     # 3. Route a message and trace it through the hardware.
     # ------------------------------------------------------------------
     src, dst = 0, 71
-    route = stack_kautz_route(net, src, dst)
+    route = repro.route(SPEC, src, dst)
     print(f"routing processor {src} {net.label_of(src)} -> {dst} {net.label_of(dst)}:")
     print(f"  {route.num_hops} optical hops (diameter is {net.diameter})")
     group, index = net.label_of(src)
@@ -48,7 +52,14 @@ def main() -> None:
         index = net.label_of(dst)[1]
 
     # ------------------------------------------------------------------
-    # 4. Check the optical power budget closes.
+    # 4. Simulate a workload on the same spec string.
+    # ------------------------------------------------------------------
+    report = repro.simulate(SPEC, "uniform", messages=300, seed=1)
+    print()
+    print(f"simulated 300 uniform messages: {report.row()}")
+
+    # ------------------------------------------------------------------
+    # 5. Check the optical power budget closes.
     # ------------------------------------------------------------------
     budget = design.worst_case_power_budget()
     print()

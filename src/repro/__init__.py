@@ -11,15 +11,36 @@ simulator.
 
 Quickstart
 ----------
+Every network is named by a spec string -- ``"sk(6,3,2)"``,
+``"pops(4,2)"``, ``"sii(4,3,10)"``, ``"sops(8)"`` -- and the facade
+verbs drive any family end to end:
+
 >>> import repro
->>> design = repro.StackKautzDesign(6, 3, 2)      # paper Fig. 12
+>>> net = repro.build("sk(6,3,2)")                # paper Fig. 7
+>>> net.num_processors, net.diameter
+(72, 2)
+>>> design = repro.design("sk(6,3,2)")            # paper Fig. 12
 >>> design.verify()
 True
 >>> design.bill_of_materials().otis_units[(3, 12)]
 1
+>>> repro.route("sk(6,3,2)", 0, 71).num_hops
+1
+>>> repro.simulate("sk(6,3,2)", "uniform", messages=100).num_messages
+100
+>>> result = repro.sweep(["pops(4,2)", "sk(2,2,2)"], ["uniform"], messages=50)
+>>> [cell.spec for cell in result]
+['pops(4,2)', 'sk(2,2,2)']
+
+The concrete classes remain available (``repro.StackKautzDesign(6, 3, 2)``
+is the same object ``repro.design("sk(6,3,2)")`` returns), and new
+topology families join every verb above through one
+:func:`repro.register_family` registration.
 
 Subpackages
 -----------
+:mod:`repro.core`
+    Network specs, the family registry and the facade verbs.
 :mod:`repro.graphs`
     Digraph kernel and the named families the paper builds on.
 :mod:`repro.hypergraphs`
@@ -39,7 +60,24 @@ Subpackages
     Moore bounds and cross-topology comparisons.
 """
 
-from . import analysis, comm, graphs, hypergraphs, networks, optical, routing, simulation
+from . import analysis, comm, core, graphs, hypergraphs, networks, optical, routing, simulation
+from .core import (
+    Network,
+    NetworkFamily,
+    NetworkSpec,
+    SpecError,
+    SweepCell,
+    SweepResult,
+    build,
+    describe,
+    design,
+    get_family,
+    family_keys,
+    register_family,
+    route,
+    simulate,
+    sweep,
+)
 from .graphs import (
     DiGraph,
     debruijn_graph,
@@ -53,6 +91,8 @@ from .networks import (
     OTISImaseItohRealization,
     POPSDesign,
     POPSNetwork,
+    SingleOPSDesign,
+    SingleOPSNetwork,
     StackImaseItohDesign,
     StackImaseItohNetwork,
     StackKautzDesign,
@@ -72,6 +112,7 @@ from .simulation import (
     SlottedSimulator,
     pops_simulator,
     run_traffic,
+    simulator_for,
     stack_kautz_simulator,
 )
 
@@ -83,22 +124,36 @@ __all__ = [
     "DirectedHypergraph",
     "FaultSet",
     "Hyperarc",
+    "Network",
+    "NetworkFamily",
+    "NetworkSpec",
     "OPSCoupler",
     "OTISImaseItohRealization",
     "OTISLayout",
     "POPSDesign",
     "POPSNetwork",
     "PowerBudget",
+    "SingleOPSDesign",
+    "SingleOPSNetwork",
     "SlottedSimulator",
+    "SpecError",
     "StackGraph",
     "StackImaseItohDesign",
     "StackImaseItohNetwork",
     "StackKautzDesign",
     "StackKautzNetwork",
+    "SweepCell",
+    "SweepResult",
     "analysis",
+    "build",
+    "core",
+    "describe",
+    "design",
     "comm",
     "debruijn_graph",
+    "family_keys",
     "fault_tolerant_route",
+    "get_family",
     "graphs",
     "hypergraphs",
     "imase_itoh_graph",
@@ -112,10 +167,15 @@ __all__ = [
     "optical",
     "otis_for_kautz",
     "pops_simulator",
+    "register_family",
+    "route",
     "routing",
     "run_traffic",
+    "simulate",
+    "simulator_for",
     "simulation",
     "stack_graph",
     "stack_kautz_route",
     "stack_kautz_simulator",
+    "sweep",
 ]

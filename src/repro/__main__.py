@@ -1,41 +1,77 @@
 """Command-line interface: inspect designs, route, simulate, compare.
 
+Every network-touching subcommand is spec-driven: a network is named
+either by a canonical spec string (``"sk(6,3,2)"``, ``"pops(4,2)"``,
+``"sii(4,3,10)"``, ``"sops(8)"``) or by the loose positional form
+(``sk 6 3 2``).  Dispatch goes through the family registry, so a newly
+registered family gets CLI coverage for free.  ``--json`` switches any
+subcommand to machine-readable output.
+
 Usage::
 
-    python -m repro design sk 6 3 2          # Fig. 12 bill of materials
-    python -m repro design pops 4 2          # Fig. 11 bill of materials
-    python -m repro otis 3 6                 # Fig. 1 ASCII layout
-    python -m repro route 6 3 2 0 71         # route through SK(6,3,2)
+    python -m repro design sk 6 3 2            # Fig. 12 bill of materials
+    python -m repro design "pops(4,2)" --json  # Fig. 11, as JSON
+    python -m repro otis 3 6                   # Fig. 1 ASCII layout
+    python -m repro route 6 3 2 0 71           # route through SK(6,3,2)
+    python -m repro route "sii(4,3,10)" 0 39   # any family, spec-form
     python -m repro simulate 4 2 3 --messages 300
-    python -m repro compare 48               # equal-N design table
+    python -m repro simulate "sops(8)" --workload hotspot
+    python -m repro compare 48                 # equal-N design table
+    python -m repro sweep "sk(2,2,2)" "pops(4,2)" --workloads uniform permutation
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+
+from .core.spec import NetworkSpec, SpecError, _is_intlike as _is_int
+
+
+def _bom_as_dict(bom) -> dict:
+    """JSON-ready bill of materials (OTIS unit keys become ``"GxT"``)."""
+    return {
+        "otis_units": {f"{g}x{t}": q for (g, t), q in sorted(bom.otis_units.items())},
+        "multiplexers": bom.multiplexers,
+        "beam_splitters": bom.beam_splitters,
+        "loop_fibers": bom.loop_fibers,
+        "transmitters": bom.transmitters,
+        "receivers": bom.receivers,
+        "couplers": bom.couplers,
+        "total_otis_stages": bom.total_otis_stages,
+        "total_lenses": bom.total_lenses,
+    }
 
 
 def _cmd_design(args: argparse.Namespace) -> int:
-    from .networks import POPSDesign, StackImaseItohDesign, StackKautzDesign
-
-    if args.family == "sk":
-        design = StackKautzDesign(*args.params)
-    elif args.family == "pops":
-        if len(args.params) != 2:
-            print("pops takes 2 parameters: t g", file=sys.stderr)
-            return 2
-        design = POPSDesign(*args.params)
-    elif args.family == "sii":
-        design = StackImaseItohDesign(*args.params)
-    else:  # pragma: no cover - argparse restricts choices
+    try:
+        spec = NetworkSpec.from_argv(args.spec)
+    except SpecError as exc:
+        print(exc, file=sys.stderr)
         return 2
+    design = spec.design()
     ok = design.verify()
+    budget = design.worst_case_power_budget()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "spec": spec.canonical(),
+                    "name": design.name,
+                    "verified": ok,
+                    "bill_of_materials": _bom_as_dict(design.bill_of_materials()),
+                    "worst_case_loss_db": round(budget.total_loss_db(), 4),
+                    "link_margin_db": round(budget.margin_db(), 4),
+                },
+                indent=2,
+            )
+        )
+        return 0 if ok else 1
     print(f"design:   {design.name}")
     print(f"verified: {ok} (every light path == stack-graph hyperarc)")
     print()
     print(design.bill_of_materials().summary())
-    budget = design.worst_case_power_budget()
     print()
     print(
         f"worst-case link: {budget.total_loss_db():.2f} dB loss, "
@@ -55,20 +91,64 @@ def _cmd_otis(args: argparse.Namespace) -> int:
 
 
 def _cmd_route(args: argparse.Namespace) -> int:
-    from .networks import StackKautzNetwork
-    from .routing import stack_kautz_route
+    from .core.registry import get_family
 
-    net = StackKautzNetwork(args.s, args.d, args.k)
-    if not (0 <= args.src < net.num_processors and 0 <= args.dst < net.num_processors):
+    tokens = args.args
+    try:
+        if len(tokens) < 3:
+            raise SpecError(
+                "route needs a network spec plus src and dst processors"
+            )
+        if len(tokens) == 5 and all(_is_int(t) for t in tokens):
+            # Back-compat positional form: s d k src dst on stack-Kautz.
+            spec = NetworkSpec("sk", tuple(int(t) for t in tokens[:3]))
+        else:
+            spec = NetworkSpec.from_argv(tokens[:-2])
+        if not _is_int(tokens[-2]) or not _is_int(tokens[-1]):
+            raise SpecError(
+                f"src/dst must be integers, got {tokens[-2]!r} {tokens[-1]!r}"
+            )
+    except SpecError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    src, dst = int(tokens[-2]), int(tokens[-1])
+    family = get_family(spec.family)
+    net = spec.build()
+    if not (0 <= src < net.num_processors and 0 <= dst < net.num_processors):
         print(f"processors must be in [0, {net.num_processors})", file=sys.stderr)
         return 2
-    route = stack_kautz_route(net, args.src, args.dst)
-    sw = "".join(map(str, net.group_word(net.label_of(args.src)[0])))
-    dw = "".join(map(str, net.group_word(net.label_of(args.dst)[0])))
-    print(f"{net}: {args.src} (group word {sw}) -> {args.dst} (group word {dw})")
-    print(f"hops: {route.num_hops} (diameter {net.diameter})")
-    for i, hop in enumerate(route.hops, start=1):
-        kind = "loop coupler" if hop.is_loop else "Kautz coupler"
+    rt = family.route(net, src, dst)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "spec": spec.canonical(),
+                    "src": src,
+                    "dst": dst,
+                    "num_hops": rt.num_hops,
+                    "diameter": net.diameter,
+                    "hops": [
+                        {
+                            "src_group": h.src_group,
+                            "dst_group": h.dst_group,
+                            "mux": h.mux,
+                            "tx_port": h.tx_port,
+                            "is_loop": h.is_loop,
+                        }
+                        for h in rt.hops
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    src_tag, dst_tag = _processor_tags(net, src, dst)
+    print(f"{net}: {src} {src_tag} -> {dst} {dst_tag}")
+    print(f"hops: {rt.num_hops} (diameter {net.diameter})")
+    loop_kind = "loop coupler"
+    hop_kind = f"{family.coupler_kind} coupler"
+    for i, hop in enumerate(rt.hops, start=1):
+        kind = loop_kind if hop.is_loop else hop_kind
         print(
             f"  hop {i}: group {hop.src_group} -> {hop.dst_group}  "
             f"[{kind} (group {hop.src_group}, mux {hop.mux}), tx port {hop.tx_port}]"
@@ -76,32 +156,99 @@ def _cmd_route(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    from .networks import StackKautzNetwork
-    from .simulation import (
-        run_traffic,
-        stack_kautz_simulator,
-        uniform_traffic,
-    )
+def _processor_tags(net, src: int, dst: int) -> tuple[str, str]:
+    """Human labels for the endpoints; group words when the family has them."""
+    if hasattr(net, "group_word"):
+        sw = "".join(map(str, net.group_word(net.label_of(src)[0])))
+        dw = "".join(map(str, net.group_word(net.label_of(dst)[0])))
+        return f"(group word {sw})", f"(group word {dw})"
+    return f"{net.label_of(src)}", f"{net.label_of(dst)}"
 
-    net = StackKautzNetwork(args.s, args.d, args.k)
-    traffic = uniform_traffic(net.num_processors, args.messages, seed=args.seed)
-    rep = run_traffic(stack_kautz_simulator(net), traffic)
-    print(f"{net}: {args.messages} uniform messages, seed {args.seed}")
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .core import simulate
+
+    try:
+        if len(args.spec) == 3 and all(_is_int(t) for t in args.spec):
+            # Back-compat positional form: s d k on stack-Kautz.
+            spec = NetworkSpec("sk", tuple(int(t) for t in args.spec))
+        else:
+            spec = NetworkSpec.from_argv(args.spec)
+        rep = simulate(
+            spec, args.workload, messages=args.messages, seed=args.seed
+        )
+    except (SpecError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "spec": spec.canonical(),
+                    "workload": args.workload,
+                    "seed": args.seed,
+                    "messages": rep.num_messages,
+                    "slots": rep.slots,
+                    "mean_latency": rep.mean_latency,
+                    "p95_latency": rep.p95_latency,
+                    "max_latency": rep.max_latency,
+                    "mean_hops": rep.mean_hops,
+                    "throughput": rep.throughput,
+                    "coupler_utilization": rep.coupler_utilization,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(f"{spec}: {rep.num_messages} {args.workload} messages, seed {args.seed}")
     print(rep.row())
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     from .analysis import TopologyRow, equal_size_comparison
+    from .analysis.comparison import DEFAULT_COMPARISON_FAMILIES
+    from .core.registry import family_keys
 
-    rows = equal_size_comparison(args.n)
+    try:
+        families = (
+            DEFAULT_COMPARISON_FAMILIES
+            if args.families is None
+            else tuple(family_keys())
+            if args.families == ["all"]
+            else tuple(args.families)
+        )
+        rows = equal_size_comparison(args.n, families=families)
+    except SpecError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps([row.as_dict() for row in rows], indent=2))
+        return 0 if rows else 1
     if not rows:
-        print(f"no POPS/SK configuration has exactly N = {args.n}")
+        print(f"no registered configuration has exactly N = {args.n}")
         return 1
     print(TopologyRow.header())
     for row in rows:
         print(row.formatted())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .core import sweep
+
+    try:
+        specs = [NetworkSpec.parse(s) for s in args.specs]
+        result = sweep(
+            specs, args.workloads, messages=args.messages, seed=args.seed
+        )
+    except (SpecError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.as_dicts(), indent=2))
+        return 0
+    print(result.formatted())
     return 0
 
 
@@ -114,8 +261,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("design", help="verify a design and print its BOM")
-    p.add_argument("family", choices=["sk", "pops", "sii"])
-    p.add_argument("params", type=int, nargs="+", help="sk: s d k | pops: t g | sii: s d n")
+    p.add_argument(
+        "spec",
+        nargs="+",
+        help='network spec: "sk(6,3,2)" or positional (sk 6 3 2; pops t g; sii s d n; sops n)',
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_design)
 
     p = sub.add_parser("otis", help="render an OTIS(G, T) lens layout")
@@ -123,25 +274,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("size", type=int)
     p.set_defaults(func=_cmd_otis)
 
-    p = sub.add_parser("route", help="route between SK(s,d,k) processors")
-    p.add_argument("s", type=int)
-    p.add_argument("d", type=int)
-    p.add_argument("k", type=int)
-    p.add_argument("src", type=int)
-    p.add_argument("dst", type=int)
+    p = sub.add_parser("route", help="route between two processors")
+    p.add_argument(
+        "args",
+        nargs="+",
+        help='spec + src + dst ("sk(6,3,2)" 0 71) or the positional SK form (6 3 2 0 71)',
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_route)
 
-    p = sub.add_parser("simulate", help="run uniform traffic on SK(s,d,k)")
-    p.add_argument("s", type=int)
-    p.add_argument("d", type=int)
-    p.add_argument("k", type=int)
+    p = sub.add_parser("simulate", help="run a workload on any network")
+    p.add_argument(
+        "spec",
+        nargs="+",
+        help='network spec ("pops(4,2)") or the positional SK form (s d k)',
+    )
     p.add_argument("--messages", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workload",
+        default="uniform",
+        help="workload name (uniform, permutation, hotspot, broadcast, group-local, bernoulli)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_simulate)
 
-    p = sub.add_parser("compare", help="equal-N POPS vs SK table")
+    p = sub.add_parser("compare", help="equal-N design comparison table")
     p.add_argument("n", type=int)
+    p.add_argument(
+        "--families",
+        nargs="+",
+        default=None,
+        help="family keys to include (default: pops sk; 'all' for every registered family)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("sweep", help="specs x workloads scenario matrix")
+    p.add_argument("specs", nargs="+", help='network specs, e.g. "sk(2,2,2)" "pops(4,2)"')
+    p.add_argument(
+        "--workloads",
+        nargs="+",
+        default=["uniform", "permutation"],
+        help="workload names for the matrix columns",
+    )
+    p.add_argument("--messages", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_sweep)
 
     return parser
 
@@ -149,9 +329,6 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "design" and args.family in ("sk", "sii") and len(args.params) != 3:
-        print(f"{args.family} takes 3 parameters", file=sys.stderr)
-        return 2
     return args.func(args)
 
 

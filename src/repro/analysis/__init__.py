@@ -11,6 +11,7 @@ from .comparison import (
     equal_size_comparison,
     pops_row,
     stack_kautz_row,
+    topology_row,
 )
 from .throughput import (
     pops_capacity,
@@ -50,4 +51,5 @@ __all__ = [
     "wide_diameter",
     "pops_row",
     "stack_kautz_row",
+    "topology_row",
 ]

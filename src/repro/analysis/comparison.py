@@ -3,26 +3,35 @@
 The quantitative story the paper tells qualitatively: single-hop POPS
 buys diameter 1 with ``g`` transceiver pairs per processor and ``g**2``
 couplers, while multi-hop stack-Kautz holds the processor at ``d + 1``
-transceiver pairs and pays diameter ``k``.  These builders produce the
-rows the EXT benchmarks print, for any parameter sweep.
+transceiver pairs and pays diameter ``k``.  Rows are built *generically*
+from a :class:`~repro.core.spec.NetworkSpec` through the family
+registry -- network shape from the :class:`~repro.core.protocols.Network`
+protocol surface, hardware counts and power margin from the family's
+optical design -- so a newly registered family appears in these tables
+without touching this module.
 """
 
 from __future__ import annotations
 
 import math
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
-from ..graphs.kautz import kautz_num_nodes
-from ..networks.design import (
-    MultiOPSOTISDesign,
-    POPSDesign,
-    StackKautzDesign,
-)
-from ..optical.components import Receiver, Transmitter
-from ..optical.power import PowerBudget
+from ..core.registry import get_family
+from ..core.spec import NetworkSpec
 
-__all__ = ["TopologyRow", "pops_row", "stack_kautz_row", "equal_size_comparison"]
+__all__ = [
+    "TopologyRow",
+    "topology_row",
+    "pops_row",
+    "stack_kautz_row",
+    "equal_size_comparison",
+]
+
+#: Families included in :func:`equal_size_comparison` by default -- the
+#: two the paper's own comparison discusses.  Pass ``families=...`` (or
+#: ``repro.core.family_keys()`` for everything) to widen the table.
+DEFAULT_COMPARISON_FAMILIES: tuple[str, ...] = ("pops", "sk")
 
 
 @dataclass(frozen=True)
@@ -59,72 +68,65 @@ class TopologyRow:
             "coupler-deg otis  lenses  split-loss link-margin"
         )
 
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready view of the row."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
-def _margin(design: MultiOPSOTISDesign) -> float:
-    budget: PowerBudget = design.worst_case_power_budget(
-        Transmitter(), Receiver()
+
+def topology_row(spec) -> TopologyRow:
+    """The comparison row for any registered network spec.
+
+    >>> topology_row("sk(6,3,2)").processors
+    72
+    """
+    parsed = NetworkSpec.parse(spec)
+    net = parsed.build()
+    dsg = parsed.design()
+    bom = dsg.bill_of_materials()
+    return TopologyRow(
+        name=str(net),
+        processors=net.num_processors,
+        groups=net.num_groups,
+        diameter=net.diameter,
+        transceivers_per_processor=net.processor_degree,
+        couplers=bom.couplers,
+        coupler_degree=net.coupler_degree,
+        otis_stages=bom.total_otis_stages,
+        lenses=bom.total_lenses,
+        splitting_loss_db=10.0 * math.log10(max(net.coupler_degree, 1)),
+        link_margin_db=dsg.worst_case_power_budget().margin_db(),
     )
-    return budget.margin_db()
 
 
 def pops_row(t: int, g: int) -> TopologyRow:
-    """Comparison row for ``POPS(t, g)``."""
-    design = POPSDesign(t, g)
-    bom = design.bill_of_materials()
-    return TopologyRow(
-        name=f"POPS({t},{g})",
-        processors=t * g,
-        groups=g,
-        diameter=1,
-        transceivers_per_processor=g,
-        couplers=bom.couplers,
-        coupler_degree=t,
-        otis_stages=bom.total_otis_stages,
-        lenses=bom.total_lenses,
-        splitting_loss_db=10.0 * math.log10(t),
-        link_margin_db=_margin(design),
-    )
+    """Comparison row for ``POPS(t, g)`` (shim over :func:`topology_row`)."""
+    return topology_row(NetworkSpec("pops", (t, g)))
 
 
 def stack_kautz_row(s: int, d: int, k: int) -> TopologyRow:
-    """Comparison row for ``SK(s, d, k)``."""
-    design = StackKautzDesign(s, d, k)
-    bom = design.bill_of_materials()
-    return TopologyRow(
-        name=f"SK({s},{d},{k})",
-        processors=s * kautz_num_nodes(d, k),
-        groups=kautz_num_nodes(d, k),
-        diameter=k,
-        transceivers_per_processor=d + 1,
-        couplers=bom.couplers,
-        coupler_degree=s,
-        otis_stages=bom.total_otis_stages,
-        lenses=bom.total_lenses,
-        splitting_loss_db=10.0 * math.log10(s),
-        link_margin_db=_margin(design),
-    )
+    """Comparison row for ``SK(s, d, k)`` (shim over :func:`topology_row`)."""
+    return topology_row(NetworkSpec("sk", (s, d, k)))
 
 
-def equal_size_comparison(target_n: int, max_rows: int = 12) -> list[TopologyRow]:
-    """Rows for every POPS and SK configuration matching ``target_n`` exactly.
+def equal_size_comparison(
+    target_n: int,
+    max_rows: int = 12,
+    families: tuple[str, ...] = DEFAULT_COMPARISON_FAMILIES,
+) -> list[TopologyRow]:
+    """Rows for every configuration matching ``target_n`` exactly.
 
     The apples-to-apples view: same processor count, different
-    hardware/diameter trades.
+    hardware/diameter trades.  Each family contributes at most
+    ``max_rows`` rows, enumerated by its registered equal-``N``
+    size enumerator.
     """
     rows: list[TopologyRow] = []
-    for g in range(1, target_n + 1):
-        if target_n % g == 0:
-            t = target_n // g
-            if t >= 1 and g >= 1:
-                rows.append(pops_row(t, g))
-        if len(rows) >= max_rows:
-            break
-    for d in range(2, 8):
-        for k in range(1, 8):
-            groups = kautz_num_nodes(d, k)
-            if groups > target_n:
+    for key in families:
+        family = get_family(key)
+        count = 0
+        for spec in family.sizes(target_n):
+            if count >= max_rows:
                 break
-            if target_n % groups == 0:
-                s = target_n // groups
-                rows.append(stack_kautz_row(s, d, k))
+            rows.append(topology_row(spec))
+            count += 1
     return rows

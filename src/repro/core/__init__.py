@@ -1,0 +1,57 @@
+"""Core subsystem: specs, the family registry, and the facade.
+
+This package is the front door of :mod:`repro`.  One
+:class:`NetworkSpec` names any network (``"sk(6,3,2)"``,
+``"pops(4,2)"``, ``"sii(4,3,10)"``, ``"sops(8)"``); the registry maps
+each family key to a :class:`NetworkFamily` descriptor bundling
+constructor, router, simulator, optical design and equal-``N``
+enumerator; and the facade verbs (:func:`build`, :func:`route`,
+:func:`simulate`, :func:`design`, :func:`sweep`) drive any registered
+family end to end without per-family dispatch anywhere downstream.
+"""
+
+from .facade import (
+    SweepCell,
+    SweepResult,
+    build,
+    describe,
+    design,
+    route,
+    simulate,
+    sweep,
+)
+from .protocols import Network
+from .registry import (
+    NetworkFamily,
+    family_for_network,
+    family_keys,
+    get_family,
+    iter_families,
+    register_family,
+)
+from .spec import NetworkSpec, Param, SpecError
+from .workloads import get_workload, register_workload, workload_names
+
+__all__ = [
+    "Network",
+    "NetworkFamily",
+    "NetworkSpec",
+    "Param",
+    "SpecError",
+    "SweepCell",
+    "SweepResult",
+    "build",
+    "describe",
+    "design",
+    "family_for_network",
+    "family_keys",
+    "get_family",
+    "get_workload",
+    "iter_families",
+    "register_family",
+    "register_workload",
+    "route",
+    "simulate",
+    "sweep",
+    "workload_names",
+]

@@ -1,0 +1,260 @@
+"""The package facade: spec in, result out.
+
+Five verbs cover the paper's whole pipeline for every registered
+family, with a :class:`~repro.core.spec.NetworkSpec` (or anything
+parseable into one) naming the machine:
+
+* :func:`build` -- the network object;
+* :func:`route` -- a hop-by-hop route in optical-design coordinates;
+* :func:`simulate` -- run a named workload, get a
+  :class:`~repro.simulation.metrics.SimulationReport`;
+* :func:`design` -- the verifiable OTIS optical design with its BOM;
+* :func:`sweep` -- a specs x workloads result matrix in one call.
+
+>>> import repro
+>>> repro.build("sk(6,3,2)").num_processors
+72
+>>> repro.route("pops(4,2)", 0, 7).num_hops
+1
+>>> repro.design("sk(6,3,2)").verify()
+True
+>>> repro.simulate("sk(2,2,2)", messages=40).num_messages
+40
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from .registry import get_family
+from .spec import NetworkSpec
+
+__all__ = [
+    "build",
+    "route",
+    "simulate",
+    "design",
+    "describe",
+    "sweep",
+    "SweepCell",
+    "SweepResult",
+]
+
+
+def build(spec) -> object:
+    """The network instance named by ``spec``.
+
+    ``spec`` is anything :meth:`NetworkSpec.parse` accepts: a spec, a
+    canonical string, a loose token string, a dict, or a token list.
+    """
+    return NetworkSpec.parse(spec).build()
+
+
+def design(spec) -> object:
+    """The full optical design named by ``spec`` (verifiable, with BOM)."""
+    return NetworkSpec.parse(spec).design()
+
+
+def route(spec, src: int, dst: int):
+    """Route processor ``src -> dst`` on the network named by ``spec``.
+
+    Returns a :class:`~repro.routing.stack_routing.StackRoute` whose
+    hops carry ``(group, mux)`` coupler ids and transmitter ports in
+    the optical design's coordinates, for every family.
+    """
+    parsed = NetworkSpec.parse(spec)
+    family = get_family(parsed.family)
+    net = parsed.build()
+    n = net.num_processors
+    for name, value in (("src", src), ("dst", dst)):
+        if not 0 <= value < n:
+            raise IndexError(
+                f"{name} processor {value} out of range [0, {n}) for {parsed}"
+            )
+    return family.route(net, src, dst)
+
+
+def simulate(
+    spec,
+    workload="uniform",
+    *,
+    messages: int = 200,
+    seed: int = 0,
+    policy=None,
+    max_slots: int = 100_000,
+    **workload_options,
+):
+    """Run ``workload`` on the network named by ``spec``.
+
+    ``workload`` is a registered name (see
+    :func:`repro.core.workloads.workload_names`), a callable, or an
+    explicit ``(src, dst, slot)`` triple list.  Returns the
+    :class:`~repro.simulation.metrics.SimulationReport`.
+    """
+    from ..simulation.network_sim import run_traffic
+    from .workloads import resolve_workload
+
+    parsed = NetworkSpec.parse(spec)
+    family = get_family(parsed.family)
+    net = parsed.build()
+    traffic = resolve_workload(
+        workload, net, messages=messages, seed=seed, **workload_options
+    )
+    sim = family.simulator(net, policy)
+    return run_traffic(sim, traffic, max_slots=max_slots)
+
+
+def describe(spec) -> dict[str, object]:
+    """A JSON-ready summary of the network named by ``spec``.
+
+    >>> describe("pops(4,2)")["processors"]
+    8
+    """
+    parsed = NetworkSpec.parse(spec)
+    net = parsed.build()
+    return {
+        "spec": parsed.canonical(),
+        "family": parsed.family,
+        "params": parsed.params_dict(),
+        "processors": net.num_processors,
+        "groups": net.num_groups,
+        "couplers": net.num_couplers,
+        "coupler_degree": net.coupler_degree,
+        "processor_degree": net.processor_degree,
+        "diameter": net.diameter,
+    }
+
+
+# ----------------------------------------------------------------------
+# Sweep: the scenario matrix
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepCell:
+    """One (spec, workload) cell of a sweep, flattened for tabulation."""
+
+    spec: str
+    workload: str
+    processors: int
+    messages: int
+    slots: int
+    mean_latency: float
+    p95_latency: float
+    max_latency: int
+    mean_hops: float
+    throughput: float
+    coupler_utilization: float
+
+    def as_dict(self) -> dict[str, object]:
+        """Field name -> value mapping (JSON-ready)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def formatted(self) -> str:
+        """Fixed-width table row."""
+        return (
+            f"{self.spec:<14} {self.workload:<12} N={self.processors:<6} "
+            f"msgs={self.messages:<6} slots={self.slots:<6} "
+            f"lat={self.mean_latency:6.2f} p95={self.p95_latency:6.2f} "
+            f"hops={self.mean_hops:5.2f} thr={self.throughput:6.3f} "
+            f"util={self.coupler_utilization:5.3f}"
+        )
+
+    @staticmethod
+    def header() -> str:
+        """Column legend, aligned with :meth:`formatted` field widths."""
+        return (
+            f"{'spec':<14} {'workload':<12} {'N':<8} {'msgs':<11} "
+            f"{'slots':<12} {'lat':<10} {'p95':<10} {'hops':<10} "
+            f"{'thr':<10} util"
+        )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The structured result table of one :func:`sweep` call."""
+
+    cells: tuple[SweepCell, ...]
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def cell(self, spec, workload: str) -> SweepCell:
+        """The cell for ``(spec, workload)``; raises ``KeyError`` if absent."""
+        key = str(NetworkSpec.parse(spec))
+        for c in self.cells:
+            if c.spec == key and c.workload == workload:
+                return c
+        raise KeyError(f"no sweep cell for ({key}, {workload})")
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        """All cells as plain dicts (JSON-ready)."""
+        return [c.as_dict() for c in self.cells]
+
+    def formatted(self) -> str:
+        """The whole matrix as a fixed-width table."""
+        return "\n".join(
+            [SweepCell.header()] + [c.formatted() for c in self.cells]
+        )
+
+
+def sweep(
+    specs,
+    workloads=("uniform", "permutation"),
+    *,
+    messages: int = 200,
+    seed: int = 0,
+    policy=None,
+    max_slots: int = 100_000,
+    **workload_options,
+) -> SweepResult:
+    """Run every workload on every spec; one structured table back.
+
+    ``specs`` is an iterable of anything :meth:`NetworkSpec.parse`
+    accepts; ``workloads`` an iterable of workload names (or callables
+    -- named by their ``__name__``).  Cells appear in spec-major order.
+
+    >>> result = sweep(["pops(4,2)", "sk(2,2,2)"], ["uniform"], messages=40)
+    >>> len(result)
+    2
+    >>> result.cell("pops(4,2)", "uniform").messages
+    40
+    """
+    from ..simulation.network_sim import run_traffic
+    from .workloads import resolve_workload
+
+    parsed = [NetworkSpec.parse(s) for s in specs]
+    workloads = list(workloads)
+    names = [
+        w if isinstance(w, str) else getattr(w, "__name__", repr(w))
+        for w in workloads
+    ]
+    cells = []
+    for spec in parsed:
+        # Build once per spec; each cell gets a fresh simulator over it.
+        family = get_family(spec.family)
+        net = spec.build()
+        for wname, w in zip(names, workloads):
+            traffic = resolve_workload(
+                w, net, messages=messages, seed=seed, **workload_options
+            )
+            report = run_traffic(
+                family.simulator(net, policy), traffic, max_slots=max_slots
+            )
+            cells.append(
+                SweepCell(
+                    spec=spec.canonical(),
+                    workload=wname,
+                    processors=net.num_processors,
+                    messages=report.num_messages,
+                    slots=report.slots,
+                    mean_latency=report.mean_latency,
+                    p95_latency=report.p95_latency,
+                    max_latency=report.max_latency,
+                    mean_hops=report.mean_hops,
+                    throughput=report.throughput,
+                    coupler_utilization=report.coupler_utilization,
+                )
+            )
+    return SweepResult(tuple(cells))

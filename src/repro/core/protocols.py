@@ -1,0 +1,76 @@
+"""The structural `Network` protocol all families satisfy.
+
+The four topology families (POPS, stack-Kautz, stack-Imase-Itoh,
+single-OPS) already share a surface -- processor counts, group
+structure, hop distances, a hypergraph model.  This protocol writes
+that surface down once, so routing, simulation and analysis code can
+be typed (and tested) against *any* network instead of one concrete
+class per family.
+
+>>> from repro.networks import POPSNetwork, StackKautzNetwork
+>>> isinstance(POPSNetwork(4, 2), Network)
+True
+>>> isinstance(StackKautzNetwork(6, 3, 2), Network)
+True
+>>> isinstance(object(), Network)
+False
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..hypergraphs.hypergraph import DirectedHypergraph
+
+__all__ = ["Network"]
+
+
+@runtime_checkable
+class Network(Protocol):
+    """What every multi-OPS network exposes.
+
+    ``isinstance`` checks verify attribute presence only (structural
+    typing); the registry completeness tests exercise the semantics.
+    """
+
+    @property
+    def num_processors(self) -> int:
+        """Total processor count ``N``."""
+        ...
+
+    @property
+    def num_groups(self) -> int:
+        """Number of processor groups (1 for single-OPS)."""
+        ...
+
+    @property
+    def num_couplers(self) -> int:
+        """Number of OPS couplers."""
+        ...
+
+    @property
+    def diameter(self) -> int:
+        """Optical hop diameter."""
+        ...
+
+    @property
+    def processor_degree(self) -> int:
+        """Transceiver pairs per processor."""
+        ...
+
+    @property
+    def coupler_degree(self) -> int:
+        """Inputs (== outputs) per OPS coupler -- the splitting factor."""
+        ...
+
+    def label_of(self, processor: int) -> tuple[int, int]:
+        """``(group, index)`` label of a flat processor id."""
+        ...
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Optical hops needed from ``src`` to ``dst``."""
+        ...
+
+    def hypergraph_model(self) -> DirectedHypergraph:
+        """The directed-hypergraph model the simulator runs on."""
+        ...

@@ -1,0 +1,277 @@
+"""`NetworkSpec`: one canonical, hashable name for every network.
+
+A spec is a family key plus an integer parameter tuple -- ``sk(6,3,2)``
+is the stack-Kautz network of paper Fig. 7, ``pops(4,2)`` the POPS of
+Fig. 4, ``sii(4,3,10)`` a stack-Imase-Itoh machine, ``sops(8)`` the
+single-OPS baseline.  Every facade entry point
+(:func:`repro.build`, :func:`repro.simulate`, ...), the CLI and the
+comparison tables all speak this one language, so "which network" is
+a value you can hash, sort, print and parse back.
+
+Parsing accepts the canonical string, loose token strings, dicts
+(positional or by parameter name) and CLI argv lists; validation is
+driven by the registered family's parameter schema and always names
+the offending parameter.
+
+>>> NetworkSpec.parse("sk(6,3,2)")
+NetworkSpec(family='sk', params=(6, 3, 2))
+>>> str(NetworkSpec.parse("sk 6 3 2"))
+'sk(6,3,2)'
+>>> NetworkSpec.parse({"family": "pops", "t": 4, "g": 2}).params
+(4, 2)
+>>> NetworkSpec.parse("sk(6,3)")
+Traceback (most recent call last):
+    ...
+repro.core.spec.SpecError: sk(s,d,k) takes 3 parameters (s, d, k); missing 'k' (got 2)
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+__all__ = ["NetworkSpec", "Param", "SpecError"]
+
+
+class SpecError(ValueError):
+    """A network spec failed validation; the message names the culprit."""
+
+
+@dataclass(frozen=True)
+class Param:
+    """One entry of a family's parameter schema.
+
+    >>> Param("d", "degree of the group graph", minimum=2)
+    Param(name='d', description='degree of the group graph', minimum=2)
+    """
+
+    name: str
+    description: str
+    minimum: int = 1
+
+
+_SPEC_TOKEN = re.compile(r"[+-]?\d+|[A-Za-z_][A-Za-z0-9_-]*")
+_SPEC_ALLOWED = re.compile(r"^[A-Za-z0-9_+\-,()\s:]*$")
+
+
+def _coerce_int(family: str, param: Param, value: object) -> int:
+    """``value`` as an int, or a :class:`SpecError` naming ``param``."""
+    if isinstance(value, bool):
+        raise SpecError(
+            f"{family} parameter {param.name!r} must be an integer, got {value!r}"
+        )
+    try:
+        out = int(value)  # type: ignore[call-overload]
+    except (TypeError, ValueError):
+        raise SpecError(
+            f"{family} parameter {param.name!r} must be an integer, got {value!r}"
+        ) from None
+    if isinstance(value, float) and value != out:
+        raise SpecError(
+            f"{family} parameter {param.name!r} must be an integer, got {value!r}"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A frozen, hashable network name: family key + parameter tuple.
+
+    Construction validates against the registered family's schema, so a
+    spec that exists is a spec that builds.
+
+    >>> spec = NetworkSpec("sk", (6, 3, 2))
+    >>> spec.canonical()
+    'sk(6,3,2)'
+    >>> spec.params_dict()
+    {'s': 6, 'd': 3, 'k': 2}
+    >>> NetworkSpec("sk", (6, 0, 2))
+    Traceback (most recent call last):
+        ...
+    repro.core.spec.SpecError: sk parameter 'd' must be >= 1, got 0
+    """
+
+    family: str
+    params: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        from .registry import get_family
+
+        family = get_family(self.family)  # raises SpecError when unknown
+        object.__setattr__(self, "family", family.key)
+        schema = family.params
+        signature = f"{family.key}({','.join(p.name for p in schema)})"
+        names = ", ".join(p.name for p in schema)
+        if len(self.params) < len(schema):
+            missing = ", ".join(
+                repr(p.name) for p in schema[len(self.params) :]
+            )
+            raise SpecError(
+                f"{signature} takes {len(schema)} parameters ({names}); "
+                f"missing {missing} (got {len(self.params)})"
+            )
+        if len(self.params) > len(schema):
+            extra = ",".join(map(str, self.params[len(schema) :]))
+            raise SpecError(
+                f"{signature} takes {len(schema)} parameters ({names}); "
+                f"unexpected extra value(s) {extra} after "
+                f"{schema[-1].name!r} (got {len(self.params)})"
+            )
+        coerced = tuple(
+            _coerce_int(family.key, p, v) for p, v in zip(schema, self.params)
+        )
+        for p, v in zip(schema, coerced):
+            if v < p.minimum:
+                raise SpecError(
+                    f"{family.key} parameter {p.name!r} must be "
+                    f">= {p.minimum}, got {v}"
+                )
+        object.__setattr__(self, "params", coerced)
+
+    # ------------------------------------------------------------------
+    # Parsing
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, value: object) -> "NetworkSpec":
+        """Parse a spec from a string, dict, sequence or spec.
+
+        Strings accept the canonical form and loose token forms:
+        ``"sk(6,3,2)"``, ``"sk 6 3 2"``, ``"sk,6,3,2"``, ``"sk: 6 3 2"``.
+        Dicts carry ``{"family": ..., "params": [...]}`` or name the
+        parameters per the family schema.  Sequences are
+        ``(family, p0, p1, ...)`` with string or int entries.
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls._parse_str(value)
+        if isinstance(value, Mapping):
+            return cls._parse_dict(value)
+        if isinstance(value, Sequence):
+            return cls.from_argv([str(tok) for tok in value])
+        raise SpecError(
+            f"cannot parse a network spec from {type(value).__name__}: {value!r}"
+        )
+
+    @classmethod
+    def _parse_str(cls, text: str) -> "NetworkSpec":
+        if not _SPEC_ALLOWED.match(text):
+            raise SpecError(f"malformed network spec {text!r}")
+        tokens = _SPEC_TOKEN.findall(text)
+        if not tokens or not tokens[0][0].isalpha() and tokens[0][0] != "_":
+            raise SpecError(
+                f"malformed network spec {text!r}: expected 'family(p1,p2,...)'"
+            )
+        return cls.from_argv(tokens)
+
+    @classmethod
+    def _parse_dict(cls, data: Mapping) -> "NetworkSpec":
+        from .registry import get_family
+
+        if "family" not in data:
+            raise SpecError(f"spec dict needs a 'family' key, got {dict(data)!r}")
+        family = get_family(str(data["family"]))
+        if "params" in data:
+            extras = set(data) - {"family", "params"}
+            if extras:
+                raise SpecError(
+                    f"{family.key} spec dict mixes 'params' with named "
+                    f"key(s): {', '.join(sorted(map(repr, extras)))}"
+                )
+            params = tuple(data["params"])
+        else:
+            params = []
+            for p in family.params:
+                if p.name not in data:
+                    raise SpecError(
+                        f"{family.key} spec dict is missing parameter {p.name!r}"
+                    )
+                params.append(data[p.name])
+            extras = set(data) - {"family"} - {p.name for p in family.params}
+            if extras:
+                raise SpecError(
+                    f"{family.key} spec dict has unknown key(s): "
+                    f"{', '.join(sorted(map(repr, extras)))}"
+                )
+            params = tuple(params)
+        return cls(family.key, params)
+
+    @classmethod
+    def from_argv(cls, argv: Sequence[str]) -> "NetworkSpec":
+        """Parse CLI-style tokens: ``["sk", "6", "3", "2"]`` or ``["sk(6,3,2)"]``.
+
+        >>> NetworkSpec.from_argv(["pops", "4", "2"])
+        NetworkSpec(family='pops', params=(4, 2))
+        """
+        tokens = [str(tok).strip() for tok in argv if str(tok).strip()]
+        if not tokens:
+            raise SpecError("empty network spec")
+        if len(tokens) == 1 and not _is_intlike(tokens[0]):
+            head = _SPEC_TOKEN.findall(tokens[0])
+            if len(head) > 1:
+                return cls._parse_str(tokens[0])
+        family_key = tokens[0]
+        from .registry import get_family
+
+        family = get_family(family_key)
+        raw = tokens[1:]
+        params = []
+        for i, tok in enumerate(raw):
+            if not _is_intlike(tok):
+                name = (
+                    family.params[i].name
+                    if i < len(family.params)
+                    else f"#{i + 1}"
+                )
+                raise SpecError(
+                    f"{family.key} parameter {name!r} must be an integer, "
+                    f"got {tok!r}"
+                )
+            params.append(int(tok))
+        return cls(family.key, tuple(params))
+
+    # ------------------------------------------------------------------
+    # Canonical form and views
+    # ------------------------------------------------------------------
+    def canonical(self) -> str:
+        """The canonical string form, ``family(p1,p2,...)``."""
+        return f"{self.family}({','.join(map(str, self.params))})"
+
+    def params_dict(self) -> dict[str, int]:
+        """Parameters keyed by their schema names."""
+        from .registry import get_family
+
+        return {
+            p.name: v
+            for p, v in zip(get_family(self.family).params, self.params)
+        }
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready view: family plus named parameters."""
+        return {"family": self.family, **self.params_dict()}
+
+    # ------------------------------------------------------------------
+    # Convenience hops into the registry
+    # ------------------------------------------------------------------
+    def build(self):
+        """The network instance this spec names (see :func:`repro.build`)."""
+        from .registry import get_family
+
+        return get_family(self.family).construct(*self.params)
+
+    def design(self):
+        """The optical design this spec names (see :func:`repro.design`)."""
+        from .registry import get_family
+
+        return get_family(self.family).design(*self.params)
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+
+def _is_intlike(tok: str) -> bool:
+    t = tok.strip()
+    if t and t[0] in "+-":
+        t = t[1:]
+    return t.isdigit()

@@ -1,0 +1,143 @@
+"""Named workloads for the facade and the sweep matrix.
+
+A workload is a function ``(net, *, messages, seed, **options) ->
+[(src, dst, inject_slot), ...]`` registered under a string key, so
+``repro.simulate("sk(6,3,2)", workload="hotspot")`` and the CLI's
+``--workload`` flag resolve by name.  The built-ins wrap the
+generators of :mod:`repro.simulation.traffic`, deriving network-shaped
+defaults (processor count, group size) from the network itself.
+
+>>> sorted(workload_names())
+['bernoulli', 'broadcast', 'group-local', 'hotspot', 'permutation', 'uniform']
+>>> from repro.networks import POPSNetwork
+>>> len(get_workload("permutation")(POPSNetwork(4, 2), messages=0, seed=1))
+8
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from ..simulation.traffic import (
+    bernoulli_stream,
+    broadcast_traffic,
+    group_local_traffic,
+    hotspot_traffic,
+    permutation_traffic,
+    uniform_traffic,
+)
+
+__all__ = [
+    "register_workload",
+    "get_workload",
+    "workload_names",
+    "resolve_workload",
+]
+
+Traffic = list[tuple[int, int, int]]
+WorkloadFn = Callable[..., Traffic]
+
+_WORKLOADS: dict[str, WorkloadFn] = {}
+
+
+def register_workload(name: str):
+    """Decorator registering a traffic generator under ``name``."""
+
+    def deco(fn: WorkloadFn) -> WorkloadFn:
+        key = name.lower()
+        if key in _WORKLOADS:
+            raise ValueError(f"workload {key!r} is already registered")
+        _WORKLOADS[key] = fn
+        return fn
+
+    return deco
+
+
+def get_workload(name: str) -> WorkloadFn:
+    """The registered generator for ``name`` (case-insensitive)."""
+    try:
+        return _WORKLOADS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_WORKLOADS))
+        raise ValueError(
+            f"unknown workload {name!r}; known workloads: {known}"
+        ) from None
+
+
+def workload_names() -> tuple[str, ...]:
+    """All registered workload names, sorted."""
+    return tuple(sorted(_WORKLOADS))
+
+
+def resolve_workload(workload, net, *, messages: int, seed: int, **options) -> Traffic:
+    """Traffic triples for ``workload`` on ``net``.
+
+    ``workload`` may be a registered name, a callable with the workload
+    signature, or an explicit list of ``(src, dst, slot)`` triples
+    (passed through unchanged).
+    """
+    if isinstance(workload, str):
+        fn = get_workload(workload)
+        return fn(net, messages=messages, seed=seed, **options)
+    if callable(workload):
+        return workload(net, messages=messages, seed=seed, **options)
+    if isinstance(workload, Sequence):
+        return [(int(s), int(d), int(t)) for s, d, t in workload]
+    raise TypeError(
+        f"workload must be a name, callable or triple list, "
+        f"got {type(workload).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Built-ins
+# ----------------------------------------------------------------------
+@register_workload("uniform")
+def _uniform(net, *, messages: int, seed: int, **_options) -> Traffic:
+    """Uniform random one-shot messages, ``src != dst``."""
+    return uniform_traffic(net.num_processors, messages, seed=seed)
+
+
+@register_workload("permutation")
+def _permutation(net, *, messages: int, seed: int, **_options) -> Traffic:
+    """One message per processor along a random permutation."""
+    return permutation_traffic(net.num_processors, seed=seed)
+
+
+@register_workload("hotspot")
+def _hotspot(
+    net, *, messages: int, seed: int, hotspot: int = 0, fraction: float = 0.5, **_options
+) -> Traffic:
+    """Uniform traffic with a fraction aimed at one hot processor."""
+    return hotspot_traffic(
+        net.num_processors, messages, hotspot=hotspot, fraction=fraction, seed=seed
+    )
+
+
+@register_workload("broadcast")
+def _broadcast(net, *, messages: int, seed: int, src: int = 0, **_options) -> Traffic:
+    """One unicast message from ``src`` to every other processor."""
+    return broadcast_traffic(net.num_processors, src=src)
+
+
+@register_workload("group-local")
+def _group_local(
+    net, *, messages: int, seed: int, local_fraction: float = 0.8, **_options
+) -> Traffic:
+    """Mostly intra-group traffic; group size read off the network."""
+    group_size = net.num_processors // net.num_groups
+    return group_local_traffic(
+        net.num_processors,
+        group_size,
+        messages,
+        local_fraction=local_fraction,
+        seed=seed,
+    )
+
+
+@register_workload("bernoulli")
+def _bernoulli(
+    net, *, messages: int, seed: int, slots: int = 50, rate: float = 0.05, **_options
+) -> Traffic:
+    """Open-loop Bernoulli arrivals (``messages`` is ignored)."""
+    return bernoulli_stream(net.num_processors, slots, rate, seed=seed)

@@ -280,10 +280,8 @@ class DiGraph:
 
     def num_loops(self) -> int:
         """Number of loop arcs ``u -> u`` (counting multiplicity)."""
-        total = 0
-        for u in range(self._n):
-            total += self.arc_multiplicity(u, u)
-        return total
+        arcs = self.arc_array()
+        return int((arcs[:, 0] == arcs[:, 1]).sum())
 
     def adjacency_matrix(self) -> np.ndarray:
         """Dense ``(n, n)`` multiplicity matrix.  Only for small graphs."""

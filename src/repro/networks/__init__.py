@@ -39,7 +39,7 @@ from .otis_design import (
     otis_for_kautz,
 )
 from .pops import POPSNetwork
-from .single_ops import SingleOPSNetwork, single_ops_simulator
+from .single_ops import SingleOPSDesign, SingleOPSNetwork, single_ops_simulator
 from .stack_imase_itoh import StackImaseItohNetwork
 from .stack_kautz import StackKautzNetwork
 
@@ -52,6 +52,7 @@ __all__ = [
     "OTISImaseItohRealization",
     "POPSDesign",
     "POPSNetwork",
+    "SingleOPSDesign",
     "SingleOPSNetwork",
     "StackImaseItohDesign",
     "StackImaseItohNetwork",

@@ -76,6 +76,21 @@ class POPSNetwork:
         """``g``: one receiver per coupler heard."""
         return self.num_groups
 
+    @property
+    def processor_degree(self) -> int:
+        """``g`` transceiver pairs per processor (protocol surface)."""
+        return self.num_groups
+
+    @property
+    def coupler_degree(self) -> int:
+        """``t``: inputs (== outputs) per coupler -- the splitting factor."""
+        return self.group_size
+
+    @property
+    def diameter(self) -> int:
+        """Optical hop diameter: 1 (0 for the one-processor machine)."""
+        return 1 if self.num_processors > 1 else 0
+
     # ------------------------------------------------------------------
     # Naming
     # ------------------------------------------------------------------
@@ -90,6 +105,11 @@ class POPSNetwork:
         """Group of a flat processor id."""
         self._check_proc(processor)
         return processor // self.group_size
+
+    def label_of(self, processor: int) -> tuple[int, int]:
+        """``(group, index)`` label of a flat processor id."""
+        self._check_proc(processor)
+        return divmod(processor, self.group_size)
 
     def group_members(self, group: int) -> np.ndarray:
         """All processors of ``group``."""
@@ -131,9 +151,19 @@ class POPSNetwork:
         """``sigma(t, K+_g)`` (paper Fig. 5)."""
         return StackGraph(self.group_size, self.base_graph())
 
+    def hypergraph_model(self) -> StackGraph:
+        """Protocol alias for :meth:`stack_graph_model`."""
+        return self.stack_graph_model()
+
     def is_single_hop(self) -> bool:
         """One optical hop joins every ordered processor pair (Sec. 1)."""
         return self.stack_graph_model().is_single_hop()
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """0 to itself, 1 everywhere else -- POPS is single-hop."""
+        self._check_proc(src)
+        self._check_proc(dst)
+        return 0 if src == dst else 1
 
     # ------------------------------------------------------------------
     # One-hop routing

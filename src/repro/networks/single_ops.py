@@ -28,7 +28,7 @@ from ..hypergraphs.hypergraph import DirectedHypergraph, Hyperarc
 from ..optical.components import splitting_loss_db
 from ..optical.ops import OPSCoupler
 
-__all__ = ["SingleOPSNetwork"]
+__all__ = ["SingleOPSNetwork", "SingleOPSDesign"]
 
 
 @dataclass(frozen=True)
@@ -73,6 +73,38 @@ class SingleOPSNetwork:
         """Always 1 -- that is the point."""
         return 1
 
+    @property
+    def num_groups(self) -> int:
+        """One group: the whole machine shares the star."""
+        return 1
+
+    @property
+    def processor_degree(self) -> int:
+        """One statically tuned transceiver pair per processor."""
+        return 1
+
+    @property
+    def coupler_degree(self) -> int:
+        """``n``: everyone splits the one star."""
+        return self.num_processors
+
+    @property
+    def diameter(self) -> int:
+        """1 when single-hop; the virtual-topology diameter otherwise."""
+        if self.num_processors == 1:
+            return 0
+        if self.virtual_topology is None:
+            return 1
+        from ..graphs.properties import diameter as graph_diameter
+
+        return graph_diameter(self.virtual_topology)
+
+    def label_of(self, processor: int) -> tuple[int, int]:
+        """``(0, processor)``: one group holds everyone."""
+        if not 0 <= processor < self.num_processors:
+            raise IndexError(f"processor {processor} out of range")
+        return (0, processor)
+
     def coupler(self) -> OPSCoupler:
         """The one degree-``n`` star."""
         return OPSCoupler(self.num_processors, self.num_processors, label="star")
@@ -89,6 +121,10 @@ class SingleOPSNetwork:
             [Hyperarc(everyone, everyone, label="star")],
             name=f"SingleOPS({self.num_processors})",
         )
+
+    def hypergraph_model(self) -> DirectedHypergraph:
+        """Protocol alias for :meth:`hypergraph`."""
+        return self.hypergraph()
 
     def is_single_hop(self) -> bool:
         """Single-hop iff no virtual topology constrains forwarding."""
@@ -122,6 +158,72 @@ class SingleOPSNetwork:
             else f",virtual={self.virtual_topology.name or 'G'}"
         )
         return f"SingleOPS({self.num_processors}{tag})"
+
+
+class SingleOPSDesign:
+    """The (trivial) optical design of a single-OPS machine.
+
+    One multiplexer/beam-splitter pair forms the star; there is no OTIS
+    stage at all.  Exists so the facade can drive ``sops`` through the
+    same build -> route -> simulate -> design pipeline as the multi-OPS
+    families, and so the comparison tables can price the baseline.
+
+    >>> d = SingleOPSDesign(8)
+    >>> d.verify()
+    True
+    >>> d.bill_of_materials().couplers
+    1
+    """
+
+    def __init__(self, num_processors: int) -> None:
+        self.network = SingleOPSNetwork(num_processors)
+        self.num_processors = num_processors
+        self.name = f"SingleOPS({num_processors})"
+
+    def verify(self) -> bool:
+        """The one hyperarc covers every ordered processor pair."""
+        model = self.network.hypergraph()
+        return model.num_hyperarcs == 1 and model.is_single_hop()
+
+    def bill_of_materials(self):
+        """Component counts: one star, ``n`` transceiver pairs, no OTIS."""
+        from .design import BillOfMaterials
+
+        n = self.num_processors
+        return BillOfMaterials(
+            otis_units={},
+            multiplexers=1,
+            beam_splitters=1,
+            loop_fibers=0,
+            transmitters=n,
+            receivers=n,
+            couplers=1,
+        )
+
+    def worst_case_power_budget(
+        self, transmitter=None, receiver=None, fiber_length_m: float = 1.0
+    ):
+        """Loss audit: the whole machine rides one ``1/n`` split."""
+        from ..optical.components import (
+            BeamSplitter,
+            OpticalFiber,
+            OpticalMultiplexer,
+            Receiver,
+            Transmitter,
+        )
+        from ..optical.power import PowerBudget
+
+        tx = transmitter if transmitter is not None else Transmitter()
+        rx = receiver if receiver is not None else Receiver()
+        path = (
+            OpticalMultiplexer(fan_in=self.num_processors),
+            OpticalFiber(length_m=fiber_length_m),
+            BeamSplitter(fan_out=self.num_processors),
+        )
+        return PowerBudget(tx, path, rx)
+
+    def __repr__(self) -> str:
+        return f"<SingleOPSDesign {self.name}>"
 
 
 def single_ops_simulator(net: SingleOPSNetwork, policy=None):

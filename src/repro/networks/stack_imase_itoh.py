@@ -74,6 +74,35 @@ class StackImaseItohNetwork:
         """``ceil(log_d n)`` -- the bound of [15] on the group graph."""
         return imase_itoh_diameter_bound(self.degree, self.num_groups)
 
+    @property
+    def coupler_degree(self) -> int:
+        """``s``: inputs (== outputs) per coupler -- the splitting factor."""
+        return self.stacking_factor
+
+    @property
+    def diameter(self) -> int:
+        """Exact optical hop diameter of ``sigma(s, II+(d, n))``.
+
+        The group-graph diameter (loops never shorten inter-group
+        paths), except that for ``s >= 2`` same-group siblings cost one
+        loop-coupler hop, so the result is at least 1.  Always within
+        the :attr:`diameter_bound` of [15].
+        """
+        base_diam = self._base_diameter_cached(self.degree, self.num_groups)
+        floor = 1 if self.stacking_factor > 1 and self.num_groups >= 1 else 0
+        return max(base_diam, floor) if self.num_processors > 1 else 0
+
+    @staticmethod
+    @lru_cache(maxsize=64)
+    def _base_diameter_cached(d: int, n: int) -> int:
+        g = StackImaseItohNetwork._base_cached(d, n).without_loops()
+        if n == 1:
+            return 0
+        dist = np.stack([g.bfs_distances(u) for u in range(n)])
+        if (dist < 0).any():
+            raise ValueError(f"II({d},{n}) is not strongly connected")
+        return int(dist.max())
+
     def processor_id(self, group: int, index: int) -> int:
         """Flat id of processor ``(x, y)``."""
         if not 0 <= group < self.num_groups:
@@ -122,6 +151,21 @@ class StackImaseItohNetwork:
     def stack_graph_model(self) -> StackGraph:
         """``sigma(s, II+(d, n))``."""
         return StackGraph(self.stacking_factor, self.base_graph())
+
+    def hypergraph_model(self) -> StackGraph:
+        """Protocol alias for :meth:`stack_graph_model`."""
+        return self.stack_graph_model()
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Optical hops from ``src`` to ``dst``: 0 self, 1 sibling,
+        group-graph distance otherwise."""
+        xs, _ = self.label_of(src)
+        xd, _ = self.label_of(dst)
+        if src == dst:
+            return 0
+        if xs == xd:
+            return 1
+        return int(self.base_graph().without_loops().bfs_distances(xs)[xd])
 
     def couplers(self) -> list[OPSCoupler]:
         """All couplers in base CSR arc order, labeled by their base arc."""

@@ -85,6 +85,11 @@ class StackKautzNetwork:
         """
         return self.num_groups * (self.degree + 1)
 
+    @property
+    def coupler_degree(self) -> int:
+        """``s``: inputs (== outputs) per coupler -- the splitting factor."""
+        return self.stacking_factor
+
     # ------------------------------------------------------------------
     # Naming
     # ------------------------------------------------------------------
@@ -149,6 +154,10 @@ class StackKautzNetwork:
     def stack_graph_model(self) -> StackGraph:
         """``sigma(s, KG+(d, k))`` -- Definition 4."""
         return StackGraph(self.stacking_factor, self.base_graph())
+
+    def hypergraph_model(self) -> StackGraph:
+        """Protocol alias for :meth:`stack_graph_model`."""
+        return self.stack_graph_model()
 
     def couplers(self) -> list[OPSCoupler]:
         """All couplers, degree ``s``, labeled ``(x, v)`` per base arc.

@@ -14,6 +14,7 @@ from .metrics import SimulationReport, summarize
 from .network_sim import (
     pops_simulator,
     run_traffic,
+    simulator_for,
     stack_imase_itoh_simulator,
     stack_kautz_simulator,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "permutation_traffic",
     "pops_simulator",
     "run_traffic",
+    "simulator_for",
     "stack_imase_itoh_simulator",
     "stack_kautz_deflection_simulator",
     "stack_kautz_simulator",

@@ -21,8 +21,25 @@ __all__ = [
     "pops_simulator",
     "stack_kautz_simulator",
     "stack_imase_itoh_simulator",
+    "simulator_for",
     "run_traffic",
 ]
+
+
+def simulator_for(net, policy: ArbitrationPolicy | None = None) -> SlottedSimulator:
+    """A ready simulator for *any* registered network, by instance.
+
+    Dispatches through the family registry
+    (:func:`repro.core.registry.family_for_network`), so a newly
+    registered family is simulatable here with no edits to this module.
+
+    >>> from repro.networks import POPSNetwork
+    >>> simulator_for(POPSNetwork(4, 2)).network.num_hyperarcs
+    4
+    """
+    from ..core.registry import family_for_network
+
+    return family_for_network(net).simulator(net, policy)
 
 
 def pops_simulator(

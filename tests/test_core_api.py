@@ -1,0 +1,347 @@
+"""Tests for the core subsystem: specs, registry, facade, back-compat.
+
+Three contracts the API redesign must honour:
+
+1. spec strings round-trip (``str(parse(s)) == canonical(s)``) across
+   every accepted input form;
+2. registry completeness -- every registered family builds, routes,
+   simulates and designs through the facade, satisfying the
+   :class:`repro.core.Network` protocol;
+3. back-compat -- every name in the pre-redesign public API still
+   imports and works.
+"""
+
+import json
+
+import pytest
+
+import repro
+from repro.__main__ import main
+from repro.core import (
+    Network,
+    NetworkSpec,
+    SpecError,
+    build,
+    describe,
+    design,
+    family_for_network,
+    family_keys,
+    get_family,
+    get_workload,
+    iter_families,
+    route,
+    simulate,
+    sweep,
+    workload_names,
+)
+
+# One modest, fast instance per family (>= 2 processors so every
+# workload generator applies).
+EXAMPLES = {
+    "pops": "pops(4,2)",
+    "sk": "sk(2,2,2)",
+    "sii": "sii(2,3,10)",
+    "sops": "sops(6)",
+}
+
+
+class TestSpecRoundTrip:
+    CANONICAL = ["pops(4,2)", "sk(6,3,2)", "sii(4,3,10)", "sops(8)"]
+
+    @pytest.mark.parametrize("text", CANONICAL)
+    def test_canonical_round_trip(self, text):
+        assert str(NetworkSpec.parse(text)) == text
+
+    def test_loose_forms_normalize(self):
+        for variant in ["sk 6 3 2", "sk,6,3,2", "sk(6, 3, 2)", " sk : 6 3 2 "]:
+            assert str(NetworkSpec.parse(variant)) == "sk(6,3,2)"
+
+    def test_dict_forms(self):
+        by_name = NetworkSpec.parse({"family": "sk", "s": 6, "d": 3, "k": 2})
+        by_params = NetworkSpec.parse({"family": "sk", "params": [6, 3, 2]})
+        assert by_name == by_params == NetworkSpec("sk", (6, 3, 2))
+
+    def test_argv_and_sequence_forms(self):
+        assert NetworkSpec.from_argv(["pops", "4", "2"]) == NetworkSpec("pops", (4, 2))
+        assert NetworkSpec.parse(("pops", 4, 2)) == NetworkSpec("pops", (4, 2))
+
+    def test_spec_is_hashable_and_equal(self):
+        a = NetworkSpec.parse("sk(6,3,2)")
+        b = NetworkSpec.parse("sk 6 3 2")
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_aliases_resolve_to_canonical_key(self):
+        assert NetworkSpec.parse("stack-kautz(6,3,2)").family == "sk"
+        assert NetworkSpec.parse("SingleOPS(8)").family == "sops"
+
+    def test_params_dict(self):
+        assert NetworkSpec.parse("sii(4,3,10)").params_dict() == {
+            "s": 4, "d": 3, "n": 10,
+        }
+
+
+class TestSpecValidation:
+    def test_missing_parameter_is_named(self):
+        with pytest.raises(SpecError, match="'k'"):
+            NetworkSpec.parse("sk(6,3)")
+
+    def test_extra_parameter_is_reported(self):
+        with pytest.raises(SpecError, match="takes 2 parameters"):
+            NetworkSpec.parse("pops(4,2,9)")
+
+    def test_minimum_violation_names_parameter(self):
+        with pytest.raises(SpecError, match="'d' must be >= 2"):
+            NetworkSpec.parse("sii(4,1,10)")
+
+    def test_unknown_family_lists_known(self):
+        with pytest.raises(SpecError, match="known families"):
+            NetworkSpec.parse("warp(3)")
+
+    def test_non_integer_parameter_is_named(self):
+        with pytest.raises(SpecError, match="'d'"):
+            NetworkSpec.from_argv(["sk", "6", "x", "2"])
+
+    def test_dict_missing_parameter_is_named(self):
+        with pytest.raises(SpecError, match="'k'"):
+            NetworkSpec.parse({"family": "sk", "s": 6, "d": 3})
+
+    def test_spec_error_is_value_error(self):
+        assert issubclass(SpecError, ValueError)
+
+
+class TestRegistryCompleteness:
+    def test_all_families_registered(self):
+        assert set(family_keys()) == set(EXAMPLES)
+
+    @pytest.mark.parametrize("key", sorted(EXAMPLES))
+    def test_build_satisfies_protocol(self, key):
+        net = build(EXAMPLES[key])
+        assert isinstance(net, Network)
+        assert net.num_processors >= 2
+        assert net.num_groups >= 1
+        assert net.diameter >= 1
+        assert net.label_of(0) == (0, 0)
+        assert net.hypergraph_model().num_nodes == net.num_processors
+
+    @pytest.mark.parametrize("key", sorted(EXAMPLES))
+    def test_route_within_diameter(self, key):
+        net = build(EXAMPLES[key])
+        n = net.num_processors
+        for src, dst in [(0, n - 1), (n - 1, 0), (1, 1)]:
+            rt = route(EXAMPLES[key], src, dst)
+            assert rt.src == src and rt.dst == dst
+            assert (rt.num_hops == 0) == (src == dst)
+            assert rt.num_hops <= net.diameter
+            assert rt.num_hops == net.hop_distance(src, dst)
+
+    @pytest.mark.parametrize("key", sorted(EXAMPLES))
+    def test_simulate_delivers(self, key):
+        rep = simulate(EXAMPLES[key], "uniform", messages=40, seed=3)
+        assert rep.num_messages == 40
+        assert rep.throughput > 0
+
+    @pytest.mark.parametrize("key", sorted(EXAMPLES))
+    def test_design_verifies_with_bom(self, key):
+        dsg = design(EXAMPLES[key])
+        assert dsg.verify()
+        bom = dsg.bill_of_materials()
+        assert bom.couplers >= 1
+        assert dsg.worst_case_power_budget().total_loss_db() > 0
+
+    @pytest.mark.parametrize("key", sorted(EXAMPLES))
+    def test_sizes_enumerator_hits_target(self, key):
+        for spec in get_family(key).sizes(48):
+            assert spec.family == key
+            assert build(spec).num_processors == 48
+
+    def test_family_for_network_instance(self):
+        assert family_for_network(repro.POPSNetwork(4, 2)).key == "pops"
+        assert family_for_network(repro.StackKautzNetwork(2, 2, 2)).key == "sk"
+        with pytest.raises(SpecError):
+            family_for_network(object())
+
+    def test_iter_families_sorted(self):
+        keys = [f.key for f in iter_families()]
+        assert keys == sorted(keys)
+
+    def test_register_rejects_key_colliding_with_alias(self):
+        # Regression: a key equal to an existing alias would be
+        # registered but unreachable (the alias resolves first).
+        from repro.core import NetworkFamily, register_family
+
+        with pytest.raises(ValueError, match="already taken"):
+            @register_family
+            class _Shadow(NetworkFamily):
+                key = "stack-kautz"
+
+    def test_register_rejects_duplicate_key(self):
+        from repro.core import NetworkFamily, register_family
+
+        with pytest.raises(ValueError, match="already taken"):
+            @register_family
+            class _Dup(NetworkFamily):
+                key = "pops"
+
+    def test_describe_shape(self):
+        info = describe("sk(6,3,2)")
+        assert info["processors"] == 72
+        assert info["diameter"] == 2
+        assert info["params"] == {"s": 6, "d": 3, "k": 2}
+
+    def test_route_bounds_checked(self):
+        with pytest.raises(IndexError, match="dst"):
+            route("pops(4,2)", 0, 99)
+
+
+class TestWorkloads:
+    def test_registry_names(self):
+        assert {"uniform", "permutation", "hotspot", "broadcast",
+                "group-local", "bernoulli"} <= set(workload_names())
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ValueError, match="known workloads"):
+            get_workload("tsunami")
+
+    @pytest.mark.parametrize("name", ["permutation", "hotspot", "broadcast",
+                                      "group-local", "bernoulli"])
+    def test_each_workload_simulates(self, name):
+        rep = simulate("sk(2,2,2)", name, messages=24, seed=5)
+        assert rep.slots > 0
+
+    def test_explicit_triples_pass_through(self):
+        rep = simulate("pops(4,2)", [(0, 5, 0), (1, 6, 0)])
+        assert rep.num_messages == 2
+
+
+class TestSweep:
+    def test_matrix_shape_and_cells(self):
+        specs = ["pops(4,2)", "sk(2,2,2)", "sops(6)"]
+        result = sweep(specs, ["uniform", "permutation"], messages=30, seed=2)
+        assert len(result) == 6
+        assert len(result.as_dicts()) == 6
+        for cell in result:
+            assert cell.slots > 0
+            assert cell.throughput > 0
+        cell = result.cell("sk 2 2 2", "uniform")
+        assert cell.messages == 30
+        assert "sk(2,2,2)" in result.formatted()
+
+    def test_missing_cell_raises(self):
+        result = sweep(["pops(4,2)"], ["uniform"], messages=10)
+        with pytest.raises(KeyError):
+            result.cell("pops(4,2)", "hotspot")
+
+    def test_workloads_may_be_a_generator(self):
+        # Regression: a generator must not be exhausted building labels.
+        result = sweep(
+            ["pops(4,2)"], (w for w in ["uniform", "permutation"]), messages=10
+        )
+        assert len(result) == 2
+
+
+class TestBackCompatShims:
+    def test_all_public_names_still_import(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_legacy_entry_points_work(self):
+        assert repro.POPSDesign(4, 2).verify()
+        net = repro.StackKautzNetwork(2, 2, 2)
+        sim = repro.stack_kautz_simulator(net)
+        rep = repro.run_traffic(sim, repro.simulation.uniform_traffic(12, 20))
+        assert rep.num_messages == 20
+        assert repro.stack_kautz_route(net, 0, 11).num_hops <= 2
+
+    def test_facade_and_legacy_agree(self):
+        legacy = repro.StackKautzDesign(6, 3, 2).bill_of_materials()
+        facade = design("sk(6,3,2)").bill_of_materials()
+        assert legacy == facade
+
+    def test_simulator_for_dispatches_by_instance(self):
+        sim = repro.simulator_for(repro.POPSNetwork(4, 2))
+        assert sim.network.num_hyperarcs == 4
+
+    def test_comparison_shims(self):
+        from repro.analysis import pops_row, stack_kautz_row, topology_row
+
+        assert pops_row(4, 2) == topology_row("pops(4,2)")
+        assert stack_kautz_row(6, 3, 2) == topology_row("sk(6,3,2)")
+
+
+class TestCLISpecForms:
+    def test_design_spec_string(self, capsys):
+        assert main(["design", "sk(6,3,2)"]) == 0
+        assert "verified: True" in capsys.readouterr().out
+
+    def test_design_json(self, capsys):
+        assert main(["design", "pops(4,2)", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["verified"] is True
+        assert data["bill_of_materials"]["couplers"] == 4
+
+    def test_design_missing_param_names_it(self, capsys):
+        assert main(["design", "sk", "6", "3"]) == 2
+        assert "'k'" in capsys.readouterr().err
+
+    def test_design_sops(self, capsys):
+        assert main(["design", "sops(8)"]) == 0
+        assert "OPS coupler" in capsys.readouterr().out
+
+    def test_route_spec_form(self, capsys):
+        assert main(["route", "sii(4,3,10)", "0", "39"]) == 0
+        assert "hops:" in capsys.readouterr().out
+
+    def test_route_json(self, capsys):
+        assert main(["route", "sk(6,3,2)", "0", "71", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["num_hops"] <= 2
+        assert all("mux" in hop for hop in data["hops"])
+
+    def test_simulate_spec_and_workload(self, capsys):
+        assert main(["simulate", "pops(4,2)", "--workload", "hotspot",
+                     "--messages", "30"]) == 0
+        assert "msgs=" in capsys.readouterr().out
+
+    def test_simulate_unknown_workload(self, capsys):
+        assert main(["simulate", "pops(4,2)", "--workload", "nope"]) == 2
+        assert "known workloads" in capsys.readouterr().err
+
+    def test_sweep_matrix(self, capsys):
+        assert main(["sweep", "pops(4,2)", "sk(2,2,2)", "sops(6)",
+                     "--workloads", "uniform", "permutation",
+                     "--messages", "20", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data) == 6
+        assert {cell["workload"] for cell in data} == {"uniform", "permutation"}
+
+    def test_compare_all_families(self, capsys):
+        assert main(["compare", "24", "--families", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "SII" in out and "SingleOPS" in out
+
+    def test_compare_json(self, capsys):
+        assert main(["compare", "24", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert all(row["processors"] == 24 for row in data)
+
+
+class TestNumLoopsVectorized:
+    def test_counts_match_multiplicity(self):
+        from repro.graphs import DiGraph
+
+        g = DiGraph(4, [(0, 0), (0, 0), (1, 2), (2, 2), (3, 0)])
+        assert g.num_loops() == 3
+        assert g.num_loops() == sum(
+            g.arc_multiplicity(u, u) for u in range(4)
+        )
+
+    def test_no_loops(self):
+        from repro.graphs import kautz_graph
+
+        assert kautz_graph(3, 2).num_loops() == 0
+
+    def test_with_extra_loops(self):
+        from repro.graphs import kautz_graph
+
+        assert kautz_graph(3, 2).with_extra_loops().num_loops() == 12

@@ -12,7 +12,7 @@ import pytest
 
 import repro
 
-MODULES = sorted(
+MODULES = ["repro"] + sorted(
     name
     for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
     if not name.endswith("__main__")
