@@ -1,87 +1,94 @@
 #!/usr/bin/env python3
-"""Fault-tolerant routing on a Kautz-based machine (paper Sec. 2.5).
+"""Fault-tolerant routing and survivability, facade edition (Sec. 2.5).
 
-Demonstrates the d-1 fault survival claim on KG(3, 3) (36 groups):
-inject node and link faults, route around them within the k+2 bound,
-and show what happens past the guarantee (d faults can disconnect).
+The d-1 fault survival claim, demonstrated on *built* networks instead
+of hand-assembled Kautz words: inject seeded fault scenarios through
+``repro.degrade``, watch degraded-mode routing stay within the k+2
+bound, then sweep Monte-Carlo survivability across every registered
+family with ``repro.resilience_sweep``.
 
-Run:  python examples/fault_tolerant_routing.py
+Run:  PYTHONPATH=src python examples/fault_tolerant_routing.py
 """
 
-from repro.graphs import kautz_words
-from repro.routing import (
-    FaultSet,
-    candidate_paths,
-    fault_tolerant_route,
-    kautz_route,
-)
+import repro
 
-D, K = 3, 3
+SPEC = "sk(2,3,2)"  # d = 3: survives any d-1 = 2 faults within k+2
 
 
-def show(label: str, path) -> None:
+def show_route(tag: str, path) -> None:
     if path is None:
-        print(f"  {label}: NO ROUTE")
+        print(f"  {tag}: NO ROUTE")
     else:
-        pretty = " -> ".join("".join(map(str, w)) for w in path)
-        print(f"  {label}: {pretty}   (length {len(path) - 1})")
+        pretty = " -> ".join(str(g) for g in path)
+        print(f"  {tag}: groups {pretty}   (length {len(path) - 1})")
 
 
 def main() -> None:
-    words = list(kautz_words(D, K))
-    x, y = words[0], words[-1]
-    print(f"KG({D},{K}): routing {''.join(map(str, x))} -> {''.join(map(str, y))}")
-    print(f"guarantee: surviving route of length <= k+2 = {K + 2} under d-1 = {D - 1} faults\n")
-
-    greedy = kautz_route(x, y, D)
-    show("fault-free greedy route", greedy)
-
-    # ------------------------------------------------------------------
-    # Fault 1..d-1: kill internal nodes of the greedy route, reroute.
-    # ------------------------------------------------------------------
-    faults: list = []
-    current = greedy
-    for trial in range(D - 1):
-        internal = [w for w in current[1:-1] if w not in faults]
-        if not internal:
-            break
-        faults.append(internal[0])
-        fault_set = FaultSet.of(nodes=faults)
-        current = fault_tolerant_route(x, y, D, fault_set, max_length=K + 2)
-        print(f"\nafter killing node {''.join(map(str, faults[-1]))} "
-              f"({len(faults)} fault(s)):")
-        show("rerouted", current)
-        assert current is not None and not fault_set.blocks(current)
+    net = repro.build(SPEC)
+    k, d = net.diameter, net.degree
+    print(f"{SPEC}: {net.num_processors} processors, "
+          f"{net.num_groups} groups, {net.num_couplers} couplers")
+    print(f"guarantee: routes of length <= k+2 = {k + 2} under "
+          f"d-1 = {d - 1} faults\n")
 
     # ------------------------------------------------------------------
-    # Link faults: kill the first arc repeatedly.
+    # Kill the current route's first hop, d-1 times: always a detour.
     # ------------------------------------------------------------------
-    print("\nlink faults on every greedy first hop:")
-    arc_faults = []
-    route = greedy
-    for _ in range(D - 1):
-        arc_faults.append((route[0], route[1]))
-        fs = FaultSet.of(arcs=arc_faults)
-        route = fault_tolerant_route(x, y, D, fs, max_length=K + 2)
-        show(f"avoiding {len(arc_faults)} dead link(s)", route)
-        assert route is not None
+    from repro.resilience import DegradedNetwork, FaultScenario
+
+    endpoints_by_arc = {
+        arc: c
+        for c, arc in enumerate(repro.resilience.coupler_endpoints(net))
+    }
+    src_group, dst_group = 0, net.num_groups - 1
+    dead: set = set()
+    deg = repro.degrade(SPEC, faults=0)
+    path = deg.fault_route(src_group, dst_group)
+    show_route("fault-free route", path)
+    for trial in range(d - 1):
+        dead.add(endpoints_by_arc[(path[0], path[1])])
+        deg = DegradedNetwork(
+            net, FaultScenario(SPEC, "manual", trial, couplers=frozenset(dead))
+        )
+        path = deg.fault_route(src_group, dst_group)
+        show_route(f"after killing first-hop coupler #{len(dead)}", path)
+        assert path is not None and len(path) - 1 <= k + 2
 
     # ------------------------------------------------------------------
-    # The candidate family behind the guarantee.
+    # The adversarial model attacks the first-hop diversity directly.
     # ------------------------------------------------------------------
-    cands = candidate_paths(x, y, D)
-    print(f"\nstructured candidate family: {len(cands)} simple paths, "
-          f"lengths {sorted(set(len(p) - 1 for p in cands))}")
-    first_hops = sorted({''.join(map(str, p[1])) for p in cands if len(p) > 1})
-    print(f"distinct first hops covered: {first_hops} (need all {D} for d-1 faults)")
+    print("\nadversarial worst-first-hop attack:")
+    endpoints = repro.resilience.coupler_endpoints(net)
+    for faults in (d - 1, d):
+        deg = repro.degrade(SPEC, model="adversarial", faults=faults, seed=0)
+        victim = min(endpoints[c][0] for c in deg.dead_couplers)
+        row = repro.resilience.measure(deg, messages=40, seed=1)
+        print(f"  {faults} first-hop fault(s) at group {victim}: "
+              f"connectivity {row.connectivity:.3f}, "
+              f"delivery {row.delivery_ratio:.3f} "
+              f"({'within guarantee' if faults < d else 'past it'})")
 
     # ------------------------------------------------------------------
-    # Past the guarantee: d faults can sever the source completely.
+    # Survivability table across every registered family (equal-ish N).
     # ------------------------------------------------------------------
-    neighbors = [x[1:] + (z,) for z in range(D + 1) if z != x[-1]]
-    fs = FaultSet.of(nodes=neighbors)
-    print(f"\nkilling all {D} out-neighbors of the source (one past the bound):")
-    show("route", fault_tolerant_route(x, y, D, fs))
+    specs = ["pops(4,3)", "pops(6,2)", "sk(2,2,2)", "sii(2,2,6)", "sops(12)"]
+    print("\nMonte-Carlo survivability, 1 random coupler fault, 30 trials:")
+    print(f"  {'spec':<12} {'N':>4} {'connect p05':>12} "
+          f"{'delivery p05':>13} {'latency x p95':>14} {'partitioned':>12}")
+    for spec in specs:
+        s = repro.resilience_sweep(
+            spec, model="coupler", faults=1, trials=30, seed=7, messages=40
+        )
+        n = repro.build(spec).num_processors
+        q = s.quantiles
+        print(f"  {spec:<12} {n:>4} {q['connectivity']['p05']:>12.3f} "
+              f"{q['delivery_ratio']['p05']:>13.3f} "
+              f"{q['latency_inflation']['p95']:>14.2f} "
+              f"{100 * s.partitioned_fraction:>11.1f}%")
+    print("\nshape: multi-hop fabrics (sk/sii) and g>=3 POPS reroute around")
+    print("a dead coupler at some latency cost; two-group POPS partitions")
+    print("whenever the single inter-group medium dies (sops' one star is")
+    print("the whole machine, so the model never removes it outright).")
 
 
 if __name__ == "__main__":

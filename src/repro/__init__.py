@@ -56,11 +56,25 @@ Subpackages
     Broadcast, gossip, embeddings.
 :mod:`repro.simulation`
     Slotted discrete-event simulation with traffic generators.
+:mod:`repro.resilience`
+    Fault injection, degraded-mode operation, Monte-Carlo
+    survivability sweeps.
 :mod:`repro.analysis`
     Moore bounds and cross-topology comparisons.
 """
 
-from . import analysis, comm, core, graphs, hypergraphs, networks, optical, routing, simulation
+from . import (
+    analysis,
+    comm,
+    core,
+    graphs,
+    hypergraphs,
+    networks,
+    optical,
+    resilience,
+    routing,
+    simulation,
+)
 from .core import (
     Network,
     NetworkFamily,
@@ -69,14 +83,24 @@ from .core import (
     SweepCell,
     SweepResult,
     build,
+    degrade,
     describe,
     design,
     get_family,
     family_keys,
     register_family,
+    resilience_sweep,
     route,
     simulate,
     sweep,
+)
+from .resilience import (
+    DegradedNetwork,
+    FaultModel,
+    FaultScenario,
+    SweepSummary,
+    make_fault_model,
+    survivability_sweep,
 )
 from .graphs import (
     DiGraph,
@@ -120,8 +144,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "OTIS",
+    "DegradedNetwork",
     "DiGraph",
     "DirectedHypergraph",
+    "FaultModel",
+    "FaultScenario",
     "FaultSet",
     "Hyperarc",
     "Network",
@@ -144,9 +171,11 @@ __all__ = [
     "StackKautzNetwork",
     "SweepCell",
     "SweepResult",
+    "SweepSummary",
     "analysis",
     "build",
     "core",
+    "degrade",
     "describe",
     "design",
     "comm",
@@ -163,14 +192,18 @@ __all__ = [
     "kautz_graph_with_loops",
     "kautz_num_nodes",
     "kautz_route",
+    "make_fault_model",
     "networks",
     "optical",
     "otis_for_kautz",
     "pops_simulator",
     "register_family",
+    "resilience",
+    "resilience_sweep",
     "route",
     "routing",
     "run_traffic",
+    "survivability_sweep",
     "simulate",
     "simulator_for",
     "simulation",

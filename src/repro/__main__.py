@@ -18,6 +18,7 @@ Usage::
     python -m repro simulate "sops(8)" --workload hotspot
     python -m repro compare 48                 # equal-N design table
     python -m repro sweep "sk(2,2,2)" "pops(4,2)" --workloads uniform permutation
+    python -m repro resilience "sk(6,3,2)" --faults 2 --trials 1000 --json
 """
 
 from __future__ import annotations
@@ -205,6 +206,31 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from .core import resilience_sweep
+
+    try:
+        spec = NetworkSpec.from_argv(args.spec)
+        summary = resilience_sweep(
+            spec,
+            model=args.model,
+            faults=args.faults,
+            trials=args.trials,
+            seed=args.seed,
+            workers=args.workers,
+            workload=args.workload,
+            messages=args.messages,
+        )
+    except (SpecError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(summary.to_json())
+        return 0
+    print(summary.formatted())
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from .analysis import TopologyRow, equal_size_comparison
     from .analysis.comparison import DEFAULT_COMPARISON_FAMILIES
@@ -298,6 +324,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "resilience",
+        help="Monte-Carlo survivability under injected faults",
+    )
+    p.add_argument(
+        "spec",
+        nargs="+",
+        help='network spec ("sk(6,3,2)") or positional (sk 6 3 2)',
+    )
+    p.add_argument(
+        "--model",
+        default="coupler",
+        help="fault model: coupler, processor, link, adversarial, group",
+    )
+    p.add_argument(
+        "--faults", type=int, default=1, help="faults injected per trial"
+    )
+    p.add_argument(
+        "--trials", type=int, default=100, help="Monte-Carlo trials"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="multiprocessing workers (results are worker-count independent)",
+    )
+    p.add_argument("--messages", type=int, default=60)
+    p.add_argument(
+        "--workload",
+        default="uniform",
+        help="workload run on each degraded machine",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_resilience)
 
     p = sub.add_parser("compare", help="equal-N design comparison table")
     p.add_argument("n", type=int)

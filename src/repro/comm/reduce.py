@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..graphs.properties import eccentricities
 from ..networks.pops import POPSNetwork
 from ..networks.stack_kautz import StackKautzNetwork
 from ..routing.tables import build_routing_table

@@ -4,18 +4,23 @@ This package is the front door of :mod:`repro`.  One
 :class:`NetworkSpec` names any network (``"sk(6,3,2)"``,
 ``"pops(4,2)"``, ``"sii(4,3,10)"``, ``"sops(8)"``); the registry maps
 each family key to a :class:`NetworkFamily` descriptor bundling
-constructor, router, simulator, optical design and equal-``N``
-enumerator; and the facade verbs (:func:`build`, :func:`route`,
-:func:`simulate`, :func:`design`, :func:`sweep`) drive any registered
-family end to end without per-family dispatch anywhere downstream.
+constructor, router, simulator, optical design, degraded-mode router
+(``fault_route``) and equal-``N`` enumerator; and the facade verbs
+(:func:`build`, :func:`route`, :func:`simulate`, :func:`design`,
+:func:`sweep`, :func:`degrade`, :func:`resilience_sweep`) drive any
+registered family end to end without per-family dispatch anywhere
+downstream.  The resilience verbs apply seeded fault scenarios from
+:mod:`repro.resilience` and measure what survives.
 """
 
 from .facade import (
     SweepCell,
     SweepResult,
     build,
+    degrade,
     describe,
     design,
+    resilience_sweep,
     route,
     simulate,
     sweep,
@@ -41,6 +46,7 @@ __all__ = [
     "SweepCell",
     "SweepResult",
     "build",
+    "degrade",
     "describe",
     "design",
     "family_for_network",
@@ -50,6 +56,7 @@ __all__ = [
     "iter_families",
     "register_family",
     "register_workload",
+    "resilience_sweep",
     "route",
     "simulate",
     "sweep",

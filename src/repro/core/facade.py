@@ -9,7 +9,11 @@ parseable into one) naming the machine:
 * :func:`simulate` -- run a named workload, get a
   :class:`~repro.simulation.metrics.SimulationReport`;
 * :func:`design` -- the verifiable OTIS optical design with its BOM;
-* :func:`sweep` -- a specs x workloads result matrix in one call.
+* :func:`sweep` -- a specs x workloads result matrix in one call;
+* :func:`degrade` -- the network with an injected fault scenario, as a
+  :class:`~repro.resilience.degrade.DegradedNetwork`;
+* :func:`resilience_sweep` -- Monte-Carlo survivability quantiles
+  under seeded fault models, parallel and worker-count deterministic.
 
 >>> import repro
 >>> repro.build("sk(6,3,2)").num_processors
@@ -36,6 +40,8 @@ __all__ = [
     "design",
     "describe",
     "sweep",
+    "degrade",
+    "resilience_sweep",
     "SweepCell",
     "SweepResult",
 ]
@@ -123,6 +129,86 @@ def describe(spec) -> dict[str, object]:
         "processor_degree": net.processor_degree,
         "diameter": net.diameter,
     }
+
+
+def degrade(
+    spec, *, model="coupler", faults: int | None = None, seed: int = 0, scenario=None
+):
+    """The network named by ``spec`` with a fault scenario applied.
+
+    ``model`` is a registered fault-model key (``"coupler"``,
+    ``"processor"``, ``"link"``, ``"adversarial"``, ``"group"``) --
+    which takes intensity ``faults`` (default 1) -- or a
+    :class:`~repro.resilience.faults.FaultModel` instance, which
+    already carries its intensity (combining it with ``faults`` is an
+    error).  Pass an explicit ``scenario`` to replay a previous draw
+    instead.  Returns a
+    :class:`~repro.resilience.degrade.DegradedNetwork`.
+
+    >>> deg = degrade("sk(2,2,2)", model="coupler", faults=1, seed=3)
+    >>> len(deg.dead_couplers)
+    1
+    """
+    from ..resilience.degrade import DegradedNetwork
+    from ..resilience.faults import FaultModel, make_fault_model
+
+    parsed = NetworkSpec.parse(spec)
+    net = parsed.build()
+    if scenario is None:
+        if isinstance(model, str):
+            model = make_fault_model(model, 1 if faults is None else faults)
+        elif not isinstance(model, FaultModel):
+            raise TypeError(
+                f"model must be a fault-model key or FaultModel, "
+                f"got {type(model).__name__}"
+            )
+        elif faults is not None:
+            raise ValueError(
+                "faults applies to string model keys; a FaultModel "
+                "instance already carries its intensity"
+            )
+        scenario = model.scenario(parsed.canonical(), net, seed)
+    return DegradedNetwork(net, scenario)
+
+
+def resilience_sweep(
+    spec,
+    *,
+    model="coupler",
+    faults: int = 1,
+    trials: int = 100,
+    seed: int = 0,
+    workers: int | None = None,
+    workload: str = "uniform",
+    messages: int = 60,
+    bound: int | None = None,
+    max_slots: int = 100_000,
+):
+    """Monte-Carlo survivability sweep of ``spec`` under ``model``.
+
+    Fans ``trials`` seeded fault scenarios (optionally across
+    ``workers`` processes -- the aggregate is worker-count
+    independent) and returns the quantile
+    :class:`~repro.resilience.sweep.SweepSummary`.
+
+    >>> s = resilience_sweep("pops(2,2)", faults=1, trials=3, messages=6)
+    >>> 0.0 <= s.quantiles["delivery_ratio"]["p50"] <= 1.0
+    True
+    """
+    from ..resilience.sweep import survivability_sweep
+
+    return survivability_sweep(
+        spec,
+        model,
+        faults=faults,
+        trials=trials,
+        seed=seed,
+        workers=workers,
+        workload=workload,
+        messages=messages,
+        bound=bound,
+        max_slots=max_slots,
+    )
 
 
 # ----------------------------------------------------------------------

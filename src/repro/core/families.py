@@ -131,6 +131,29 @@ class StackKautzFamily(NetworkFamily):
     def route(self, net: StackKautzNetwork, src: int, dst: int) -> StackRoute:
         return stack_kautz_route(net, src, dst)
 
+    def fault_route(
+        self, net: StackKautzNetwork, src_group: int, dst_group: int, degraded
+    ) -> list[int] | None:
+        """Sec. 2.5 structured rerouting: the ``<= k + 2`` candidates.
+
+        Word-level :func:`~repro.routing.fault_tolerant.fault_tolerant_route`
+        over the scenario's faults (via ``FaultSet.from_indices``); its
+        link-fault semantics treat a dead coupler as a dead fiber pair,
+        so when that conservative view severs the pair we fall back to
+        the registry default -- directed BFS on the survivors.
+        """
+        from ..routing.fault_tolerant import fault_tolerant_route
+
+        if src_group == dst_group:
+            return [src_group]
+        faults = degraded.word_fault_set()
+        x, y = net.group_word(src_group), net.group_word(dst_group)
+        if x not in faults.nodes and y not in faults.nodes:
+            path = fault_tolerant_route(x, y, net.degree, faults)
+            if path is not None:
+                return [net.group_of_word(w) for w in path]
+        return super().fault_route(net, src_group, dst_group, degraded)
+
     def simulator(self, net: StackKautzNetwork, policy=None):
         from ..simulation.network_sim import stack_kautz_simulator
 

@@ -94,6 +94,23 @@ class NetworkFamily:
         """Yield every family spec with exactly ``target_n`` processors."""
         raise NotImplementedError
 
+    def fault_route(
+        self, net, src_group: int, dst_group: int, degraded
+    ) -> list[int] | None:
+        """A group-level path ``src_group -> dst_group`` avoiding faults.
+
+        ``degraded`` is a
+        :class:`~repro.resilience.degrade.DegradedNetwork` over ``net``.
+        Returns the list of groups visited (``[g]`` when source and
+        destination coincide) or ``None`` when the faults sever the
+        pair.  The default walks BFS over the surviving base digraph;
+        families with structured fault-tolerant routing (stack-Kautz's
+        ``k + 2`` candidate family) override this.
+        """
+        if src_group == dst_group:
+            return [src_group]
+        return degraded.surviving_base().shortest_path(src_group, dst_group)
+
     # -- description ---------------------------------------------------
     def signature(self) -> str:
         """``key(p1,p2,...)`` with schema parameter names."""

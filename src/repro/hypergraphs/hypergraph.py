@@ -15,7 +15,7 @@ degree-``s`` OPS coupler is exactly a hyperarc with ``|sources| =
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 import numpy as np

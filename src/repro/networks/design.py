@@ -31,7 +31,7 @@ receiver port ``D-1-b``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..graphs.digraph import DiGraph
 from ..graphs.imase_itoh import imase_itoh_graph

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..graphs.digraph import DiGraph
 from ..graphs.imase_itoh import imase_itoh_graph, imase_itoh_successors

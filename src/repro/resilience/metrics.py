@@ -1,0 +1,236 @@
+"""Survivability metrics over a degraded network.
+
+Three views of "what still works":
+
+* **connectivity** -- which ordered processor pairs can still talk at
+  all (dead endpoints cannot);
+* **path quality** -- degraded group-route lengths from the family's
+  ``fault_route`` hook, their stretch over the intact distances, and
+  the fraction within the paper's ``k + 2`` bound (``diameter + 2``
+  generalized to every family);
+* **delivery under load** -- run the same workload on the broken and
+  the intact machine, compare delivery ratio and latency.
+
+Everything funnels into one flat, JSON-ready
+:class:`ResilienceMetrics` row -- the unit the Monte-Carlo sweep
+aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from .degrade import DegradedNetwork
+
+__all__ = [
+    "ResilienceMetrics",
+    "connectivity_ratio",
+    "alive_connectivity_ratio",
+    "path_survival",
+    "measure",
+]
+
+
+@dataclass(frozen=True)
+class ResilienceMetrics:
+    """One trial's flat survivability row (JSON-ready)."""
+
+    spec: str
+    model: str
+    seed: int
+    faults: int
+    connectivity: float  # ordered processor pairs still connected
+    alive_connectivity: float  # same, over surviving endpoints only
+    reachable_groups: float  # ordered live-group pairs still connected
+    max_path_length: int  # longest degraded group route (-1: none)
+    mean_stretch: float  # degraded length / intact distance, mean
+    within_bound: float  # routed pairs within diameter+2 (1.0 if all)
+    bound: int
+    delivery_ratio: float
+    dropped: int
+    mean_latency: float
+    latency_inflation: float  # degraded / intact mean latency
+    slots: int
+
+    def as_dict(self) -> dict[str, object]:
+        """Field name -> value mapping."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def _connectivity_counts(degraded: DegradedNetwork) -> tuple[int, int, int]:
+    """``(connected, alive_pairs, all_pairs)`` over ordered distinct pairs."""
+    net = degraded.net
+    n = net.num_processors
+    base = degraded.surviving_base()
+    g = net.num_groups
+    reach = [base.bfs_distances(u) for u in range(g)]
+    sibling_ok = [degraded._sibling_first_hop(u) >= 0 for u in range(g)]
+    alive_per_group = [0] * g
+    for p in degraded.alive_processors:
+        alive_per_group[degraded._group_of(p)] += 1
+    alive = sum(alive_per_group)
+    connected = 0
+    for gu in range(g):
+        au = alive_per_group[gu]
+        if au == 0:
+            continue
+        # same-group ordered pairs need a surviving closed walk
+        if au > 1 and sibling_ok[gu]:
+            connected += au * (au - 1)
+        for gv in range(g):
+            if gv == gu:
+                continue
+            if reach[gu][gv] >= 0:
+                connected += au * alive_per_group[gv]
+    return connected, alive * (alive - 1), n * (n - 1)
+
+
+def connectivity_ratio(degraded: DegradedNetwork) -> float:
+    """Fraction of ordered distinct processor pairs still connected.
+
+    Pairs with a dead endpoint count as disconnected, so processor
+    faults lower the ratio even when the fabric itself survives.
+    Single-processor machines report 1.0.
+
+    >>> from repro.core import build
+    >>> from repro.resilience.faults import UniformCouplerFaults
+    >>> net = build("pops(2,2)")
+    >>> scen = UniformCouplerFaults(0).scenario("pops(2,2)", net, 0)
+    >>> connectivity_ratio(DegradedNetwork(net, scen))
+    1.0
+    """
+    if degraded.net.num_processors <= 1:
+        return 1.0
+    connected, _, all_pairs = _connectivity_counts(degraded)
+    return connected / all_pairs
+
+
+def alive_connectivity_ratio(degraded: DegradedNetwork) -> float:
+    """Connected fraction of ordered pairs of *surviving* processors.
+
+    1.0 means the fabric is not partitioned for anyone still alive --
+    dead endpoints are out of the denominator, unlike
+    :func:`connectivity_ratio`.  1.0 when fewer than two processors
+    survive.
+    """
+    connected, alive_pairs, _ = _connectivity_counts(degraded)
+    return connected / alive_pairs if alive_pairs else 1.0
+
+
+def path_survival(
+    degraded: DegradedNetwork, bound: int | None = None
+) -> tuple[float, int, float, float]:
+    """``(reachable_groups, max_len, mean_stretch, within_bound)``.
+
+    Runs the family ``fault_route`` hook over every ordered pair of
+    distinct live groups.  ``reachable_groups`` is the routed
+    fraction; ``max_len`` the longest degraded route (-1 when no pair
+    routes); ``mean_stretch`` the mean ratio of degraded length to
+    intact distance; ``within_bound`` the fraction of routed pairs
+    with length <= ``bound`` (default ``diameter + 2``, the paper's
+    ``k + 2`` on stack-Kautz).  Machines with fewer than two live
+    groups report ``(1.0, 0, 1.0, 1.0)``.
+    """
+    net = degraded.net
+    if bound is None:
+        bound = net.diameter + 2
+    dead = degraded.dead_groups
+    live = [g for g in range(net.num_groups) if g not in dead]
+    if len(live) < 2:
+        return 1.0, 0, 1.0, 1.0
+    if hasattr(net, "base_graph"):
+        intact = net.base_graph().without_loops()
+    else:  # single-star machines: every pair one hop apart
+        intact = None
+    routed = 0
+    within = 0
+    max_len = -1
+    stretch_sum = 0.0
+    pairs = 0
+    for gu in live:
+        intact_dist = intact.bfs_distances(gu) if intact is not None else None
+        for gv in live:
+            if gv == gu:
+                continue
+            pairs += 1
+            path = degraded.fault_route(gu, gv)
+            if path is None:
+                continue
+            length = len(path) - 1
+            routed += 1
+            max_len = max(max_len, length)
+            if length <= bound:
+                within += 1
+            d0 = int(intact_dist[gv]) if intact_dist is not None else 1
+            stretch_sum += length / d0 if d0 > 0 else 1.0
+    if routed == 0:
+        # nothing routed: the bound is *not* vacuously confirmed
+        return 0.0, max_len, 0.0, 0.0
+    return routed / pairs, max_len, stretch_sum / routed, within / routed
+
+
+def measure(
+    degraded: DegradedNetwork,
+    *,
+    workload="uniform",
+    messages: int = 60,
+    seed: int = 0,
+    bound: int | None = None,
+    max_slots: int = 100_000,
+    baseline_mean_latency: float | None = None,
+    **workload_options,
+) -> ResilienceMetrics:
+    """All survivability metrics of one degraded network, one row.
+
+    The delivery comparison runs identical traffic (generated on the
+    intact machine with ``seed``) through the degraded and the intact
+    simulator; ``latency_inflation`` is the mean-latency ratio (0.0
+    when the broken machine delivers nothing, 1.0 when the intact mean
+    is zero).  ``baseline_mean_latency`` short-circuits the intact run
+    -- the sweep computes it once and shares it across trials, since
+    the baseline depends only on ``(workload, messages, seed)``.
+    """
+    from ..core.workloads import resolve_workload
+    from ..simulation.network_sim import run_traffic
+
+    net = degraded.net
+    if bound is None:
+        bound = net.diameter + 2
+    connectivity = connectivity_ratio(degraded)
+    alive_connectivity = alive_connectivity_ratio(degraded)
+    reachable, max_len, stretch, within = path_survival(degraded, bound)
+    traffic = resolve_workload(
+        workload, net, messages=messages, seed=seed, **workload_options
+    )
+    report = run_traffic(
+        degraded.simulator(), traffic, max_slots=max_slots
+    )
+    if baseline_mean_latency is None:
+        baseline = run_traffic(
+            degraded.family.simulator(net), list(traffic), max_slots=max_slots
+        )
+        baseline_mean_latency = baseline.mean_latency
+    if report.delivery_ratio == 0.0:
+        inflation = 0.0
+    elif baseline_mean_latency == 0.0:
+        inflation = 1.0
+    else:
+        inflation = report.mean_latency / baseline_mean_latency
+    return ResilienceMetrics(
+        spec=degraded.scenario.spec,
+        model=degraded.scenario.model,
+        seed=degraded.scenario.seed,
+        faults=degraded.scenario.size,
+        connectivity=connectivity,
+        alive_connectivity=alive_connectivity,
+        reachable_groups=reachable,
+        max_path_length=max_len,
+        mean_stretch=stretch,
+        within_bound=within,
+        bound=bound,
+        delivery_ratio=report.delivery_ratio,
+        dropped=report.num_dropped,
+        mean_latency=report.mean_latency,
+        latency_inflation=inflation,
+        slots=report.slots,
+    )

@@ -1,0 +1,253 @@
+"""Parallel Monte-Carlo survivability sweeps.
+
+Fan ``trials`` independent fault scenarios over ``multiprocessing``
+workers and aggregate the per-trial
+:class:`~repro.resilience.metrics.ResilienceMetrics` rows into quantile
+summaries.  Determinism is a hard requirement here: per-trial seeds
+come from :func:`~repro.resilience.faults.trial_seed` (a function of
+the sweep seed and the trial index only), rows are re-ordered by trial
+index, and quantiles use exact nearest-rank selection -- so the same
+seed produces **byte-identical** JSON for any worker count.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from dataclasses import dataclass, field
+
+from .degrade import DegradedNetwork
+from .faults import FaultModel, make_fault_model, trial_seed
+from .metrics import measure
+
+__all__ = ["SweepSummary", "survivability_sweep"]
+
+#: Per-trial metric keys that get quantile summaries.
+_SUMMARIZED = (
+    "connectivity",
+    "alive_connectivity",
+    "reachable_groups",
+    "max_path_length",
+    "mean_stretch",
+    "within_bound",
+    "delivery_ratio",
+    "latency_inflation",
+    "mean_latency",
+    "dropped",
+    "slots",
+)
+
+
+@dataclass(frozen=True)
+class SweepSummary:
+    """Aggregated result of one survivability sweep."""
+
+    spec: str
+    model: str
+    faults: int
+    trials: int
+    seed: int
+    workload: str
+    messages: int
+    bound: int
+    #: metric -> {"mean": .., "p05": .., "p50": .., "p95": .., "min": .., "max": ..}
+    quantiles: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: fraction of trials in which every routed pair met the bound
+    within_bound_fraction: float = 1.0
+    #: fraction of trials in which some surviving pair was severed
+    partitioned_fraction: float = 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready view (stable key order via ``to_json``)."""
+        return {
+            "spec": self.spec,
+            "model": self.model,
+            "faults": self.faults,
+            "trials": self.trials,
+            "seed": self.seed,
+            "workload": self.workload,
+            "messages": self.messages,
+            "bound": self.bound,
+            "quantiles": self.quantiles,
+            "within_bound_fraction": self.within_bound_fraction,
+            "partitioned_fraction": self.partitioned_fraction,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, 2-space indent, rounded floats.
+
+        The byte-identity contract of the sweep: same spec/model/seed
+        gives the same string regardless of worker count.
+        """
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def formatted(self) -> str:
+        """Human-readable quantile table."""
+        lines = [
+            f"{self.spec} under {self.faults} {self.model} fault(s): "
+            f"{self.trials} trials, seed {self.seed}, "
+            f"workload {self.workload} x{self.messages}",
+            f"  path-length bound diameter+2 = {self.bound}: "
+            f"{100 * self.within_bound_fraction:.1f}% of trials within; "
+            f"{100 * self.partitioned_fraction:.1f}% partitioned",
+            f"  {'metric':<18} {'mean':>9} {'p05':>9} {'p50':>9} {'p95':>9}",
+        ]
+        for key in _SUMMARIZED:
+            q = self.quantiles.get(key)
+            if q is None:
+                continue
+            lines.append(
+                f"  {key:<18} {q['mean']:>9.4f} {q['p05']:>9.4f} "
+                f"{q['p50']:>9.4f} {q['p95']:>9.4f}"
+            )
+        return "\n".join(lines)
+
+
+def _nearest_rank(sorted_values: list[float], q: float) -> float:
+    """Exact nearest-rank quantile (no interpolation, no float fuzz).
+
+    ``q`` is interpreted in exact hundredths so the rank computation
+    is pure integer arithmetic: ``rank = ceil(pct * n / 100)``.
+    """
+    if not sorted_values:
+        return 0.0
+    pct = round(q * 100)
+    rank = max(1, -(-pct * len(sorted_values) // 100))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def _run_trial(task) -> dict[str, object]:
+    """One Monte-Carlo trial; top-level so it pickles to workers."""
+    (
+        canonical,
+        model,
+        tseed,
+        workload,
+        messages,
+        wseed,
+        bound,
+        max_slots,
+        baseline_mean_latency,
+    ) = task
+    from ..core.spec import NetworkSpec
+
+    net = NetworkSpec.parse(canonical).build()
+    scenario = model.scenario(canonical, net, tseed)
+    degraded = DegradedNetwork(net, scenario)
+    row = measure(
+        degraded,
+        workload=workload,
+        messages=messages,
+        seed=wseed,
+        bound=bound,
+        max_slots=max_slots,
+        baseline_mean_latency=baseline_mean_latency,
+    )
+    return row.as_dict()
+
+
+def survivability_sweep(
+    spec,
+    model: FaultModel | str = "coupler",
+    *,
+    faults: int | None = None,
+    trials: int = 100,
+    seed: int = 0,
+    workers: int | None = None,
+    workload: str = "uniform",
+    messages: int = 60,
+    bound: int | None = None,
+    max_slots: int = 100_000,
+) -> SweepSummary:
+    """Monte-Carlo survivability of ``spec`` under ``model`` faults.
+
+    ``model`` is a :class:`FaultModel` instance or a registered key
+    (``"coupler"``, ``"processor"``, ``"link"``, ``"adversarial"``,
+    ``"group"``); string keys get intensity ``faults`` (default 1).
+    Passing ``faults`` alongside a :class:`FaultModel` instance is an
+    error -- the instance already carries its intensity.  ``workers``
+    counts ``multiprocessing`` processes (``None``/``0``/``1`` runs
+    inline); the aggregate is identical for every worker count.
+
+    >>> s = survivability_sweep("pops(2,2)", "coupler", trials=4, seed=1,
+    ...                         messages=8)
+    >>> s.trials
+    4
+    """
+    from ..core.spec import NetworkSpec
+    from ..core.workloads import resolve_workload
+    from ..simulation.network_sim import run_traffic
+
+    parsed = NetworkSpec.parse(spec)
+    if isinstance(model, str):
+        model = make_fault_model(model, 1 if faults is None else faults)
+    elif faults is not None:
+        raise ValueError(
+            "faults applies to string model keys; a FaultModel instance "
+            "already carries its intensity"
+        )
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    net = parsed.build()
+    resolved_bound = net.diameter + 2 if bound is None else bound
+    canonical = parsed.canonical()
+    # The intact baseline depends only on (workload, messages, seed):
+    # run it once here instead of once per trial.
+    from ..core.registry import get_family
+
+    traffic = resolve_workload(workload, net, messages=messages, seed=seed)
+    baseline = run_traffic(
+        get_family(parsed.family).simulator(net), traffic, max_slots=max_slots
+    )
+    tasks = [
+        (
+            canonical,
+            model,
+            trial_seed(seed, i),
+            workload,
+            messages,
+            seed,
+            resolved_bound,
+            max_slots,
+            baseline.mean_latency,
+        )
+        for i in range(trials)
+    ]
+    if workers is not None and workers > 1:
+        with multiprocessing.Pool(processes=workers) as pool:
+            rows = pool.map(
+                _run_trial, tasks, chunksize=max(1, trials // (workers * 4))
+            )
+    else:
+        rows = [_run_trial(t) for t in tasks]
+
+    quantiles: dict[str, dict[str, float]] = {}
+    for key in _SUMMARIZED:
+        values = sorted(float(r[key]) for r in rows)
+        quantiles[key] = {
+            "mean": round(sum(values) / len(values), 6),
+            "p05": round(_nearest_rank(values, 0.05), 6),
+            "p50": round(_nearest_rank(values, 0.50), 6),
+            "p95": round(_nearest_rank(values, 0.95), 6),
+            "min": round(values[0], 6),
+            "max": round(values[-1], 6),
+        }
+    within_full = sum(1 for r in rows if float(r["within_bound"]) >= 1.0)
+    # partitioned == some *surviving* pair severed: dead endpoints are a
+    # casualty count, not a partition (alive_connectivity excludes them)
+    partitioned = sum(
+        1 for r in rows if float(r["alive_connectivity"]) < 1.0
+    )
+    return SweepSummary(
+        spec=canonical,
+        model=model.key,
+        faults=model.faults,
+        trials=trials,
+        seed=seed,
+        workload=workload,
+        messages=messages,
+        bound=resolved_bound,
+        quantiles=quantiles,
+        within_bound_fraction=round(within_full / trials, 6),
+        partitioned_fraction=round(partitioned / trials, 6),
+    )

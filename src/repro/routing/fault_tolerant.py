@@ -24,6 +24,7 @@ This module provides:
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from ..graphs.kautz import is_kautz_word
@@ -45,7 +46,9 @@ class FaultSet:
 
     A path is *blocked* if any internal node (endpoints excluded --
     source and destination are assumed alive) or any traversed arc is
-    in the set.
+    in the set.  An arc fault is a *link* fault: the optical fiber
+    pair dies as a unit, so a fault listed as ``(a, b)`` blocks
+    traversal of both ``a -> b`` and ``b -> a``.
     """
 
     nodes: frozenset[Word] = field(default_factory=frozenset)
@@ -63,10 +66,52 @@ class FaultSet:
             arcs=frozenset(tuple(a) for a in (arcs or ())),
         )
 
+    @classmethod
+    def from_indices(
+        cls,
+        net,
+        groups: "Iterable[int]" = (),
+        couplers: "Iterable[int]" = (),
+    ) -> "FaultSet":
+        """Word-level faults from integer group / coupler ids.
+
+        The graph-level adapter shared with :mod:`repro.resilience`:
+        ``net`` is a built stack-Kautz network (anything exposing
+        ``group_word`` and ``base_graph``), ``groups`` are base-graph
+        node ids whose whole group failed, and ``couplers`` are
+        hyperarc indices (== base-graph CSR arc indices) of failed
+        couplers.  Loop couplers have no word-level arc -- their
+        failure only affects sibling delivery, not group routing -- so
+        they are dropped here.
+
+        >>> from repro.networks.stack_kautz import StackKautzNetwork
+        >>> net = StackKautzNetwork(2, 2, 2)
+        >>> fs = FaultSet.from_indices(net, groups=[0])
+        >>> fs.nodes == frozenset({net.group_word(0)})
+        True
+        """
+        nodes = frozenset(net.group_word(int(g)) for g in groups)
+        arc_array = net.base_graph().arc_array()
+        arcs = set()
+        for c in couplers:
+            u, v = (int(x) for x in arc_array[int(c)])
+            if u == v:
+                continue
+            arcs.add((net.group_word(u), net.group_word(v)))
+        return cls(nodes=nodes, arcs=frozenset(arcs))
+
     @property
     def size(self) -> int:
         """Total number of faults."""
         return len(self.nodes) + len(self.arcs)
+
+    def blocks_arc(self, a: Word, b: Word) -> bool:
+        """Whether traversing ``a -> b`` crosses a faulted link.
+
+        Checks both orientation forms: a link fault listed as
+        ``(b, a)`` still kills the ``a -> b`` direction.
+        """
+        return (a, b) in self.arcs or (b, a) in self.arcs
 
     def blocks(self, path: list[Word]) -> bool:
         """Whether the path crosses any fault (endpoints exempt for nodes)."""
@@ -74,7 +119,7 @@ class FaultSet:
             if w in self.nodes:
                 return True
         for a, b in zip(path, path[1:]):
-            if (a, b) in self.arcs:
+            if self.blocks_arc(a, b):
                 return True
         return False
 
@@ -166,7 +211,7 @@ def fault_tolerant_route(
         for nb in _neighbors(w, d):
             if nb in parent:
                 continue
-            if (w, nb) in faults.arcs:
+            if faults.blocks_arc(w, nb):
                 continue
             if nb in faults.nodes and nb != y:
                 continue

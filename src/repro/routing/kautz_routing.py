@@ -62,10 +62,10 @@ def kautz_route(
     if len(x) != len(y):
         raise ValueError("source and destination words must have equal length")
     k = len(x)
-    l = longest_overlap(x, y)
+    overlap = longest_overlap(x, y)
     path = [x]
     cur = x
-    for i in range(l, k):
+    for i in range(overlap, k):
         cur = cur[1:] + (y[i],)
         path.append(cur)
     return path

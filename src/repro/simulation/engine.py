@@ -41,6 +41,7 @@ class Message:
     current: int = -1  # processor currently holding the message
     hops: int = 0
     deliver_slot: int = -1
+    drop_slot: int = -1
     trace: list[int] = field(default_factory=list)  # couplers used
 
     def __post_init__(self) -> None:
@@ -51,6 +52,16 @@ class Message:
     def delivered(self) -> bool:
         """Whether the message has reached its destination."""
         return self.deliver_slot >= 0
+
+    @property
+    def dropped(self) -> bool:
+        """Whether the message was dropped (no surviving route)."""
+        return self.drop_slot >= 0
+
+    @property
+    def settled(self) -> bool:
+        """Delivered or dropped: the message needs no further slots."""
+        return self.delivered or self.dropped
 
     @property
     def latency(self) -> int:
@@ -68,6 +79,7 @@ class SlotStats:
     transmissions: int
     contended_couplers: int
     delivered: int
+    dropped: int = 0
 
 
 class SlottedSimulator:
@@ -91,6 +103,16 @@ class SlottedSimulator:
     policy:
         Arbitration among same-coupler requests (default: oldest
         injection first, ties by message id -- deterministic).
+    disabled_couplers:
+        Hyperarc indices that are *dead* (failed OPS couplers).
+        Passing this (even an empty set) opts the engine into
+        degraded mode: a message routed onto a dead coupler -- or for
+        which ``next_coupler`` returns ``-1``, meaning "no surviving
+        route" -- is dropped and counted in :class:`SlotStats`, and
+        the run still terminates.  Left at ``None`` (the default) the
+        behaviour is exactly the historical engine: an out-of-range
+        coupler from the router is a loud ``RuntimeError``, never a
+        silent drop.
     """
 
     def __init__(
@@ -99,11 +121,14 @@ class SlottedSimulator:
         next_coupler: Callable[[int, Message], int],
         relay_of: Callable[[int, Message], int] | None = None,
         policy: ArbitrationPolicy | None = None,
+        disabled_couplers: frozenset[int] | None = None,
     ) -> None:
         self.network = network
         self.next_coupler = next_coupler
         self.relay_of = relay_of if relay_of is not None else self._default_relay
         self.policy = policy if policy is not None else OldestFirst()
+        self._allow_drops = disabled_couplers is not None
+        self.disabled_couplers = frozenset(disabled_couplers or ())
         self.messages: list[Message] = []
         self.slot_log: list[SlotStats] = []
         self.coupler_busy = [0] * network.num_hyperarcs
@@ -130,14 +155,15 @@ class SlottedSimulator:
             self.messages.append(Message(base + i, src, dst, slot))
 
     def run(self, max_slots: int = 100_000) -> None:
-        """Advance slots until every message is delivered (or the cap).
+        """Advance slots until every message is settled (or the cap).
 
-        Raises ``RuntimeError`` on the cap -- a stuck message means a
-        routing bug, and silence would hide it.
+        Settled means delivered, or dropped on a dead coupler.  Raises
+        ``RuntimeError`` on the cap -- a stuck message means a routing
+        bug, and silence would hide it.
         """
-        while not self.all_delivered():
+        while not self.all_settled():
             if self._now >= max_slots:
-                stuck = [m.ident for m in self.messages if not m.delivered]
+                stuck = [m.ident for m in self.messages if not m.settled]
                 raise RuntimeError(
                     f"slot cap {max_slots} reached with messages stuck: {stuck[:10]}"
                 )
@@ -148,15 +174,26 @@ class SlottedSimulator:
         now = self._now
         # Messages delivered at injection (src == dst) cost zero slots.
         for m in self.messages:
-            if not m.delivered and m.inject_slot <= now and m.current == m.dst:
+            if not m.settled and m.inject_slot <= now and m.current == m.dst:
                 m.deliver_slot = max(m.inject_slot, now)
 
         # Gather requests: active messages ask for their next coupler.
         requests: dict[int, list[Message]] = {}
+        dropped = 0
         for m in self.messages:
-            if m.delivered or m.inject_slot > now:
+            if m.settled or m.inject_slot > now:
                 continue
             coupler = self.next_coupler(m.current, m)
+            if coupler < 0 or coupler in self.disabled_couplers:
+                if not self._allow_drops:
+                    # intact engine: a bad coupler is a routing bug
+                    raise RuntimeError(
+                        f"routing returned invalid coupler {coupler} "
+                        f"for message {m.ident} at {m.current}"
+                    )
+                m.drop_slot = now
+                dropped += 1
+                continue
             ha = self.network.hyperarc(coupler)
             if m.current not in ha.sources:
                 raise RuntimeError(
@@ -188,7 +225,7 @@ class SlottedSimulator:
                 winner.deliver_slot = now
                 delivered += 1
 
-        stats = SlotStats(now, transmissions, contended, delivered)
+        stats = SlotStats(now, transmissions, contended, delivered, dropped)
         self.slot_log.append(stats)
         self._now += 1
         return stats
@@ -203,11 +240,24 @@ class SlottedSimulator:
         """Whether every injected message has arrived."""
         return all(m.delivered for m in self.messages)
 
+    def all_settled(self) -> bool:
+        """Whether every message is delivered or dropped."""
+        return all(m.settled for m in self.messages)
+
+    def num_dropped(self) -> int:
+        """How many messages were dropped on dead couplers."""
+        return sum(1 for m in self.messages if m.dropped)
+
     def verify_conservation(self) -> bool:
-        """No message lost or duplicated: every message delivered exactly
+        """No message lost or duplicated: every message settled exactly
         once, with hop count == trace length and a coupler-connected
-        trace from src to dst."""
+        trace from src to dst (dropped messages are exempt from the
+        trace walk but must not also claim delivery)."""
         for m in self.messages:
+            if m.dropped:
+                if m.delivered:
+                    return False
+                continue
             if not m.delivered:
                 return False
             if m.hops != len(m.trace):

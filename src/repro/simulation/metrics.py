@@ -26,6 +26,8 @@ class SimulationReport:
     coupler_utilization: float  # mean busy fraction over couplers
     max_coupler_utilization: float
     contended_slot_fraction: float
+    num_dropped: int = 0  # messages dropped on dead couplers
+    delivery_ratio: float = 1.0  # delivered / injected (1.0 when intact)
 
     def row(self) -> str:
         """One formatted results row (benchmark table output)."""
@@ -40,26 +42,33 @@ class SimulationReport:
 def summarize(sim: SlottedSimulator) -> SimulationReport:
     """Build a :class:`SimulationReport` from a completed run.
 
-    Raises ``ValueError`` when messages remain undelivered (reports on
+    Raises ``ValueError`` when messages remain unsettled (reports on
     partial runs would silently mix latencies of unfinished traffic).
+    Latency and hop statistics cover *delivered* messages; drops --
+    possible only when the network carries dead couplers -- show up in
+    ``num_dropped`` and ``delivery_ratio``.
     """
-    if not sim.all_delivered():
-        raise ValueError("cannot summarize: undelivered messages remain")
-    lat = np.asarray([m.latency for m in sim.messages], dtype=np.float64)
-    hops = np.asarray([m.hops for m in sim.messages], dtype=np.float64)
+    if not sim.all_settled():
+        raise ValueError("cannot summarize: unsettled messages remain")
+    delivered = [m for m in sim.messages if m.delivered]
+    lat = np.asarray([m.latency for m in delivered], dtype=np.float64)
+    hops = np.asarray([m.hops for m in delivered], dtype=np.float64)
     slots = max(sim.now, 1)
     busy = np.asarray(sim.coupler_busy, dtype=np.float64) / slots
     contended = sum(1 for s in sim.slot_log if s.contended_couplers > 0)
+    total = len(sim.messages)
     return SimulationReport(
-        num_messages=len(sim.messages),
+        num_messages=total,
         slots=sim.now,
         mean_latency=float(lat.mean()) if lat.size else 0.0,
         p95_latency=float(np.percentile(lat, 95)) if lat.size else 0.0,
         max_latency=int(lat.max()) if lat.size else 0,
         mean_hops=float(hops.mean()) if hops.size else 0.0,
         max_hops=int(hops.max()) if hops.size else 0,
-        throughput=len(sim.messages) / slots,
+        throughput=len(delivered) / slots,
         coupler_utilization=float(busy.mean()) if busy.size else 0.0,
         max_coupler_utilization=float(busy.max()) if busy.size else 0.0,
         contended_slot_fraction=contended / slots,
+        num_dropped=total - len(delivered),
+        delivery_ratio=len(delivered) / total if total else 1.0,
     )

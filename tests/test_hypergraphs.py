@@ -7,7 +7,7 @@ from repro.graphs import (
     kautz_graph_with_loops,
     DiGraph,
 )
-from repro.hypergraphs import DirectedHypergraph, Hyperarc, StackGraph, stack_graph
+from repro.hypergraphs import DirectedHypergraph, Hyperarc, stack_graph
 
 
 class TestHyperarc:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.graphs import (
-    DiGraph,
     diameter,
     is_kautz_word,
     is_regular,

@@ -1,0 +1,464 @@
+"""Resilience subsystem: fault injection, degraded-mode ops, sweeps.
+
+Covers the ISSUE-2 acceptance points: seeded-RNG reproducibility of
+scenarios, the ``d - 1``-fault / length ``<= k + 2`` survival
+guarantee on small stack-Kautz machines (exhaustive single-fault
+sets), POPS single-fault partition detection, worker-count-independent
+parallel sweeps, the engine's ``disabled_couplers`` drop path, and the
+word-level ``FaultSet`` adapter shared with :mod:`repro.routing`.
+"""
+
+import itertools
+import json
+
+import pytest
+
+import repro
+from repro.core import build, degrade, resilience_sweep
+from repro.resilience import (
+    AdversarialFirstHopFaults,
+    DegradedNetwork,
+    FaultScenario,
+    GroupBlockOutage,
+    UniformCouplerFaults,
+    UniformLinkFaults,
+    UniformProcessorFaults,
+    connectivity_ratio,
+    coupler_endpoints,
+    make_fault_model,
+    measure,
+    scenarios,
+    survivability_sweep,
+    trial_seed,
+)
+from repro.routing import FaultSet, kautz_route, route_survives
+from repro.simulation.engine import SlottedSimulator
+from repro.simulation.metrics import summarize
+
+
+# ----------------------------------------------------------------------
+# Fault models and scenarios
+# ----------------------------------------------------------------------
+class TestFaultModels:
+    def test_same_seed_same_scenario(self):
+        net = build("sk(2,2,3)")
+        for model in (
+            UniformCouplerFaults(2),
+            UniformProcessorFaults(2),
+            UniformLinkFaults(1),
+            AdversarialFirstHopFaults(1),
+            GroupBlockOutage(1),
+        ):
+            a = model.scenario("sk(2,2,3)", net, seed=42)
+            b = model.scenario("sk(2,2,3)", net, seed=42)
+            assert a == b
+
+    def test_different_seeds_differ(self):
+        net = build("sk(2,2,3)")
+        model = UniformCouplerFaults(2)
+        draws = {model.scenario("sk(2,2,3)", net, seed=s).couplers for s in range(8)}
+        assert len(draws) > 1
+
+    def test_trial_seed_stable_and_distinct(self):
+        # platform-stable values: breaking these breaks sweep replays
+        assert trial_seed(0, 0) == trial_seed(0, 0)
+        seeds = [trial_seed(0, i) for i in range(100)]
+        assert len(set(seeds)) == 100
+        assert trial_seed(1, 0) != trial_seed(0, 0)
+
+    def test_scenarios_generator_deterministic(self):
+        a = [s.couplers for s in scenarios(UniformCouplerFaults(1), "sk(2,2,2)", trials=5, seed=3)]
+        b = [s.couplers for s in scenarios(UniformCouplerFaults(1), "sk(2,2,2)", trials=5, seed=3)]
+        assert a == b
+
+    def test_model_intensity_and_registry(self):
+        net = build("pops(2,3)")
+        scen = UniformCouplerFaults(4).scenario("pops(2,3)", net, seed=0)
+        assert len(scen.couplers) == 4
+        assert make_fault_model("link", 2) == UniformLinkFaults(2)
+        with pytest.raises(ValueError):
+            make_fault_model("nope")
+
+    def test_link_faults_kill_both_orientations(self):
+        net = build("pops(2,3)")
+        ends = coupler_endpoints(net)
+        scen = UniformLinkFaults(1).scenario("pops(2,3)", net, seed=5)
+        pairs = {tuple(sorted(ends[c])) for c in scen.couplers}
+        assert len(pairs) == 1
+        (u, v) = pairs.pop()
+        assert {ends[c] for c in scen.couplers} == {(u, v), (v, u)}
+
+    def test_group_outage_kills_block_and_incident_couplers(self):
+        net = build("sk(2,2,2)")
+        scen = GroupBlockOutage(1).scenario("sk(2,2,2)", net, seed=1)
+        deg = DegradedNetwork(net, scen)
+        (dead_group,) = deg.dead_groups
+        assert set(scen.processors) == set(
+            net.group_members(dead_group).tolist()
+        )
+        ends = coupler_endpoints(net)
+        for c, (a, b) in enumerate(ends):
+            assert (c in scen.couplers) == (dead_group in (a, b))
+
+    def test_adversarial_hits_one_victims_out_couplers(self):
+        net = build("sk(2,2,2)")
+        ends = coupler_endpoints(net)
+        scen = AdversarialFirstHopFaults(2).scenario("sk(2,2,2)", net, seed=9)
+        sources = {ends[c][0] for c in scen.couplers}
+        assert len(sources) == 1
+        assert all(ends[c][0] != ends[c][1] for c in scen.couplers)
+
+
+# ----------------------------------------------------------------------
+# The d-1 / k+2 survival guarantee (exhaustive small fault sets)
+# ----------------------------------------------------------------------
+class TestSurvivalGuarantee:
+    @pytest.mark.parametrize("spec", ["sk(2,2,2)", "sk(2,2,3)", "sk(3,2,2)"])
+    def test_every_single_coupler_fault_survives_within_k_plus_2(self, spec):
+        """d = 2: exhaustive d-1 = 1 coupler faults, all group pairs."""
+        net = build(spec)
+        k = net.diameter
+        groups = range(net.num_groups)
+        for c in range(net.num_couplers):
+            deg = DegradedNetwork(
+                net, FaultScenario(spec, "manual", c, couplers=frozenset({c}))
+            )
+            for gu, gv in itertools.permutations(groups, 2):
+                path = deg.fault_route(gu, gv)
+                assert path is not None, (c, gu, gv)
+                assert len(path) - 1 <= k + 2, (c, gu, gv, path)
+
+    @pytest.mark.parametrize("spec", ["sk(2,2,2)", "sk(3,2,2)"])
+    def test_every_single_group_outage_survives_within_k_plus_2(self, spec):
+        """d-1 = 1 node (whole-group) faults, all surviving pairs."""
+        net = build(spec)
+        k = net.diameter
+        ends = coupler_endpoints(net)
+        for dead in range(net.num_groups):
+            couplers = frozenset(
+                c for c, (a, b) in enumerate(ends) if dead in (a, b)
+            )
+            procs = frozenset(net.group_members(dead).tolist())
+            deg = DegradedNetwork(
+                net,
+                FaultScenario(
+                    spec, "manual", dead, couplers=couplers, processors=procs
+                ),
+            )
+            live = [g for g in range(net.num_groups) if g != dead]
+            for gu, gv in itertools.permutations(live, 2):
+                path = deg.fault_route(gu, gv)
+                assert path is not None, (dead, gu, gv)
+                assert len(path) - 1 <= k + 2
+                assert dead not in path
+
+    def test_sweep_confirms_claim_on_sk222(self):
+        s = survivability_sweep(
+            "sk(2,2,2)", "coupler", faults=1, trials=50, seed=0, messages=20
+        )
+        assert s.within_bound_fraction == 1.0
+        assert s.partitioned_fraction == 0.0
+        assert s.quantiles["max_path_length"]["max"] <= s.bound
+        assert s.quantiles["delivery_ratio"]["min"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# POPS partition detection
+# ----------------------------------------------------------------------
+class TestPOPSPartition:
+    def test_single_fault_partitions_two_group_pops(self):
+        net = build("pops(2,2)")
+        # coupler (0, 1) is hyperarc g*0 + 1 = 1: the only 0 -> 1 medium
+        deg = DegradedNetwork(
+            net, FaultScenario("pops(2,2)", "manual", 0, couplers=frozenset({1}))
+        )
+        assert deg.fault_route(0, 1) is None
+        assert deg.fault_route(1, 0) == [1, 0]
+        assert connectivity_ratio(deg) < 1.0
+        # 0 -> 2 crosses the dead coupler; 2 -> 0 and the sibling hop live
+        rep = deg.simulate([(0, 2, 0), (2, 0, 0), (0, 1, 0)])
+        assert rep.num_dropped == 1
+        assert rep.delivery_ratio == pytest.approx(2 / 3)
+
+    def test_three_group_pops_reroutes_around_dead_coupler(self):
+        """Degraded-mode routing turns single-hop POPS into 2-hop."""
+        net = build("pops(2,3)")
+        deg = DegradedNetwork(
+            net, FaultScenario("pops(2,3)", "manual", 0, couplers=frozenset({1}))
+        )
+        path = deg.fault_route(0, 1)
+        assert path is not None and len(path) - 1 == 2
+        assert connectivity_ratio(deg) == 1.0
+        rep = deg.simulate([(0, 2, 0)])  # group 0 -> 1 without coupler (0,1)
+        assert rep.delivery_ratio == 1.0
+        assert rep.max_hops == 2  # rerouted traffic took the detour
+
+    def test_metrics_row_flags_partition(self):
+        net = build("pops(2,2)")
+        deg = DegradedNetwork(
+            net, FaultScenario("pops(2,2)", "manual", 0, couplers=frozenset({1}))
+        )
+        row = measure(deg, workload="broadcast", messages=12, seed=1)
+        assert row.connectivity < 1.0
+        assert row.reachable_groups < 1.0
+        assert row.delivery_ratio < 1.0
+
+
+# ----------------------------------------------------------------------
+# Parallel sweep determinism
+# ----------------------------------------------------------------------
+class TestSweepDeterminism:
+    def test_same_seed_same_json_any_worker_count(self):
+        kw = dict(faults=1, trials=8, seed=7, messages=12)
+        inline = resilience_sweep("sk(2,2,2)", workers=None, **kw)
+        two = resilience_sweep("sk(2,2,2)", workers=2, **kw)
+        three = resilience_sweep("sk(2,2,2)", workers=3, **kw)
+        assert inline.to_json() == two.to_json() == three.to_json()
+
+    def test_different_seed_changes_aggregate(self):
+        a = resilience_sweep("sk(2,2,3)", faults=3, trials=6, seed=0, messages=10)
+        b = resilience_sweep("sk(2,2,3)", faults=3, trials=6, seed=1, messages=10)
+        assert a.to_json() != b.to_json()
+
+    def test_sweep_covers_every_registered_family(self):
+        for spec in ("pops(2,3)", "sk(2,2,2)", "sii(2,2,6)", "sops(6)"):
+            s = resilience_sweep(spec, faults=1, trials=3, seed=0, messages=8)
+            assert s.trials == 3
+            assert set(s.quantiles) >= {"connectivity", "delivery_ratio"}
+
+    def test_summary_json_round_trips(self):
+        s = resilience_sweep("pops(2,2)", faults=1, trials=4, seed=2, messages=8)
+        data = json.loads(s.to_json())
+        assert data["spec"] == "pops(2,2)"
+        assert data["trials"] == 4
+        assert 0.0 <= data["quantiles"]["delivery_ratio"]["mean"] <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Engine: disabled couplers drop instead of wedging
+# ----------------------------------------------------------------------
+class TestDisabledCouplers:
+    def _pops_sim(self, net, disabled):
+        model = net.stack_graph_model()
+        g = net.num_groups
+
+        def next_coupler(holder, msg):
+            return g * net.group_of(holder) + net.group_of(msg.dst)
+
+        return SlottedSimulator(
+            model, next_coupler, disabled_couplers=disabled
+        )
+
+    def test_dead_coupler_drops_and_run_terminates(self):
+        net = build("pops(2,2)")
+        sim = self._pops_sim(net, frozenset({1}))
+        sim.inject([(0, 2, 0), (0, 1, 0)])  # 0->2 crosses dead (0,1)
+        sim.run(max_slots=10)
+        assert sim.all_settled() and not sim.all_delivered()
+        assert sim.num_dropped() == 1
+        assert sum(s.dropped for s in sim.slot_log) == 1
+        rep = summarize(sim)
+        assert rep.num_dropped == 1
+        assert rep.delivery_ratio == 0.5
+        assert rep.mean_latency == 0.0  # stats over delivered only
+
+    def test_next_coupler_minus_one_drops_in_degraded_mode(self):
+        net = build("pops(2,2)")
+        model = net.stack_graph_model()
+        sim = SlottedSimulator(
+            model, lambda holder, msg: -1, disabled_couplers=frozenset()
+        )
+        sim.inject([(0, 3, 0)])
+        sim.run(max_slots=5)
+        assert sim.num_dropped() == 1
+        assert sim.verify_conservation()
+
+    def test_intact_engine_still_raises_on_bad_coupler(self):
+        """Without opting into degraded mode, -1 is a loud routing bug."""
+        net = build("pops(2,2)")
+        model = net.stack_graph_model()
+        sim = SlottedSimulator(model, lambda holder, msg: -1)
+        sim.inject([(0, 3, 0)])
+        with pytest.raises(RuntimeError, match="invalid coupler"):
+            sim.run(max_slots=5)
+
+    def test_intact_behaviour_unchanged(self):
+        net = build("pops(2,2)")
+        sim = self._pops_sim(net, frozenset())
+        sim.inject([(0, 2, 0), (3, 1, 0)])
+        sim.run()
+        assert sim.all_delivered()
+        rep = summarize(sim)
+        assert rep.num_dropped == 0 and rep.delivery_ratio == 1.0
+
+
+# ----------------------------------------------------------------------
+# Word-level FaultSet adapter and link-orientation fix
+# ----------------------------------------------------------------------
+class TestFaultSetAdapter:
+    def test_from_indices_maps_groups_to_words(self):
+        net = build("sk(2,2,2)")
+        fs = FaultSet.from_indices(net, groups=[0, 3])
+        assert fs.nodes == {net.group_word(0), net.group_word(3)}
+
+    def test_from_indices_maps_couplers_to_word_arcs(self):
+        net = build("sk(2,2,2)")
+        arcs = net.base_graph().arc_array()
+        non_loop = next(
+            i for i, (u, v) in enumerate(arcs.tolist()) if u != v
+        )
+        loop = next(i for i, (u, v) in enumerate(arcs.tolist()) if u == v)
+        fs = FaultSet.from_indices(net, couplers=[non_loop, loop])
+        u, v = arcs[non_loop]
+        assert fs.arcs == {(net.group_word(int(u)), net.group_word(int(v)))}
+
+    def test_blocks_arc_is_orientation_blind(self):
+        d, k = 2, 3
+        x, y = (0, 1, 0), (1, 2, 1)
+        greedy = kautz_route(x, y, d)
+        assert len(greedy) > 1
+        reversed_fault = FaultSet.of(arcs=[(greedy[1], greedy[0])])
+        assert reversed_fault.blocks(greedy)
+        assert reversed_fault.blocks_arc(greedy[0], greedy[1])
+        # the predicate still finds a surviving detour within k+2
+        assert route_survives(x, y, d, reversed_fault, max_length=k + 2)
+
+    def test_shared_representation_with_resilience(self):
+        """sk fault_route consults the same word-level faults."""
+        net = build("sk(2,2,2)")
+        arcs = net.base_graph().arc_array().tolist()
+        c = next(i for i, (u, v) in enumerate(arcs) if u != v)
+        u, v = arcs[c]
+        deg = DegradedNetwork(
+            net,
+            FaultScenario("sk(2,2,2)", "manual", 0, couplers=frozenset({c})),
+        )
+        path = deg.fault_route(int(u), int(v))
+        assert path is not None
+        assert (int(u), int(v)) not in set(zip(path, path[1:]))
+
+
+# ----------------------------------------------------------------------
+# Facade and CLI
+# ----------------------------------------------------------------------
+class TestFacadeAndCLI:
+    def test_degrade_verb(self):
+        deg = degrade("sk(2,2,2)", model="coupler", faults=2, seed=5)
+        assert isinstance(deg, DegradedNetwork)
+        assert len(deg.scenario.couplers) == 2
+        replay = degrade("sk(2,2,2)", scenario=deg.scenario)
+        assert replay.dead_couplers == deg.dead_couplers
+
+    def test_degrade_rejects_bad_model(self):
+        with pytest.raises(ValueError):
+            degrade("sk(2,2,2)", model="meteor")
+        with pytest.raises(TypeError):
+            degrade("sk(2,2,2)", model=42)
+
+    def test_top_level_exports(self):
+        assert repro.degrade is degrade
+        assert repro.resilience_sweep is resilience_sweep
+        assert repro.survivability_sweep is survivability_sweep
+        assert repro.make_fault_model("group", 1) == GroupBlockOutage(1)
+
+    def test_cli_resilience_json(self, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            [
+                "resilience",
+                "sk(2,2,2)",
+                "--faults",
+                "1",
+                "--trials",
+                "4",
+                "--messages",
+                "10",
+                "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["spec"] == "sk(2,2,2)"
+        assert data["model"] == "coupler"
+        assert data["within_bound_fraction"] == 1.0
+
+    def test_cli_resilience_text_and_errors(self, capsys):
+        from repro.__main__ import main
+
+        assert (
+            main(["resilience", "sk(2,2,2)", "--trials", "2", "--messages", "6"])
+            == 0
+        )
+        assert "sk(2,2,2)" in capsys.readouterr().out
+        assert main(["resilience", "nope(1)"]) == 2
+        assert main(["resilience", "sk(2,2,2)", "--model", "meteor"]) == 2
+
+
+# ----------------------------------------------------------------------
+# Degraded views and edge cases
+# ----------------------------------------------------------------------
+class TestDegradedViews:
+    def test_surviving_views_shrink_consistently(self):
+        net = build("sk(2,2,2)")
+        deg = degrade("sk(2,2,2)", faults=3, seed=11)
+        assert len(deg.surviving_couplers) == net.num_couplers - 3
+        assert deg.surviving_base().num_arcs == net.num_couplers - 3
+        assert deg.surviving_hypergraph().num_hyperarcs == net.num_couplers - 3
+        assert deg.surviving_hypergraph().num_nodes == net.num_processors
+
+    def test_processor_faults_lower_connectivity(self):
+        from repro.resilience import alive_connectivity_ratio
+
+        net = build("pops(2,2)")
+        deg = DegradedNetwork(
+            net,
+            FaultScenario("pops(2,2)", "manual", 0, processors=frozenset({3})),
+        )
+        assert 3 not in deg.alive_processors
+        assert connectivity_ratio(deg) == pytest.approx(6 / 12)
+        # the fabric itself is intact: survivors all still talk
+        assert alive_connectivity_ratio(deg) == 1.0
+        rep = deg.simulate("permutation", seed=0)
+        assert rep.delivery_ratio < 1.0
+
+    def test_processor_faults_are_not_partitions(self):
+        """A dead endpoint is a casualty, not a severed fabric."""
+        s = survivability_sweep(
+            "sk(2,2,2)", "processor", faults=1, trials=6, seed=0, messages=10
+        )
+        assert s.partitioned_fraction == 0.0
+        assert s.quantiles["connectivity"]["max"] < 1.0
+        assert s.quantiles["alive_connectivity"]["min"] == 1.0
+
+    def test_faults_with_model_instance_is_an_error(self):
+        with pytest.raises(ValueError, match="intensity"):
+            survivability_sweep(
+                "sk(2,2,2)", UniformCouplerFaults(1), faults=3, trials=1
+            )
+        with pytest.raises(ValueError, match="intensity"):
+            degrade("sk(2,2,2)", model=UniformCouplerFaults(1), faults=3)
+
+    def test_dead_single_star_drops_everything(self):
+        net = build("sops(4)")
+        deg = DegradedNetwork(
+            net, FaultScenario("sops(4)", "manual", 0, couplers=frozenset({0}))
+        )
+        row = measure(deg, messages=10, seed=0)
+        assert row.connectivity == 0.0
+        assert row.delivery_ratio == 0.0
+        assert row.latency_inflation == 0.0
+
+    def test_loop_coupler_fault_forces_sibling_detour(self):
+        net = build("sk(2,2,2)")
+        arcs = net.base_graph().arc_array().tolist()
+        loop = next(i for i, (u, v) in enumerate(arcs) if u == v)
+        g = arcs[loop][0]
+        deg = DegradedNetwork(
+            net,
+            FaultScenario("sk(2,2,2)", "manual", 0, couplers=frozenset({loop})),
+        )
+        src, dst = net.group_members(g).tolist()[:2]
+        rep = deg.simulate([(src, dst, 0)])
+        assert rep.delivery_ratio == 1.0
+        assert rep.max_hops > 1  # left the group and came back
