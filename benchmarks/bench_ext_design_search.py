@@ -1,0 +1,134 @@
+"""EXT-9: the design-search loop and its batched-sweep speedup.
+
+The resilience-aware design search only pays off if survivability
+sweeps are fast enough to score hundreds of candidates, so this
+benchmark regenerates the subsystem's two headline numbers:
+
+* the batched trial executor (shared built network + intact baseline,
+  connectivity-only scoring) must beat the PR 2 rebuild-per-trial
+  ``survivability_sweep`` path by **>= 5x** at 10^4 trials on the same
+  spec and fault model, while the batched ``full`` mode stays
+  byte-identical to the legacy backend for the same seed;
+* a cross-family search window must come back ranked, deterministic
+  and Pareto-annotated.
+
+Headline numbers land in ``BENCH_design_search.json``.
+"""
+
+import json
+import time
+
+from repro.design_search import design_search
+from repro.resilience import survivability_sweep
+
+SPEC = "sk(2,2,2)"
+MODEL = "coupler"
+FAULTS = 1
+TRIALS = 10_000
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def bench_ext9_batched_sweep_speedup(benchmark, record_artifact):
+    """Batched connectivity scoring >= 5x over the PR 2 path at 1e4 trials."""
+    common = dict(faults=FAULTS, trials=TRIALS, seed=0)
+
+    legacy, legacy_s = _timed(
+        lambda: survivability_sweep(SPEC, MODEL, backend="legacy", **common)
+    )
+    batched = benchmark.pedantic(
+        lambda: survivability_sweep(
+            SPEC, MODEL, metrics="connectivity", **common
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _, batched_s = _timed(
+        lambda: survivability_sweep(SPEC, MODEL, metrics="connectivity", **common)
+    )
+    _, batched_w4_s = _timed(
+        lambda: survivability_sweep(
+            SPEC, MODEL, metrics="connectivity", workers=4, **common
+        )
+    )
+    speedup = legacy_s / batched_s
+    speedup_w4 = legacy_s / batched_w4_s
+    assert batched.trials == TRIALS
+    # the fast path agrees with the full path on its shared metrics
+    for key in ("connectivity", "alive_connectivity", "reachable_groups"):
+        assert batched.quantiles[key] == legacy.quantiles[key], key
+    assert speedup >= 5.0, f"only {speedup:.2f}x over the PR 2 path"
+
+    # byte-identity of the batched *full* mode vs legacy, same seed
+    ident_kw = dict(faults=FAULTS, trials=1_500, seed=0, messages=60)
+    full_legacy = survivability_sweep(SPEC, MODEL, backend="legacy", **ident_kw)
+    full_batched = survivability_sweep(SPEC, MODEL, backend="batched", **ident_kw)
+    byte_identical = full_legacy.to_json() == full_batched.to_json()
+    assert byte_identical
+
+    art = [
+        f"{SPEC} under {FAULTS} {MODEL} fault(s), {TRIALS} Monte-Carlo trials:",
+        "",
+        f"  PR 2 path (rebuild per trial, full metrics):  {legacy_s:8.2f} s",
+        f"  batched, connectivity scoring, inline:        {batched_s:8.2f} s "
+        f"({speedup:.1f}x)",
+        f"  batched, connectivity scoring, 4 workers:     {batched_w4_s:8.2f} s "
+        f"({speedup_w4:.1f}x)",
+        "",
+        f"  batched full mode byte-identical to legacy:   {byte_identical}",
+        "",
+        "the design-search scoring path clears the >= 5x target while the",
+        "full-metrics batched backend reproduces the PR 2 JSON bit for bit.",
+    ]
+    record_artifact("ext9_sweep_speedup.txt", "\n".join(art))
+    point = {
+        "claim": "batched sweep >= 5x over PR 2 survivability_sweep at 1e4 trials",
+        "spec": SPEC,
+        "model": MODEL,
+        "faults": FAULTS,
+        "trials": TRIALS,
+        "legacy_seconds": round(legacy_s, 3),
+        "batched_connectivity_seconds": round(batched_s, 3),
+        "batched_connectivity_workers4_seconds": round(batched_w4_s, 3),
+        "speedup_inline": round(speedup, 2),
+        "speedup_workers4": round(speedup_w4, 2),
+        "full_mode_byte_identical_to_legacy": byte_identical,
+    }
+    record_artifact(
+        "BENCH_design_search.json", json.dumps(point, indent=2, sort_keys=True)
+    )
+
+
+def bench_ext9_design_search_window(benchmark, record_artifact):
+    """A cross-family window ranks deterministically with a Pareto front."""
+    kw = dict(
+        max_processors=16,
+        families=("pops", "sk", "sops"),
+        model=MODEL,
+        faults=1,
+        trials=64,
+        seed=0,
+    )
+    result = benchmark.pedantic(lambda: design_search(**kw), rounds=1, iterations=1)
+
+    again = design_search(**kw)
+    assert result.to_json() == again.to_json()
+    assert len(result) > 20
+    assert result.pareto
+    best = result.best()
+    assert best.survivability_per_kilocost >= result.candidates[-1].survivability_per_kilocost
+
+    art = [
+        "survivability-per-cost design search, N <= 16, pops/sk/sops, "
+        f"{kw['trials']} trials per candidate:",
+        "",
+        result.formatted(),
+        "",
+        f"deterministic: repeated search byte-identical "
+        f"({len(result)} candidates, {len(result.pareto)} on the front)",
+    ]
+    record_artifact("ext9_design_search.txt", "\n".join(art))

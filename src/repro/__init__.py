@@ -61,12 +61,20 @@ Subpackages
     survivability sweeps.
 :mod:`repro.analysis`
     Moore bounds and cross-topology comparisons.
+:mod:`repro.design_search`
+    Resilience-aware design search: candidate enumeration, BOM
+    costing, survivability-per-cost ranking and Pareto fronts.  The
+    package doubles as the facade verb -- it is a *callable module*,
+    so ``repro.design_search(max_processors=48, ...)`` runs the
+    search while ``repro.design_search.CostModel`` (and every import
+    form) still reaches the namespace.
 """
 
 from . import (
     analysis,
     comm,
     core,
+    design_search,  # the callable package: verb and namespace in one
     graphs,
     hypergraphs,
     networks,
@@ -93,6 +101,12 @@ from .core import (
     route,
     simulate,
     sweep,
+)
+from .design_search import (
+    DEFAULT_COST_MODEL,
+    CostModel,
+    DesignCandidate,
+    DesignSearchResult,
 )
 from .resilience import (
     DegradedNetwork,
@@ -143,8 +157,12 @@ from .simulation import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "DEFAULT_COST_MODEL",
     "OTIS",
+    "CostModel",
     "DegradedNetwork",
+    "DesignCandidate",
+    "DesignSearchResult",
     "DiGraph",
     "DirectedHypergraph",
     "FaultModel",
@@ -178,6 +196,7 @@ __all__ = [
     "degrade",
     "describe",
     "design",
+    "design_search",
     "comm",
     "debruijn_graph",
     "family_keys",

@@ -16,9 +16,11 @@ Usage::
     python -m repro route "sii(4,3,10)" 0 39   # any family, spec-form
     python -m repro simulate 4 2 3 --messages 300
     python -m repro simulate "sops(8)" --workload hotspot
+    python -m repro describe "sk(6,3,2)" --json
     python -m repro compare 48                 # equal-N design table
     python -m repro sweep "sk(2,2,2)" "pops(4,2)" --workloads uniform permutation
     python -m repro resilience "sk(6,3,2)" --faults 2 --trials 1000 --json
+    python -m repro design-search --max-processors 48 --faults 2 --trials 200 --json
 """
 
 from __future__ import annotations
@@ -206,6 +208,56 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from .core import describe
+
+    try:
+        info = describe(NetworkSpec.from_argv(args.spec))
+    except SpecError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(info, indent=2))
+        return 0
+    width = max(len(k) for k in info)
+    for key, value in info.items():
+        print(f"{key:<{width}}  {value}")
+    return 0
+
+
+def _cmd_design_search(args: argparse.Namespace) -> int:
+    from .core import design_search
+
+    try:
+        result = design_search(
+            max_processors=args.max_processors,
+            min_processors=args.min_processors,
+            families=args.families,
+            model=args.model,
+            faults=args.faults,
+            trials=args.trials,
+            seed=args.seed,
+            workers=args.workers,
+            metrics=args.metrics,
+            workload=args.workload,
+            messages=args.messages,
+            max_coupler_degree=args.max_coupler_degree,
+            min_groups=args.min_groups,
+            max_groups=args.max_groups,
+            max_diameter=args.max_diameter,
+            min_margin_db=args.min_margin_db,
+            top=args.top,
+        )
+    except (SpecError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(result.to_json())
+        return 0 if len(result) else 1
+    print(result.formatted())
+    return 0 if len(result) else 1
+
+
 def _cmd_resilience(args: argparse.Namespace) -> int:
     from .core import resilience_sweep
 
@@ -220,6 +272,8 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
             workers=args.workers,
             workload=args.workload,
             messages=args.messages,
+            metrics=args.metrics,
+            backend=args.backend,
         )
     except (SpecError, ValueError) as exc:
         print(exc, file=sys.stderr)
@@ -325,6 +379,93 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_simulate)
 
+    p = sub.add_parser("describe", help="JSON-ready summary of any network")
+    p.add_argument(
+        "spec",
+        nargs="+",
+        help='network spec: "sk(6,3,2)" or positional (sk 6 3 2)',
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_describe)
+
+    p = sub.add_parser(
+        "design-search",
+        help="rank candidate designs by survivability per cost",
+    )
+    p.add_argument(
+        "--max-processors",
+        type=int,
+        required=True,
+        help="largest machine considered (candidate window upper bound)",
+    )
+    p.add_argument(
+        "--min-processors",
+        type=int,
+        default=2,
+        help="smallest machine considered (default 2)",
+    )
+    p.add_argument(
+        "--families",
+        nargs="+",
+        default=None,
+        help="family keys to search (default: every registered family)",
+    )
+    p.add_argument(
+        "--model",
+        default="coupler",
+        help="fault model: coupler, processor, link, adversarial, group",
+    )
+    p.add_argument(
+        "--faults", type=int, default=1, help="faults injected per trial"
+    )
+    p.add_argument(
+        "--trials", type=int, default=100, help="Monte-Carlo trials per candidate"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="multiprocessing workers per sweep (results are worker-count independent)",
+    )
+    p.add_argument(
+        "--metrics",
+        choices=("connectivity", "paths", "full"),
+        default="connectivity",
+        help="scoring depth per trial (connectivity is the fast path)",
+    )
+    p.add_argument(
+        "--workload",
+        default="uniform",
+        help="workload scored per trial (metrics=full only)",
+    )
+    p.add_argument(
+        "--messages",
+        type=int,
+        default=60,
+        help="messages per trial (metrics=full only)",
+    )
+    p.add_argument("--max-coupler-degree", type=int, default=None)
+    p.add_argument(
+        "--min-groups",
+        type=int,
+        default=None,
+        help="drop designs with fewer groups (2 excludes single-star machines)",
+    )
+    p.add_argument("--max-groups", type=int, default=None)
+    p.add_argument("--max-diameter", type=int, default=None)
+    p.add_argument(
+        "--min-margin-db",
+        type=float,
+        default=None,
+        help="drop designs whose optical link margin is below this",
+    )
+    p.add_argument(
+        "--top", type=int, default=None, help="report only the best TOP candidates"
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_design_search)
+
     p = sub.add_parser(
         "resilience",
         help="Monte-Carlo survivability under injected faults",
@@ -357,6 +498,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload",
         default="uniform",
         help="workload run on each degraded machine",
+    )
+    p.add_argument(
+        "--metrics",
+        choices=("connectivity", "paths", "full"),
+        default="full",
+        help="scoring depth per trial (connectivity/paths skip the simulation)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("batched", "legacy"),
+        default="batched",
+        help="trial executor (legacy = rebuild-per-trial reference path)",
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_resilience)

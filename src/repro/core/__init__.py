@@ -20,6 +20,7 @@ from .facade import (
     degrade,
     describe,
     design,
+    design_search,
     resilience_sweep,
     route,
     simulate,
@@ -49,6 +50,7 @@ __all__ = [
     "degrade",
     "describe",
     "design",
+    "design_search",
     "family_for_network",
     "family_keys",
     "get_family",

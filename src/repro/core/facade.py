@@ -13,7 +13,10 @@ parseable into one) naming the machine:
 * :func:`degrade` -- the network with an injected fault scenario, as a
   :class:`~repro.resilience.degrade.DegradedNetwork`;
 * :func:`resilience_sweep` -- Monte-Carlo survivability quantiles
-  under seeded fault models, parallel and worker-count deterministic.
+  under seeded fault models, parallel and worker-count deterministic;
+* :func:`design_search` -- enumerate, price and sweep candidate
+  designs across families; ranked survivability-per-cost report with
+  a Pareto front.
 
 >>> import repro
 >>> repro.build("sk(6,3,2)").num_processors
@@ -42,6 +45,7 @@ __all__ = [
     "sweep",
     "degrade",
     "resilience_sweep",
+    "design_search",
     "SweepCell",
     "SweepResult",
 ]
@@ -183,13 +187,18 @@ def resilience_sweep(
     messages: int = 60,
     bound: int | None = None,
     max_slots: int = 100_000,
+    metrics: str = "full",
+    backend: str = "batched",
 ):
     """Monte-Carlo survivability sweep of ``spec`` under ``model``.
 
     Fans ``trials`` seeded fault scenarios (optionally across
     ``workers`` processes -- the aggregate is worker-count
     independent) and returns the quantile
-    :class:`~repro.resilience.sweep.SweepSummary`.
+    :class:`~repro.resilience.sweep.SweepSummary`.  ``metrics``
+    selects scoring depth (``"full"``, ``"paths"``,
+    ``"connectivity"``) and ``backend`` the executor (``"batched"``
+    default, ``"legacy"`` the rebuild-per-trial reference path).
 
     >>> s = resilience_sweep("pops(2,2)", faults=1, trials=3, messages=6)
     >>> 0.0 <= s.quantiles["delivery_ratio"]["p50"] <= 1.0
@@ -208,6 +217,72 @@ def resilience_sweep(
         messages=messages,
         bound=bound,
         max_slots=max_slots,
+        metrics=metrics,
+        backend=backend,
+    )
+
+
+def design_search(
+    *,
+    max_processors: int,
+    min_processors: int = 2,
+    families=None,
+    model="coupler",
+    faults: int | None = None,
+    trials: int = 100,
+    seed: int = 0,
+    workers: int | None = None,
+    metrics: str = "connectivity",
+    workload: str = "uniform",
+    messages: int = 60,
+    cost_model=None,
+    max_coupler_degree: int | None = None,
+    min_groups: int | None = None,
+    max_groups: int | None = None,
+    max_diameter: int | None = None,
+    min_margin_db: float | None = None,
+    top: int | None = None,
+):
+    """Resilience-aware design search over every registered family.
+
+    Enumerates candidate specs in the processor window, prices each
+    design's bill of materials, runs one seeded batched survivability
+    sweep per candidate (``model`` is a fault-model key taking
+    intensity ``faults``, default 1, or a
+    :class:`~repro.resilience.faults.FaultModel` instance carrying its
+    own), and returns a
+    :class:`~repro.design_search.search.DesignSearchResult`: ranked by
+    survivability per 1000 cost units, (cost, survivability, diameter)
+    Pareto front marked.  Candidates too small to absorb ``faults``
+    are skipped (and listed in ``skipped_underfaulted``) rather than
+    scored as immune.  Deterministic: same parameters and seed give
+    byte-identical ``to_json()`` output.
+
+    >>> r = design_search(max_processors=8, families=("pops",), trials=4)
+    >>> len(r) >= 1
+    True
+    """
+    from ..design_search.search import design_search as _search
+
+    return _search(
+        max_processors=max_processors,
+        min_processors=min_processors,
+        families=families,
+        model=model,
+        faults=faults,
+        trials=trials,
+        seed=seed,
+        workers=workers,
+        metrics=metrics,
+        workload=workload,
+        messages=messages,
+        cost_model=cost_model,
+        max_coupler_degree=max_coupler_degree,
+        min_groups=min_groups,
+        max_groups=max_groups,
+        max_diameter=max_diameter,
+        min_margin_db=min_margin_db,
+        top=top,
     )
 
 

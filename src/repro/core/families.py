@@ -171,6 +171,20 @@ class StackKautzFamily(NetworkFamily):
                 if target_n % groups == 0:
                     yield NetworkSpec("sk", (target_n // groups, d, k))
 
+    def candidate_specs(self, *, max_processors: int, min_processors: int = 2):
+        """Direct ``(s, d, k)`` enumeration -- same set as the default
+        :meth:`~repro.core.registry.NetworkFamily.candidate_specs`
+        window scan (``d`` in 2..7, ``k`` in 1..7), without testing
+        every ``N`` for divisibility by every group count."""
+        for d in range(2, 8):
+            for k in range(1, 8):
+                groups = kautz_num_nodes(d, k)
+                if groups > max_processors:
+                    break
+                for s in range(1, max_processors // groups + 1):
+                    if s * groups >= min_processors:
+                        yield NetworkSpec("sk", (s, d, k))
+
 
 @register_family
 class StackImaseItohFamily(NetworkFamily):

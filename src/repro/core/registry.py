@@ -94,6 +94,24 @@ class NetworkFamily:
         """Yield every family spec with exactly ``target_n`` processors."""
         raise NotImplementedError
 
+    def candidate_specs(
+        self, *, max_processors: int, min_processors: int = 2
+    ) -> Iterator["NetworkSpec"]:
+        """Every buildable family spec within the processor-count window.
+
+        The enumeration hook behind :func:`repro.design_search`: yield
+        each spec whose machine has between ``min_processors`` and
+        ``max_processors`` processors (inclusive), in deterministic
+        order.  The default walks the equal-``N`` enumerator over the
+        whole window; families with cheap direct parameterizations
+        override this (stack-Kautz enumerates ``(s, d, k)`` directly
+        instead of scanning every ``N`` for divisors).
+        """
+        if max_processors < min_processors:
+            return
+        for n in range(min_processors, max_processors + 1):
+            yield from self.sizes(n)
+
     def fault_route(
         self, net, src_group: int, dst_group: int, degraded
     ) -> list[int] | None:

@@ -1,0 +1,77 @@
+"""Pricing a design's bill of materials.
+
+The paper argues POPS vs stack-Kautz in hardware counts (Figs. 11-12);
+this module turns those counts into one scalar so designs can be
+*ranked*.  A :class:`CostModel` assigns a unit price to every
+:class:`~repro.networks.design.BillOfMaterials` line item -- lenses
+(the OTIS stages' real estate), multiplexers, beam-splitters, loop
+fibers, transceivers and OPS couplers -- plus a per-OTIS-stage
+assembly charge.  Prices are in arbitrary "cost units"; only ratios
+matter to the search, and the defaults follow the paper's qualitative
+ordering (transceivers dominate, free-space lens stages are cheap per
+lens but add up).
+
+>>> from repro.core import design
+>>> DEFAULT_COST_MODEL.price(design("pops(4,2)").bill_of_materials()) > 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL", "price_spec"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Unit prices (cost units) per bill-of-materials line item."""
+
+    lens: float = 40.0
+    otis_stage: float = 150.0  # per-stage alignment/assembly charge
+    multiplexer: float = 180.0
+    beam_splitter: float = 120.0
+    loop_fiber: float = 25.0
+    transmitter: float = 300.0
+    receiver: float = 220.0
+    coupler: float = 80.0
+
+    def price(self, bom) -> float:
+        """The scalar cost of one bill of materials, rounded to cents.
+
+        Couplers are priced *on top of* their multiplexer/splitter
+        halves (the BOM counts those separately); the coupler line is
+        the packaging of the pair.
+        """
+        total = (
+            self.lens * bom.total_lenses
+            + self.otis_stage * bom.total_otis_stages
+            + self.multiplexer * bom.multiplexers
+            + self.beam_splitter * bom.beam_splitters
+            + self.loop_fiber * bom.loop_fibers
+            + self.transmitter * bom.transmitters
+            + self.receiver * bom.receivers
+            + self.coupler * bom.couplers
+        )
+        return round(total, 2)
+
+    def as_dict(self) -> dict[str, float]:
+        """Unit prices keyed by line item (JSON-ready)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+#: The search's default pricing; pass your own :class:`CostModel` to
+#: re-rank under different hardware economics.
+DEFAULT_COST_MODEL = CostModel()
+
+
+def price_spec(spec, cost_model: CostModel | None = None) -> float:
+    """The cost of the design named by ``spec``.
+
+    >>> price_spec("sops(4)") < price_spec("sops(8)")
+    True
+    """
+    from ..core.spec import NetworkSpec
+
+    model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+    return model.price(NetworkSpec.parse(spec).design().bill_of_materials())

@@ -1,0 +1,398 @@
+"""Resilience-aware design search: rank specs by survivability per cost.
+
+The loop the ROADMAP asks for: enumerate candidate
+:class:`~repro.core.spec.NetworkSpec`s across every registered family
+(via the :meth:`~repro.core.registry.NetworkFamily.candidate_specs`
+hook), price each through its optical design's bill of materials
+(:mod:`~repro.design_search.costing`), score survivability with the
+batched Monte-Carlo sweep
+(:func:`~repro.resilience.sweep.survivability_sweep`), and return the
+candidates ranked by survivability per cost together with the Pareto
+front over (cost, survivability, diameter).
+
+Determinism: candidates are enumerated and evaluated in sorted spec
+order, every sweep is seeded, and ties rank by (cost, spec) -- the
+same seed always produces byte-identical
+:meth:`DesignSearchResult.to_json` output.
+
+>>> r = design_search(max_processors=12, families=("pops",), trials=8)
+>>> r.best().spec == r.candidates[0].spec and len(r.pareto) >= 1
+True
+>>> all(s.endswith(",1)") for s in r.skipped_underfaulted)  # single-group
+True
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+
+from ..core.registry import family_keys, get_family
+from ..core.spec import NetworkSpec
+from ..resilience.sweep import METRICS_MODES, survivability_sweep
+from .costing import DEFAULT_COST_MODEL, CostModel
+
+__all__ = [
+    "DesignCandidate",
+    "DesignSearchResult",
+    "enumerate_candidates",
+    "design_search",
+]
+
+
+def enumerate_candidates(
+    *,
+    max_processors: int,
+    min_processors: int = 2,
+    families=None,
+) -> list[NetworkSpec]:
+    """Every candidate spec in the window, deduplicated and sorted.
+
+    ``families`` is an iterable of family keys (default: all
+    registered).  Order is deterministic: sorted by family key, then
+    parameter tuple.
+
+    >>> [str(s) for s in enumerate_candidates(max_processors=4,
+    ...                                       families=("sops",))]
+    ['sops(2)', 'sops(3)', 'sops(4)']
+    """
+    if max_processors < 1:
+        raise ValueError(f"max_processors must be >= 1, got {max_processors}")
+    if min_processors < 1:
+        raise ValueError(f"min_processors must be >= 1, got {min_processors}")
+    keys = tuple(family_keys()) if families is None else tuple(families)
+    seen: set[NetworkSpec] = set()
+    for key in keys:
+        family = get_family(key)
+        for spec in family.candidate_specs(
+            max_processors=max_processors, min_processors=min_processors
+        ):
+            seen.add(spec)
+    return sorted(seen, key=lambda s: (s.family, s.params))
+
+
+@dataclass(frozen=True)
+class DesignCandidate:
+    """One evaluated design: shape, price tag, survivability, rank score."""
+
+    spec: str
+    family: str
+    processors: int
+    groups: int
+    coupler_degree: int
+    diameter: int
+    cost: float
+    link_margin_db: float
+    #: mean all-pairs connectivity under the fault model (the
+    #: ``connectivity`` quantile mean of the sweep)
+    survivability: float
+    partitioned_fraction: float
+    #: ``None`` when the sweep ran in ``connectivity`` mode
+    within_bound_fraction: float | None
+    #: the ranking score: survivability per 1000 cost units
+    survivability_per_kilocost: float
+    #: on the (cost, survivability, diameter) Pareto front?
+    pareto: bool = False
+
+    def as_dict(self) -> dict[str, object]:
+        """Field name -> value mapping (JSON-ready)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def formatted(self) -> str:
+        """Fixed-width ranked-table row."""
+        flag = "*" if self.pareto else " "
+        within = (
+            "   -  "
+            if self.within_bound_fraction is None
+            else f"{100 * self.within_bound_fraction:5.1f}%"
+        )
+        return (
+            f"{flag} {self.spec:<14} N={self.processors:<5} "
+            f"diam={self.diameter:<2} deg={self.coupler_degree:<4} "
+            f"cost={self.cost:>10.2f} surv={self.survivability:6.4f} "
+            f"part={100 * self.partitioned_fraction:5.1f}% "
+            f"within={within} "
+            f"surv/k$={self.survivability_per_kilocost:8.5f}"
+        )
+
+    @staticmethod
+    def header() -> str:
+        """Column legend (``*`` marks Pareto-front designs)."""
+        return (
+            "* spec           N       diam deg      cost       surv      "
+            "part   within  surv-per-kilocost"
+        )
+
+
+@dataclass(frozen=True)
+class DesignSearchResult:
+    """Ranked candidates + Pareto front of one :func:`design_search`."""
+
+    max_processors: int
+    min_processors: int
+    families: tuple[str, ...]
+    model: str
+    faults: int
+    trials: int
+    seed: int
+    metrics: str
+    candidates: tuple[DesignCandidate, ...]
+    #: canonical specs on the (cost, survivability, diameter) front,
+    #: in ranked order over the FULL evaluated set (``top`` truncates
+    #: ``candidates`` only, never this)
+    pareto: tuple[str, ...] = ()
+    #: specs skipped because the machine is too small to absorb the
+    #: requested fault intensity (sweeping them would crown designs
+    #: that were never actually faulted)
+    skipped_underfaulted: tuple[str, ...] = ()
+    cost_model: dict[str, float] = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.candidates)
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def best(self) -> DesignCandidate:
+        """The top-ranked candidate; raises when the search came up empty."""
+        if not self.candidates:
+            raise ValueError("design search produced no candidates")
+        return self.candidates[0]
+
+    def candidate(self, spec) -> DesignCandidate:
+        """The evaluated candidate for ``spec``; ``KeyError`` if absent."""
+        key = str(NetworkSpec.parse(spec))
+        for c in self.candidates:
+            if c.spec == key:
+                return c
+        raise KeyError(f"no design-search candidate for {key}")
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready view of the whole search."""
+        return {
+            "max_processors": self.max_processors,
+            "min_processors": self.min_processors,
+            "families": list(self.families),
+            "model": self.model,
+            "faults": self.faults,
+            "trials": self.trials,
+            "seed": self.seed,
+            "metrics": self.metrics,
+            "cost_model": self.cost_model,
+            "pareto": list(self.pareto),
+            "skipped_underfaulted": list(self.skipped_underfaulted),
+            "candidates": [c.as_dict() for c in self.candidates],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, 2-space indent.
+
+        Deterministic: the same search parameters and seed produce the
+        same string, regardless of worker count.
+        """
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def formatted(self) -> str:
+        """Ranked table, Pareto-front designs starred."""
+        lines = [
+            f"design search: N in [{self.min_processors}, "
+            f"{self.max_processors}], families {'/'.join(self.families)}, "
+            f"{self.faults} {self.model} fault(s), {self.trials} trials, "
+            f"seed {self.seed}, metrics {self.metrics}",
+            f"pareto front (cost x survivability x diameter): "
+            f"{', '.join(self.pareto) if self.pareto else '(empty)'}",
+        ]
+        if self.skipped_underfaulted:
+            lines.append(
+                f"skipped (cannot absorb {self.faults} {self.model} "
+                f"fault(s)): {len(self.skipped_underfaulted)} candidate(s)"
+            )
+        lines.append(DesignCandidate.header())
+        lines += [c.formatted() for c in self.candidates]
+        return "\n".join(lines)
+
+
+def _dominates(a: DesignCandidate, b: DesignCandidate) -> bool:
+    """``a`` Pareto-dominates ``b``: no worse everywhere, better somewhere.
+
+    Objectives: minimize cost, maximize survivability, minimize
+    diameter.
+    """
+    no_worse = (
+        a.cost <= b.cost
+        and a.survivability >= b.survivability
+        and a.diameter <= b.diameter
+    )
+    better = (
+        a.cost < b.cost
+        or a.survivability > b.survivability
+        or a.diameter < b.diameter
+    )
+    return no_worse and better
+
+
+def _pareto_front(candidates: list[DesignCandidate]) -> set[str]:
+    """Specs of the non-dominated candidates."""
+    return {
+        c.spec
+        for c in candidates
+        if not any(_dominates(other, c) for other in candidates)
+    }
+
+
+def design_search(
+    *,
+    max_processors: int,
+    min_processors: int = 2,
+    families=None,
+    model="coupler",
+    faults: int | None = None,
+    trials: int = 100,
+    seed: int = 0,
+    workers: int | None = None,
+    metrics: str = "connectivity",
+    workload: str = "uniform",
+    messages: int = 60,
+    cost_model: CostModel | None = None,
+    max_coupler_degree: int | None = None,
+    min_groups: int | None = None,
+    max_groups: int | None = None,
+    max_diameter: int | None = None,
+    min_margin_db: float | None = None,
+    top: int | None = None,
+) -> DesignSearchResult:
+    """Search the candidate window for survivability-per-cost winners.
+
+    Enumerates every buildable spec with ``min_processors <= N <=
+    max_processors`` across ``families`` (default: all registered),
+    drops candidates outside the shape windows (``max_coupler_degree``,
+    ``min_groups``/``max_groups`` -- ``min_groups=2`` excludes the
+    degenerate single-star machines -- and ``max_diameter``) or below
+    ``min_margin_db`` of
+    optical link margin, skips machines too small to absorb the
+    requested fault intensity (the fault models cap their draws, so
+    sweeping those would crown never-faulted designs -- they are
+    reported in ``skipped_underfaulted`` instead), prices the rest via
+    their bill of materials,
+    and runs one seeded batched survivability sweep per candidate
+    (``metrics="connectivity"`` by default -- the fast path; pass
+    ``"paths"`` or ``"full"`` for deeper scoring).  Candidates come
+    back ranked by survivability per 1000 cost units (ties: cheaper
+    first, then spec order), with the (cost, survivability, diameter)
+    Pareto front marked.  ``top`` truncates the report to the best
+    ``top`` candidates after ranking (the Pareto front is computed
+    over the full set first).
+
+    >>> r = design_search(max_processors=8, families=("pops", "sops"),
+    ...                   trials=6, seed=3)
+    >>> r.best().survivability_per_kilocost >= r.candidates[-1].survivability_per_kilocost
+    True
+    """
+    if metrics not in METRICS_MODES:
+        known = ", ".join(sorted(METRICS_MODES))
+        raise ValueError(f"unknown metrics mode {metrics!r}; known: {known}")
+    from ..resilience.faults import FaultModel, make_fault_model
+
+    # same contract as repro.degrade / resilience_sweep: a string key
+    # takes intensity `faults` (default 1), an instance already
+    # carries its own
+    if isinstance(model, FaultModel):
+        if faults is not None:
+            raise ValueError(
+                "faults applies to string model keys; a FaultModel "
+                "instance already carries its intensity"
+            )
+        fault_model = model
+    else:
+        fault_model = make_fault_model(model, 1 if faults is None else faults)
+    pricing = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+    keys = tuple(family_keys()) if families is None else tuple(
+        get_family(k).key for k in families
+    )
+    evaluated: list[DesignCandidate] = []
+    skipped_underfaulted: list[str] = []
+    for spec in enumerate_candidates(
+        max_processors=max_processors,
+        min_processors=min_processors,
+        families=keys,
+    ):
+        net = spec.build()
+        if max_coupler_degree is not None and net.coupler_degree > max_coupler_degree:
+            continue
+        if min_groups is not None and net.num_groups < min_groups:
+            continue
+        if max_groups is not None and net.num_groups > max_groups:
+            continue
+        if max_diameter is not None and net.diameter > max_diameter:
+            continue
+        # a machine too small to absorb the requested intensity would be
+        # swept with silently capped (even zero) faults and score as
+        # immune -- skip it instead of letting it dominate the front
+        capacity = fault_model.max_faults(net)
+        if capacity is not None and capacity < fault_model.faults:
+            skipped_underfaulted.append(spec.canonical())
+            continue
+        dsg = spec.design()
+        margin = round(dsg.worst_case_power_budget().margin_db(), 4)
+        if min_margin_db is not None and margin < min_margin_db:
+            continue
+        cost = pricing.price(dsg.bill_of_materials())
+        if cost <= 0:
+            raise ValueError(
+                f"cost model prices {spec} at {cost}; survivability-per-"
+                f"cost ranking needs every candidate priced > 0"
+            )
+        summary = survivability_sweep(
+            spec,
+            fault_model,
+            trials=trials,
+            seed=seed,
+            workers=workers,
+            workload=workload,
+            messages=messages,
+            metrics=metrics,
+            _net=net,  # already built for the shape filters above
+        )
+        survivability = summary.quantiles["connectivity"]["mean"]
+        evaluated.append(
+            DesignCandidate(
+                spec=spec.canonical(),
+                family=spec.family,
+                processors=net.num_processors,
+                groups=net.num_groups,
+                coupler_degree=net.coupler_degree,
+                diameter=net.diameter,
+                cost=cost,
+                link_margin_db=margin,
+                survivability=survivability,
+                partitioned_fraction=summary.partitioned_fraction,
+                within_bound_fraction=summary.within_bound_fraction,
+                survivability_per_kilocost=round(
+                    1000.0 * survivability / cost, 6
+                ),
+            )
+        )
+    front = _pareto_front(evaluated)
+    ranked = sorted(
+        (replace(c, pareto=c.spec in front) for c in evaluated),
+        key=lambda c: (-c.survivability_per_kilocost, c.cost, c.spec),
+    )
+    # the front is reported over the FULL evaluated set; `top` only
+    # trims the candidate table
+    pareto = tuple(c.spec for c in ranked if c.pareto)
+    if top is not None:
+        ranked = ranked[: max(top, 0)]
+    return DesignSearchResult(
+        max_processors=max_processors,
+        min_processors=min_processors,
+        families=keys,
+        model=fault_model.key,
+        faults=fault_model.faults,
+        trials=trials,
+        seed=seed,
+        metrics=metrics,
+        candidates=tuple(ranked),
+        pareto=pareto,
+        skipped_underfaulted=tuple(skipped_underfaulted),
+        cost_model=pricing.as_dict(),
+    )

@@ -45,14 +45,16 @@ from .faults import (
 from .metrics import (
     ResilienceMetrics,
     alive_connectivity_ratio,
+    connectivity_metrics,
     connectivity_ratio,
     measure,
     path_survival,
 )
-from .sweep import SweepSummary, survivability_sweep
+from .sweep import METRICS_MODES, SweepSummary, survivability_sweep
 
 __all__ = [
     "FAULT_MODELS",
+    "METRICS_MODES",
     "AdversarialFirstHopFaults",
     "DegradedNetwork",
     "FaultModel",
@@ -64,6 +66,7 @@ __all__ = [
     "UniformLinkFaults",
     "UniformProcessorFaults",
     "alive_connectivity_ratio",
+    "connectivity_metrics",
     "connectivity_ratio",
     "coupler_endpoints",
     "degrade_network",

@@ -124,6 +124,20 @@ class FaultModel:
         """``(dead couplers, dead processors)`` for one draw."""
         raise NotImplementedError
 
+    def max_faults(self, net) -> int | None:
+        """The largest intensity fully injectable into ``net``.
+
+        Every sampler caps its draw so the machine retains a shred of
+        life (at least one coupler, two processors, one group...); a
+        scenario asked for more faults than this silently injects
+        fewer.  Consumers that compare machines -- the design search
+        above all -- use this to *skip* candidates too small to absorb
+        the requested intensity instead of crowning them immune.
+        ``None`` means the model cannot say (custom models without an
+        override); built-ins all report an exact cap.
+        """
+        return None
+
     def scenario(self, spec: str, net, seed: int) -> FaultScenario:
         """The deterministic scenario for ``(self, spec, seed)``."""
         couplers, processors = self.sample_faults(net, random.Random(seed))
@@ -146,6 +160,9 @@ class UniformCouplerFaults(FaultModel):
         m = net.num_couplers
         return set(rng.sample(range(m), min(self.faults, max(m - 1, 0)))), set()
 
+    def max_faults(self, net) -> int:
+        return max(net.num_couplers - 1, 0)
+
 
 @dataclass(frozen=True)
 class UniformProcessorFaults(FaultModel):
@@ -156,6 +173,9 @@ class UniformProcessorFaults(FaultModel):
     def sample_faults(self, net, rng: random.Random):
         n = net.num_processors
         return set(), set(rng.sample(range(n), min(self.faults, max(n - 2, 0))))
+
+    def max_faults(self, net) -> int:
+        return max(net.num_processors - 2, 0)
 
 
 @dataclass(frozen=True)
@@ -173,13 +193,18 @@ class UniformLinkFaults(FaultModel):
     def sample_faults(self, net, rng: random.Random):
         ends = coupler_endpoints(net)
         links = sorted({(min(u, v), max(u, v)) for u, v in ends if u != v})
-        picks = rng.sample(links, min(self.faults, max(len(links) - 1, 0)))
+        picked = set(rng.sample(links, min(self.faults, max(len(links) - 1, 0))))
         chosen = {
             idx
             for idx, (u, v) in enumerate(ends)
-            if u != v and (min(u, v), max(u, v)) in set(picks)
+            if u != v and (min(u, v), max(u, v)) in picked
         }
         return chosen, set()
+
+    def max_faults(self, net) -> int:
+        ends = coupler_endpoints(net)
+        links = {(min(u, v), max(u, v)) for u, v in ends if u != v}
+        return max(len(links) - 1, 0)
 
 
 @dataclass(frozen=True)
@@ -210,6 +235,18 @@ class AdversarialFirstHopFaults(FaultModel):
             )
         return set(outgoing[: self.faults]), set()
 
+    def max_faults(self, net) -> int:
+        ends = coupler_endpoints(net)
+        per_group = [0] * net.num_groups
+        for u, v in ends:
+            if u != v:
+                per_group[u] += 1
+        # the weakest possible victim bounds what every seed can absorb;
+        # a victim with no non-loop out-couplers takes the any-coupler
+        # fallback, whose own cap is num_couplers - 1
+        fallback = max(net.num_couplers - 1, 0)
+        return min(c if c > 0 else fallback for c in per_group)
+
 
 @dataclass(frozen=True)
 class GroupBlockOutage(FaultModel):
@@ -239,6 +276,9 @@ class GroupBlockOutage(FaultModel):
             if group_of(net, p) in dead_groups
         }
         return couplers, processors
+
+    def max_faults(self, net) -> int:
+        return max(net.num_groups - 1, 0)
 
 
 FAULT_MODELS: dict[str, type[FaultModel]] = {

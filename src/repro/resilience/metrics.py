@@ -26,6 +26,7 @@ __all__ = [
     "ResilienceMetrics",
     "connectivity_ratio",
     "alive_connectivity_ratio",
+    "connectivity_metrics",
     "path_survival",
     "measure",
 ]
@@ -57,14 +58,28 @@ class ResilienceMetrics:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
-def _connectivity_counts(degraded: DegradedNetwork) -> tuple[int, int, int]:
-    """``(connected, alive_pairs, all_pairs)`` over ordered distinct pairs."""
+def _connectivity_counts(
+    degraded: DegradedNetwork,
+) -> tuple[int, int, int, list, list[int]]:
+    """One BFS pass feeding every connectivity-flavoured metric.
+
+    Returns ``(connected, alive_pairs, all_pairs, reach, alive_per_group)``
+    over ordered distinct pairs; ``reach[u]`` is the surviving-base BFS
+    distance row of group ``u``.
+    """
     net = degraded.net
     n = net.num_processors
     base = degraded.surviving_base()
     g = net.num_groups
     reach = [base.bfs_distances(u) for u in range(g)]
-    sibling_ok = [degraded._sibling_first_hop(u) >= 0 for u in range(g)]
+    # a surviving closed walk at u exists iff some surviving out-arc
+    # (u, v) is a loop or can get back (reach[v][u] >= 0) -- derivable
+    # from the BFS rows, no routing table needed (same booleans as
+    # `degraded._sibling_first_hop(u) >= 0`, which builds one)
+    sibling_ok = [
+        any(v == u or reach[v][u] >= 0 for v in base.successors(u).tolist())
+        for u in range(g)
+    ]
     alive_per_group = [0] * g
     for p in degraded.alive_processors:
         alive_per_group[degraded._group_of(p)] += 1
@@ -82,7 +97,7 @@ def _connectivity_counts(degraded: DegradedNetwork) -> tuple[int, int, int]:
                 continue
             if reach[gu][gv] >= 0:
                 connected += au * alive_per_group[gv]
-    return connected, alive * (alive - 1), n * (n - 1)
+    return connected, alive * (alive - 1), n * (n - 1), reach, alive_per_group
 
 
 def connectivity_ratio(degraded: DegradedNetwork) -> float:
@@ -101,7 +116,7 @@ def connectivity_ratio(degraded: DegradedNetwork) -> float:
     """
     if degraded.net.num_processors <= 1:
         return 1.0
-    connected, _, all_pairs = _connectivity_counts(degraded)
+    connected, _, all_pairs, _, _ = _connectivity_counts(degraded)
     return connected / all_pairs
 
 
@@ -113,8 +128,65 @@ def alive_connectivity_ratio(degraded: DegradedNetwork) -> float:
     :func:`connectivity_ratio`.  1.0 when fewer than two processors
     survive.
     """
-    connected, alive_pairs, _ = _connectivity_counts(degraded)
+    connected, alive_pairs, _, _, _ = _connectivity_counts(degraded)
     return connected / alive_pairs if alive_pairs else 1.0
+
+
+def connectivity_metrics(
+    degraded: DegradedNetwork, *, with_reachable: bool = True
+) -> dict[str, float]:
+    """The connectivity-only survivability row, in one BFS pass.
+
+    The batched sweep backend's fast path: when no simulation metrics
+    are requested, a trial is scored from the surviving base digraph
+    alone -- ``connectivity`` (all ordered processor pairs),
+    ``alive_connectivity`` (surviving endpoints only) and
+    ``reachable_groups`` (ordered live-group pairs with a surviving
+    path, the same fraction :func:`path_survival` routes -- both the
+    structured ``fault_route`` hooks and their BFS fallback succeed
+    exactly on BFS-reachable pairs).  No per-pair routing and no
+    slotted simulation, which is what makes design-search sweeps over
+    hundreds of candidates tractable.  ``with_reachable=False`` skips
+    the reachability loop for callers that recompute the routed
+    fraction themselves (the sweep's ``paths`` mode).
+
+    >>> from repro.core import degrade
+    >>> row = connectivity_metrics(degrade("pops(2,3)", faults=0))
+    >>> row == {"connectivity": 1.0, "alive_connectivity": 1.0,
+    ...         "reachable_groups": 1.0}
+    True
+    """
+    net = degraded.net
+    if net.num_processors <= 1:
+        row = {"connectivity": 1.0, "alive_connectivity": 1.0}
+        if with_reachable:
+            row["reachable_groups"] = 1.0
+        return row
+    connected, alive_pairs, all_pairs, reach, alive_per_group = (
+        _connectivity_counts(degraded)
+    )
+    out = {
+        "connectivity": connected / all_pairs,
+        "alive_connectivity": connected / alive_pairs if alive_pairs else 1.0,
+    }
+    if not with_reachable:
+        return out
+    live = [g for g in range(net.num_groups) if alive_per_group[g] > 0]
+    if len(live) < 2:
+        reachable = 1.0
+    else:
+        pairs = routed = 0
+        for gu in live:
+            row = reach[gu]
+            for gv in live:
+                if gv == gu:
+                    continue
+                pairs += 1
+                if row[gv] >= 0:
+                    routed += 1
+        reachable = routed / pairs
+    out["reachable_groups"] = reachable
+    return out
 
 
 def path_survival(
@@ -196,8 +268,11 @@ def measure(
     net = degraded.net
     if bound is None:
         bound = net.diameter + 2
-    connectivity = connectivity_ratio(degraded)
-    alive_connectivity = alive_connectivity_ratio(degraded)
+    # one BFS pass feeds both ratios (identical values, half the work);
+    # the routed reachable_groups fraction comes from path_survival below
+    conn_row = connectivity_metrics(degraded, with_reachable=False)
+    connectivity = conn_row["connectivity"]
+    alive_connectivity = conn_row["alive_connectivity"]
     reachable, max_len, stretch, within = path_survival(degraded, bound)
     traffic = resolve_workload(
         workload, net, messages=messages, seed=seed, **workload_options

@@ -8,6 +8,22 @@ come from :func:`~repro.resilience.faults.trial_seed` (a function of
 the sweep seed and the trial index only), rows are re-ordered by trial
 index, and quantiles use exact nearest-rank selection -- so the same
 seed produces **byte-identical** JSON for any worker count.
+
+Two executors share that contract:
+
+* the **batched** backend (default) builds one network + family
+  context per process -- via a ``multiprocessing`` pool *initializer*,
+  so workers never rebuild the topology per trial -- shares the intact
+  baseline across all trials, and ships workers compact trial-index
+  ranges instead of per-trial argument tuples.  Its ``metrics`` modes
+  short-circuit scoring: ``"connectivity"`` skips both the per-pair
+  ``fault_route`` scan and the slotted simulation (the design-search
+  fast path), ``"paths"`` keeps route quality but skips simulation,
+  ``"full"`` computes everything;
+* the **legacy** backend is the original one-task-per-trial executor
+  that re-parses and rebuilds the network inside every trial.  It is
+  kept as the regression reference: for the same seed the batched
+  backend's ``full`` mode must produce byte-identical JSON.
 """
 
 from __future__ import annotations
@@ -18,11 +34,11 @@ from dataclasses import dataclass, field
 
 from .degrade import DegradedNetwork
 from .faults import FaultModel, make_fault_model, trial_seed
-from .metrics import measure
+from .metrics import connectivity_metrics, measure, path_survival
 
-__all__ = ["SweepSummary", "survivability_sweep"]
+__all__ = ["SweepSummary", "survivability_sweep", "METRICS_MODES"]
 
-#: Per-trial metric keys that get quantile summaries.
+#: Per-trial metric keys that get quantile summaries (``full`` mode).
 _SUMMARIZED = (
     "connectivity",
     "alive_connectivity",
@@ -36,6 +52,26 @@ _SUMMARIZED = (
     "dropped",
     "slots",
 )
+
+#: Scoring depth -> the per-trial metric keys it produces.
+METRICS_MODES: dict[str, tuple[str, ...]] = {
+    "connectivity": (
+        "connectivity",
+        "alive_connectivity",
+        "reachable_groups",
+    ),
+    "paths": (
+        "connectivity",
+        "alive_connectivity",
+        "reachable_groups",
+        "max_path_length",
+        "mean_stretch",
+        "within_bound",
+    ),
+    "full": _SUMMARIZED,
+}
+
+_BACKENDS = ("batched", "legacy")
 
 
 @dataclass(frozen=True)
@@ -53,7 +89,8 @@ class SweepSummary:
     #: metric -> {"mean": .., "p05": .., "p50": .., "p95": .., "min": .., "max": ..}
     quantiles: dict[str, dict[str, float]] = field(default_factory=dict)
     #: fraction of trials in which every routed pair met the bound
-    within_bound_fraction: float = 1.0
+    #: (``None`` when path metrics were not computed)
+    within_bound_fraction: float | None = 1.0
     #: fraction of trials in which some surviving pair was severed
     partitioned_fraction: float = 0.0
 
@@ -77,18 +114,23 @@ class SweepSummary:
         """Canonical JSON: sorted keys, 2-space indent, rounded floats.
 
         The byte-identity contract of the sweep: same spec/model/seed
-        gives the same string regardless of worker count.
+        gives the same string regardless of worker count or backend.
         """
         return json.dumps(self.as_dict(), indent=2, sort_keys=True)
 
     def formatted(self) -> str:
         """Human-readable quantile table."""
+        within = (
+            "path metrics not computed"
+            if self.within_bound_fraction is None
+            else f"{100 * self.within_bound_fraction:.1f}% of trials within"
+        )
         lines = [
             f"{self.spec} under {self.faults} {self.model} fault(s): "
             f"{self.trials} trials, seed {self.seed}, "
             f"workload {self.workload} x{self.messages}",
             f"  path-length bound diameter+2 = {self.bound}: "
-            f"{100 * self.within_bound_fraction:.1f}% of trials within; "
+            f"{within}; "
             f"{100 * self.partitioned_fraction:.1f}% partitioned",
             f"  {'metric':<18} {'mean':>9} {'p05':>9} {'p50':>9} {'p95':>9}",
         ]
@@ -116,6 +158,9 @@ def _nearest_rank(sorted_values: list[float], q: float) -> float:
     return sorted_values[min(rank, len(sorted_values)) - 1]
 
 
+# ----------------------------------------------------------------------
+# Legacy executor (the PR 2 path): one task per trial, rebuild inside.
+# ----------------------------------------------------------------------
 def _run_trial(task) -> dict[str, object]:
     """One Monte-Carlo trial; top-level so it pickles to workers."""
     (
@@ -146,6 +191,98 @@ def _run_trial(task) -> dict[str, object]:
     return row.as_dict()
 
 
+# ----------------------------------------------------------------------
+# Batched executor: one context per process, trial-index ranges only.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _SweepPlan:
+    """Everything a trial needs, frozen once and shipped to workers."""
+
+    canonical: str
+    model: FaultModel
+    seed: int
+    workload: str
+    messages: int
+    bound: int
+    max_slots: int
+    baseline_mean_latency: float | None
+    metrics: str
+
+
+class _TrialContext:
+    """Per-process trial runner over one shared built network.
+
+    Workers construct this exactly once (pool initializer), so the
+    spec is parsed and the topology built per *process*, not per
+    trial -- the frozen network, its family descriptor and the plan
+    are shared by every trial the process executes.
+    """
+
+    def __init__(self, plan: _SweepPlan, net=None, family=None) -> None:
+        from ..core.registry import get_family
+        from ..core.spec import NetworkSpec
+
+        self.plan = plan
+        parsed = NetworkSpec.parse(plan.canonical)
+        self.net = net if net is not None else parsed.build()
+        self.family = family if family is not None else get_family(parsed.family)
+
+    def run_trial(self, index: int) -> dict[str, object]:
+        """The metrics row of trial ``index`` (scored per the plan's mode)."""
+        plan = self.plan
+        scenario = plan.model.scenario(
+            plan.canonical, self.net, trial_seed(plan.seed, index)
+        )
+        degraded = DegradedNetwork(self.net, scenario, family=self.family)
+        if plan.metrics == "full":
+            return measure(
+                degraded,
+                workload=plan.workload,
+                messages=plan.messages,
+                seed=plan.seed,
+                bound=plan.bound,
+                max_slots=plan.max_slots,
+                baseline_mean_latency=plan.baseline_mean_latency,
+            ).as_dict()
+        # paths mode takes reachable_groups from path_survival (the
+        # *routed* fraction) instead of the BFS pass, so skip the
+        # redundant reachability loop there
+        row: dict[str, object] = connectivity_metrics(
+            degraded, with_reachable=plan.metrics == "connectivity"
+        )
+        if plan.metrics == "paths":
+            reachable, max_len, stretch, within = path_survival(
+                degraded, plan.bound
+            )
+            row["reachable_groups"] = reachable
+            row["max_path_length"] = max_len
+            row["mean_stretch"] = stretch
+            row["within_bound"] = within
+        return row
+
+
+_WORKER_CTX: _TrialContext | None = None
+
+
+def _init_batched_worker(plan: _SweepPlan) -> None:
+    """Pool initializer: build the shared trial context once per process."""
+    global _WORKER_CTX
+    _WORKER_CTX = _TrialContext(plan)
+
+
+def _run_batched_chunk(index_range: tuple[int, int]) -> list[dict[str, object]]:
+    """Run a contiguous range of trials on the process-local context."""
+    assert _WORKER_CTX is not None, "batched worker used before initialization"
+    start, stop = index_range
+    return [_WORKER_CTX.run_trial(i) for i in range(start, stop)]
+
+
+def _index_chunks(trials: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous ``(start, stop)`` trial ranges, ~4 chunks per worker."""
+    chunk = max(1, trials // (workers * 4))
+    return [(lo, min(lo + chunk, trials)) for lo in range(0, trials, chunk)]
+
+
 def survivability_sweep(
     spec,
     model: FaultModel | str = "coupler",
@@ -158,6 +295,9 @@ def survivability_sweep(
     messages: int = 60,
     bound: int | None = None,
     max_slots: int = 100_000,
+    metrics: str = "full",
+    backend: str = "batched",
+    _net=None,
 ) -> SweepSummary:
     """Monte-Carlo survivability of ``spec`` under ``model`` faults.
 
@@ -169,10 +309,27 @@ def survivability_sweep(
     counts ``multiprocessing`` processes (``None``/``0``/``1`` runs
     inline); the aggregate is identical for every worker count.
 
+    ``metrics`` selects scoring depth: ``"full"`` (everything,
+    including the degraded slotted simulation), ``"paths"``
+    (connectivity + route quality, no simulation) or
+    ``"connectivity"`` (surviving-base reachability only -- the
+    design-search fast path).  ``backend`` selects the executor:
+    ``"batched"`` (default; shared built network per process) or
+    ``"legacy"`` (the original rebuild-per-trial path, ``full``
+    metrics only).  Both backends produce byte-identical JSON for the
+    same seed in ``full`` mode.  ``_net`` is internal: callers that
+    already built the spec's network (the design search evaluates
+    shape filters on it first) pass it to skip the rebuild; it MUST
+    be the machine ``spec`` names.
+
     >>> s = survivability_sweep("pops(2,2)", "coupler", trials=4, seed=1,
     ...                         messages=8)
     >>> s.trials
     4
+    >>> c = survivability_sweep("pops(2,2)", "coupler", trials=4, seed=1,
+    ...                         metrics="connectivity")
+    >>> sorted(c.quantiles)
+    ['alive_connectivity', 'connectivity', 'reachable_groups']
     """
     from ..core.spec import NetworkSpec
     from ..core.workloads import resolve_workload
@@ -188,41 +345,88 @@ def survivability_sweep(
         )
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
-    net = parsed.build()
+    if metrics not in METRICS_MODES:
+        known = ", ".join(sorted(METRICS_MODES))
+        raise ValueError(f"unknown metrics mode {metrics!r}; known: {known}")
+    if backend not in _BACKENDS:
+        known = ", ".join(_BACKENDS)
+        raise ValueError(f"unknown sweep backend {backend!r}; known: {known}")
+    if backend == "legacy" and metrics != "full":
+        raise ValueError(
+            "the legacy backend only supports metrics='full'; "
+            "connectivity/paths short-circuits need backend='batched'"
+        )
+    net = parsed.build() if _net is None else _net
     resolved_bound = net.diameter + 2 if bound is None else bound
     canonical = parsed.canonical()
-    # The intact baseline depends only on (workload, messages, seed):
-    # run it once here instead of once per trial.
-    from ..core.registry import get_family
+    simulate = metrics == "full"
+    if simulate:
+        # The intact baseline depends only on (workload, messages, seed):
+        # run it once here instead of once per trial.
+        from ..core.registry import get_family
 
-    traffic = resolve_workload(workload, net, messages=messages, seed=seed)
-    baseline = run_traffic(
-        get_family(parsed.family).simulator(net), traffic, max_slots=max_slots
-    )
-    tasks = [
-        (
-            canonical,
-            model,
-            trial_seed(seed, i),
-            workload,
-            messages,
-            seed,
-            resolved_bound,
-            max_slots,
-            baseline.mean_latency,
+        traffic = resolve_workload(workload, net, messages=messages, seed=seed)
+        baseline = run_traffic(
+            get_family(parsed.family).simulator(net), traffic, max_slots=max_slots
         )
-        for i in range(trials)
-    ]
-    if workers is not None and workers > 1:
-        with multiprocessing.Pool(processes=workers) as pool:
-            rows = pool.map(
-                _run_trial, tasks, chunksize=max(1, trials // (workers * 4))
-            )
+        baseline_mean_latency = baseline.mean_latency
     else:
-        rows = [_run_trial(t) for t in tasks]
+        baseline_mean_latency = None
 
+    if backend == "legacy":
+        tasks = [
+            (
+                canonical,
+                model,
+                trial_seed(seed, i),
+                workload,
+                messages,
+                seed,
+                resolved_bound,
+                max_slots,
+                baseline_mean_latency,
+            )
+            for i in range(trials)
+        ]
+        if workers is not None and workers > 1:
+            with multiprocessing.Pool(processes=workers) as pool:
+                rows = pool.map(
+                    _run_trial, tasks, chunksize=max(1, trials // (workers * 4))
+                )
+        else:
+            rows = [_run_trial(t) for t in tasks]
+    else:
+        plan = _SweepPlan(
+            canonical=canonical,
+            model=model,
+            seed=seed,
+            workload=workload,
+            messages=messages,
+            bound=resolved_bound,
+            max_slots=max_slots,
+            baseline_mean_latency=baseline_mean_latency,
+            metrics=metrics,
+        )
+        if workers is not None and workers > 1:
+            with multiprocessing.Pool(
+                processes=workers,
+                initializer=_init_batched_worker,
+                initargs=(plan,),
+            ) as pool:
+                rows = [
+                    row
+                    for chunk in pool.map(
+                        _run_batched_chunk, _index_chunks(trials, workers)
+                    )
+                    for row in chunk
+                ]
+        else:
+            ctx = _TrialContext(plan, net=net)
+            rows = [ctx.run_trial(i) for i in range(trials)]
+
+    summarized = METRICS_MODES[metrics]
     quantiles: dict[str, dict[str, float]] = {}
-    for key in _SUMMARIZED:
+    for key in summarized:
         values = sorted(float(r[key]) for r in rows)
         quantiles[key] = {
             "mean": round(sum(values) / len(values), 6),
@@ -232,7 +436,11 @@ def survivability_sweep(
             "min": round(values[0], 6),
             "max": round(values[-1], 6),
         }
-    within_full = sum(1 for r in rows if float(r["within_bound"]) >= 1.0)
+    if "within_bound" in summarized:
+        within_full = sum(1 for r in rows if float(r["within_bound"]) >= 1.0)
+        within_bound_fraction = round(within_full / trials, 6)
+    else:
+        within_bound_fraction = None
     # partitioned == some *surviving* pair severed: dead endpoints are a
     # casualty count, not a partition (alive_connectivity excludes them)
     partitioned = sum(
@@ -245,9 +453,9 @@ def survivability_sweep(
         trials=trials,
         seed=seed,
         workload=workload,
-        messages=messages,
+        messages=messages if simulate else 0,
         bound=resolved_bound,
         quantiles=quantiles,
-        within_bound_fraction=round(within_full / trials, 6),
+        within_bound_fraction=within_bound_fraction,
         partitioned_fraction=round(partitioned / trials, 6),
     )

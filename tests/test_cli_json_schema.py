@@ -1,0 +1,221 @@
+"""Golden JSON-schema tests for the CLI's ``--json`` outputs.
+
+Downstream tooling shells out to ``python -m repro ... --json`` and
+indexes into the result; these tests pin the *shape* of that contract
+-- exact top-level key sets and value types for ``describe``,
+``sweep``, ``resilience`` and ``design-search`` -- so a key rename or
+type drift fails loudly here instead of in someone's dashboard.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def cli_json(capsys, argv):
+    """Run the CLI, assert success, return the parsed JSON payload."""
+    rc = main(argv)
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    return json.loads(out)
+
+
+def assert_schema(payload: dict, schema: dict[str, type | tuple]) -> None:
+    """Exact key set + type check, one failure message per drift."""
+    assert set(payload) == set(schema), (
+        f"top-level keys drifted: extra={sorted(set(payload) - set(schema))} "
+        f"missing={sorted(set(schema) - set(payload))}"
+    )
+    for key, typ in schema.items():
+        assert isinstance(payload[key], typ), (
+            f"{key!r} should be {typ}, got {type(payload[key]).__name__}: "
+            f"{payload[key]!r}"
+        )
+
+
+#: quantile cells: every metric maps to exactly these six statistics
+QUANTILE_KEYS = {"mean", "p05", "p50", "p95", "min", "max"}
+
+DESCRIBE_SCHEMA = {
+    "spec": str,
+    "family": str,
+    "params": dict,
+    "processors": int,
+    "groups": int,
+    "couplers": int,
+    "coupler_degree": int,
+    "processor_degree": int,
+    "diameter": int,
+}
+
+SWEEP_CELL_SCHEMA = {
+    "spec": str,
+    "workload": str,
+    "processors": int,
+    "messages": int,
+    "slots": int,
+    "mean_latency": (int, float),
+    "p95_latency": (int, float),
+    "max_latency": int,
+    "mean_hops": (int, float),
+    "throughput": (int, float),
+    "coupler_utilization": (int, float),
+}
+
+RESILIENCE_SCHEMA = {
+    "spec": str,
+    "model": str,
+    "faults": int,
+    "trials": int,
+    "seed": int,
+    "workload": str,
+    "messages": int,
+    "bound": int,
+    "quantiles": dict,
+    "within_bound_fraction": (int, float, type(None)),
+    "partitioned_fraction": (int, float),
+}
+
+DESIGN_SEARCH_SCHEMA = {
+    "max_processors": int,
+    "min_processors": int,
+    "families": list,
+    "model": str,
+    "faults": int,
+    "trials": int,
+    "seed": int,
+    "metrics": str,
+    "cost_model": dict,
+    "pareto": list,
+    "skipped_underfaulted": list,
+    "candidates": list,
+}
+
+CANDIDATE_SCHEMA = {
+    "spec": str,
+    "family": str,
+    "processors": int,
+    "groups": int,
+    "coupler_degree": int,
+    "diameter": int,
+    "cost": (int, float),
+    "link_margin_db": (int, float),
+    "survivability": (int, float),
+    "partitioned_fraction": (int, float),
+    "within_bound_fraction": (int, float, type(None)),
+    "survivability_per_kilocost": (int, float),
+    "pareto": bool,
+}
+
+
+class TestDescribeSchema:
+    @pytest.mark.parametrize(
+        "spec", ["pops(4,2)", "sk(2,2,2)", "sii(2,3,10)", "sops(8)"]
+    )
+    def test_top_level_keys_and_types(self, capsys, spec):
+        data = cli_json(capsys, ["describe", spec, "--json"])
+        assert_schema(data, DESCRIBE_SCHEMA)
+        assert data["spec"] == spec
+        assert all(isinstance(v, int) for v in data["params"].values())
+
+
+class TestSweepSchema:
+    def test_cells_are_uniform_rows(self, capsys):
+        data = cli_json(
+            capsys,
+            [
+                "sweep",
+                "pops(2,2)",
+                "sk(2,2,2)",
+                "--workloads",
+                "uniform",
+                "--messages",
+                "20",
+                "--json",
+            ],
+        )
+        assert isinstance(data, list) and len(data) == 2
+        for cell in data:
+            assert_schema(cell, SWEEP_CELL_SCHEMA)
+
+
+class TestResilienceSchema:
+    def test_full_metrics_summary(self, capsys):
+        data = cli_json(
+            capsys,
+            [
+                "resilience",
+                "sk(2,2,2)",
+                "--faults",
+                "1",
+                "--trials",
+                "5",
+                "--messages",
+                "10",
+                "--json",
+            ],
+        )
+        assert_schema(data, RESILIENCE_SCHEMA)
+        assert set(data["quantiles"]) == {
+            "connectivity",
+            "alive_connectivity",
+            "reachable_groups",
+            "max_path_length",
+            "mean_stretch",
+            "within_bound",
+            "delivery_ratio",
+            "latency_inflation",
+            "mean_latency",
+            "dropped",
+            "slots",
+        }
+        for cell in data["quantiles"].values():
+            assert set(cell) == QUANTILE_KEYS
+
+    def test_connectivity_metrics_summary(self, capsys):
+        data = cli_json(
+            capsys,
+            [
+                "resilience",
+                "pops(2,3)",
+                "--trials",
+                "5",
+                "--metrics",
+                "connectivity",
+                "--json",
+            ],
+        )
+        assert_schema(data, RESILIENCE_SCHEMA)
+        assert set(data["quantiles"]) == {
+            "connectivity",
+            "alive_connectivity",
+            "reachable_groups",
+        }
+        assert data["within_bound_fraction"] is None
+        assert data["messages"] == 0
+
+
+class TestDesignSearchSchema:
+    def test_result_and_candidate_rows(self, capsys):
+        data = cli_json(
+            capsys,
+            [
+                "design-search",
+                "--max-processors",
+                "8",
+                "--families",
+                "pops",
+                "sops",
+                "--trials",
+                "4",
+                "--json",
+            ],
+        )
+        assert_schema(data, DESIGN_SEARCH_SCHEMA)
+        assert data["candidates"], "search window should not be empty"
+        for cand in data["candidates"]:
+            assert_schema(cand, CANDIDATE_SCHEMA)
+        starred = {c["spec"] for c in data["candidates"] if c["pareto"]}
+        assert set(data["pareto"]) == starred

@@ -1,0 +1,124 @@
+"""Exhaustive cross-family invariants over the candidate windows.
+
+For every buildable spec the registry can enumerate, three layers must
+agree on the machine's shape: the registry's enumerators
+(``sizes`` / ``candidate_specs``), the built network object, and its
+directed-hypergraph model.  Routes must respect the advertised
+diameter.  Tier-1 sweeps every spec up to 64 processors; the full
+<= 200-processor window (3000+ specs) runs in the nightly job under
+the ``slow`` marker.
+"""
+
+import pytest
+
+from repro.core import NetworkSpec, describe, get_family, iter_families
+from repro.core.registry import NetworkFamily
+from repro.design_search import enumerate_candidates
+
+TIER1_MAX_N = 64
+FULL_MAX_N = 200
+
+
+def _sample_pairs(n: int) -> list[tuple[int, int]]:
+    """A few deterministic (src, dst) probes incl. loops and extremes."""
+    pairs = {(0, 0), (0, n - 1), (n - 1, 0), (n // 2, n // 3)}
+    return sorted(pairs)
+
+
+def check_spec(spec: NetworkSpec) -> None:
+    """All shape invariants of one spec, one assertion message each."""
+    family = get_family(spec.family)
+    net = spec.build()
+    # registry <-> network: the equal-N enumerator must name this spec
+    assert spec in set(family.sizes(net.num_processors)), (
+        f"{spec}: sizes({net.num_processors}) does not list the spec"
+    )
+    info = describe(spec)
+    for key, value in (
+        ("processors", net.num_processors),
+        ("groups", net.num_groups),
+        ("couplers", net.num_couplers),
+        ("coupler_degree", net.coupler_degree),
+        ("processor_degree", net.processor_degree),
+        ("diameter", net.diameter),
+    ):
+        assert info[key] == value, f"{spec}: describe()[{key!r}] != network"
+    # network <-> hypergraph model
+    model = net.hypergraph_model()
+    assert model.num_nodes == net.num_processors, f"{spec}: model node count"
+    assert model.num_hyperarcs == net.num_couplers, f"{spec}: model arc count"
+    for ha in model.hyperarcs:
+        assert len(ha.sources) == net.coupler_degree, (
+            f"{spec}: hyperarc source block != coupler degree"
+        )
+        assert len(ha.targets) == net.coupler_degree, (
+            f"{spec}: hyperarc target block != coupler degree"
+        )
+    # routes respect the advertised diameter
+    for src, dst in _sample_pairs(net.num_processors):
+        route = family.route(net, src, dst)
+        limit = 0 if src == dst else max(net.diameter, 1)
+        assert route.num_hops <= limit, (
+            f"{spec}: route {src}->{dst} took {route.num_hops} hops, "
+            f"diameter {net.diameter}"
+        )
+
+
+def _window(max_n: int) -> list[NetworkSpec]:
+    return enumerate_candidates(max_processors=max_n, min_processors=2)
+
+
+class TestCandidateEnumeration:
+    def test_window_is_respected_everywhere(self):
+        for spec in _window(TIER1_MAX_N):
+            n = spec.build().num_processors
+            assert 2 <= n <= TIER1_MAX_N, f"{spec} outside the window"
+
+    def test_every_family_contributes(self):
+        families = {s.family for s in _window(TIER1_MAX_N)}
+        assert families == set(f.key for f in iter_families())
+
+    def test_enumeration_is_deterministic_and_deduplicated(self):
+        a = _window(TIER1_MAX_N)
+        b = _window(TIER1_MAX_N)
+        assert a == b
+        assert len(a) == len(set(a))
+
+    def test_sk_override_matches_generic_default(self):
+        family = get_family("sk")
+        override = set(
+            family.candidate_specs(max_processors=TIER1_MAX_N, min_processors=2)
+        )
+        generic = set(
+            NetworkFamily.candidate_specs(
+                family, max_processors=TIER1_MAX_N, min_processors=2
+            )
+        )
+        assert override == generic
+
+    def test_empty_window_yields_nothing(self):
+        family = get_family("sk")
+        assert list(family.candidate_specs(max_processors=1)) == []
+
+
+class TestShapeInvariantsTier1:
+    @pytest.mark.parametrize(
+        "family_key", sorted(f.key for f in iter_families())
+    )
+    def test_every_spec_up_to_64_processors(self, family_key):
+        specs = [s for s in _window(TIER1_MAX_N) if s.family == family_key]
+        assert specs, f"no candidates for {family_key} up to N={TIER1_MAX_N}"
+        for spec in specs:
+            check_spec(spec)
+
+
+@pytest.mark.slow
+class TestShapeInvariantsExhaustive:
+    @pytest.mark.parametrize(
+        "family_key", sorted(f.key for f in iter_families())
+    )
+    def test_every_spec_up_to_200_processors(self, family_key):
+        for spec in (
+            s for s in _window(FULL_MAX_N) if s.family == family_key
+        ):
+            check_spec(spec)

@@ -1,0 +1,175 @@
+"""Property-based round-trip tests for `NetworkSpec`.
+
+The spec string is the toolkit's one name for a network: every facade
+verb, the CLI and the sweep matrix parse it.  These properties pin the
+contract over parameter grids for all four families: parse -> str ->
+parse is the identity, every accepted input form (canonical string,
+loose tokens, named dict, params dict, argv list) lands on the same
+spec, and malformed inputs are rejected with a :class:`SpecError`
+naming the culprit.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import NetworkSpec, SpecError, family_keys, get_family
+
+# Parameter grids per family: small-but-diverse, every value buildable.
+SPECS = {
+    "pops": st.tuples(st.integers(1, 12), st.integers(1, 12)),
+    "sk": st.tuples(st.integers(1, 6), st.integers(2, 5), st.integers(1, 3)),
+    "sii": st.tuples(st.integers(1, 6), st.integers(2, 4), st.integers(5, 40)),
+    "sops": st.tuples(st.integers(1, 64)),
+}
+
+any_spec = st.one_of(
+    *(
+        st.tuples(st.just(fam), params)
+        for fam, params in sorted(SPECS.items())
+    )
+).map(lambda t: NetworkSpec(t[0], t[1]))
+
+
+class TestRoundTrip:
+    @given(any_spec)
+    def test_parse_str_parse_identity(self, spec):
+        assert NetworkSpec.parse(str(spec)) == spec
+        assert NetworkSpec.parse(spec.canonical()) == spec
+        assert str(NetworkSpec.parse(str(spec))) == str(spec)
+
+    @given(any_spec)
+    def test_loose_token_forms_equivalent(self, spec):
+        tokens = " ".join(map(str, spec.params))
+        assert NetworkSpec.parse(f"{spec.family} {tokens}") == spec
+        assert NetworkSpec.parse(
+            ",".join([spec.family, *map(str, spec.params)])
+        ) == spec
+        assert NetworkSpec.parse(f"{spec.family}: {tokens}") == spec
+
+    @given(any_spec)
+    def test_dict_forms_equivalent(self, spec):
+        named = spec.as_dict()
+        assert NetworkSpec.parse(named) == spec
+        positional = {"family": spec.family, "params": list(spec.params)}
+        assert NetworkSpec.parse(positional) == spec
+        assert NetworkSpec.parse(spec.params_dict() | {"family": spec.family}) == spec
+
+    @given(any_spec)
+    def test_argv_form_equivalent(self, spec):
+        argv = [spec.family, *map(str, spec.params)]
+        assert NetworkSpec.from_argv(argv) == spec
+        assert NetworkSpec.parse(argv) == spec
+        # ints in the sequence form parse the same as strings
+        assert NetworkSpec.parse((spec.family, *spec.params)) == spec
+
+    @given(any_spec)
+    def test_aliases_resolve_to_canonical_family(self, spec):
+        family = get_family(spec.family)
+        for alias in family.aliases:
+            alias_spec = NetworkSpec.parse(
+                f"{alias}({','.join(map(str, spec.params))})"
+            )
+            assert alias_spec == spec
+            assert alias_spec.family == family.key
+
+    @given(any_spec)
+    def test_params_dict_matches_schema_order(self, spec):
+        family = get_family(spec.family)
+        assert list(spec.params_dict()) == [p.name for p in family.params]
+        assert tuple(spec.params_dict().values()) == spec.params
+
+    @given(any_spec)
+    def test_spec_is_hashable_and_self_parseable(self, spec):
+        assert NetworkSpec.parse(spec) is spec
+        assert len({spec, NetworkSpec.parse(str(spec))}) == 1
+
+
+class TestRejection:
+    @given(any_spec)
+    def test_wrong_arity_rejected(self, spec):
+        family = get_family(spec.family)
+        short = spec.params[:-1]
+        with pytest.raises(SpecError, match="missing"):
+            NetworkSpec(family.key, short)
+        long = spec.params + (2,)
+        with pytest.raises(SpecError, match="unexpected extra"):
+            NetworkSpec(family.key, long)
+
+    @given(any_spec, st.integers(0, 10))
+    def test_below_minimum_rejected(self, spec, position):
+        family = get_family(spec.family)
+        i = position % len(spec.params)
+        bad = list(spec.params)
+        bad[i] = family.params[i].minimum - 1
+        with pytest.raises(SpecError, match="must be >="):
+            NetworkSpec(family.key, tuple(bad))
+
+    @given(any_spec, st.integers(0, 10))
+    def test_negative_params_rejected(self, spec, position):
+        i = position % len(spec.params)
+        bad = list(spec.params)
+        bad[i] = -bad[i]
+        with pytest.raises(SpecError):
+            NetworkSpec(spec.family, tuple(bad))
+
+    @given(
+        st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz_",
+            min_size=1,
+            max_size=12,
+        ).filter(
+            lambda s: s not in family_keys()
+            and all(s not in (f, *get_family(f).aliases) for f in family_keys())
+        )
+    )
+    def test_unknown_family_rejected(self, name):
+        with pytest.raises(SpecError, match="unknown network family"):
+            NetworkSpec.parse(f"{name}(2,2)")
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "sk(6;3;2)",
+            "sk[6,3,2]",
+            "sk(6,3,2",  # tokens still parse: unbalanced paren is fine...
+            "42",
+            "(6,3,2)",
+            "sk(6,x,2)",
+            "sk(6,3,2.5)",
+            "pops(4 2) extra!",
+        ],
+    )
+    def test_malformed_strings_rejected(self, text):
+        # "sk(6,3,2" parses (token form); everything else must raise.
+        if text == "sk(6,3,2":
+            assert NetworkSpec.parse(text) == NetworkSpec("sk", (6, 3, 2))
+            return
+        with pytest.raises(SpecError):
+            NetworkSpec.parse(text)
+
+    def test_bool_and_float_params_rejected(self):
+        with pytest.raises(SpecError, match="must be an integer"):
+            NetworkSpec("pops", (True, 2))
+        with pytest.raises(SpecError, match="must be an integer"):
+            NetworkSpec("pops", (2.5, 2))
+        # integral floats coerce (documented leniency of _coerce_int)
+        assert NetworkSpec("pops", (2.0, 2)).params == (2, 2)
+
+    def test_dict_rejections_name_the_culprit(self):
+        with pytest.raises(SpecError, match="'family'"):
+            NetworkSpec.parse({"t": 4, "g": 2})
+        with pytest.raises(SpecError, match="missing parameter 'g'"):
+            NetworkSpec.parse({"family": "pops", "t": 4})
+        with pytest.raises(SpecError, match="unknown key"):
+            NetworkSpec.parse({"family": "pops", "t": 4, "g": 2, "zz": 1})
+        with pytest.raises(SpecError, match="mixes 'params'"):
+            NetworkSpec.parse({"family": "pops", "params": [4, 2], "t": 4})
+
+    def test_non_parseable_types_rejected(self):
+        with pytest.raises(SpecError, match="cannot parse"):
+            NetworkSpec.parse(42)
+        with pytest.raises(SpecError, match="empty network spec"):
+            NetworkSpec.from_argv([])
