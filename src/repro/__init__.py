@@ -104,16 +104,20 @@ from .core import (
 )
 from .design_search import (
     DEFAULT_COST_MODEL,
+    PARALLELISM_MODES,
     CostModel,
     DesignCandidate,
     DesignSearchResult,
 )
 from .resilience import (
+    METRICS_MODES,
+    SWEEP_BACKENDS,
     DegradedNetwork,
     FaultModel,
     FaultScenario,
     SweepSummary,
     make_fault_model,
+    pooled_survivability_sweeps,
     survivability_sweep,
 )
 from .graphs import (
@@ -158,7 +162,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DEFAULT_COST_MODEL",
+    "METRICS_MODES",
     "OTIS",
+    "PARALLELISM_MODES",
+    "SWEEP_BACKENDS",
     "CostModel",
     "DegradedNetwork",
     "DesignCandidate",
@@ -215,6 +222,7 @@ __all__ = [
     "networks",
     "optical",
     "otis_for_kautz",
+    "pooled_survivability_sweeps",
     "pops_simulator",
     "register_family",
     "resilience",

@@ -247,6 +247,8 @@ def _cmd_design_search(args: argparse.Namespace) -> int:
             max_diameter=args.max_diameter,
             min_margin_db=args.min_margin_db,
             top=args.top,
+            parallelism=args.parallelism,
+            backend=args.backend,
         )
     except (SpecError, ValueError) as exc:
         print(exc, file=sys.stderr)
@@ -334,6 +336,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
+    from .design_search import PARALLELISM_MODES
+    from .resilience import METRICS_MODES, SWEEP_BACKENDS
+
+    metrics_modes = tuple(METRICS_MODES)
     parser = argparse.ArgumentParser(
         prog="repro",
         description="OTIS-based multi-OPS lightwave network toolkit",
@@ -430,7 +436,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--metrics",
-        choices=("connectivity", "paths", "full"),
+        choices=metrics_modes,
         default="connectivity",
         help="scoring depth per trial (connectivity is the fast path)",
     )
@@ -462,6 +468,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--top", type=int, default=None, help="report only the best TOP candidates"
+    )
+    p.add_argument(
+        "--parallelism",
+        choices=PARALLELISM_MODES,
+        default="sweeps",
+        help=(
+            "worker scheduling: one pool per candidate sweep, or one "
+            "shared pool across all candidates (identical results)"
+        ),
+    )
+    p.add_argument(
+        "--backend",
+        choices=SWEEP_BACKENDS,
+        default="batched",
+        help="trial executor for the per-candidate sweeps",
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_design_search)
@@ -501,15 +522,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--metrics",
-        choices=("connectivity", "paths", "full"),
+        choices=metrics_modes,
         default="full",
         help="scoring depth per trial (connectivity/paths skip the simulation)",
     )
     p.add_argument(
         "--backend",
-        choices=("batched", "legacy"),
+        choices=SWEEP_BACKENDS,
         default="batched",
-        help="trial executor (legacy = rebuild-per-trial reference path)",
+        help=(
+            "trial executor (vectorized = shared-memory numpy batches, "
+            "connectivity metrics only; legacy = rebuild-per-trial "
+            "reference path)"
+        ),
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_resilience)

@@ -1,6 +1,6 @@
 """The package facade: spec in, result out.
 
-Five verbs cover the paper's whole pipeline for every registered
+Nine verbs cover the paper's whole pipeline for every registered
 family, with a :class:`~repro.core.spec.NetworkSpec` (or anything
 parseable into one) naming the machine:
 
@@ -9,6 +9,7 @@ parseable into one) naming the machine:
 * :func:`simulate` -- run a named workload, get a
   :class:`~repro.simulation.metrics.SimulationReport`;
 * :func:`design` -- the verifiable OTIS optical design with its BOM;
+* :func:`describe` -- a JSON-ready shape summary;
 * :func:`sweep` -- a specs x workloads result matrix in one call;
 * :func:`degrade` -- the network with an injected fault scenario, as a
   :class:`~repro.resilience.degrade.DegradedNetwork`;
@@ -52,25 +53,90 @@ __all__ = [
 
 
 def build(spec) -> object:
-    """The network instance named by ``spec``.
+    """Build the network instance named by ``spec``.
 
-    ``spec`` is anything :meth:`NetworkSpec.parse` accepts: a spec, a
-    canonical string, a loose token string, a dict, or a token list.
+    Parameters
+    ----------
+    spec : NetworkSpec, str, dict, or sequence
+        Anything :meth:`~repro.core.spec.NetworkSpec.parse` accepts: a
+        spec object, a canonical string (``"sk(6,3,2)"``), a loose
+        token string (``"sk 6 3 2"``), a dict of named parameters, or
+        an argv-style token list.
+
+    Returns
+    -------
+    Network
+        The built network of the spec's registered family.  It
+        implements the :class:`~repro.core.protocols.Network`
+        protocol: ``num_processors``, ``num_groups``,
+        ``num_couplers``, ``coupler_degree``, ``processor_degree``,
+        ``diameter``, ``label_of``, ``hop_distance`` and
+        ``hypergraph_model``.
+
+    Examples
+    --------
+    >>> build("sk(6,3,2)").num_processors
+    72
+    >>> build({"family": "pops", "t": 4, "g": 2}).num_groups
+    2
     """
     return NetworkSpec.parse(spec).build()
 
 
 def design(spec) -> object:
-    """The full optical design named by ``spec`` (verifiable, with BOM)."""
+    """Build the full optical design named by ``spec``.
+
+    Parameters
+    ----------
+    spec : NetworkSpec, str, dict, or sequence
+        The machine to design; see :func:`build` for accepted forms.
+
+    Returns
+    -------
+    design
+        The family's optical design object.  Every design exposes
+        ``verify()`` (checks each light path realizes exactly one
+        stack-graph hyperarc), ``bill_of_materials()`` and
+        ``worst_case_power_budget()``.
+
+    Examples
+    --------
+    >>> design("sk(6,3,2)").verify()
+    True
+    >>> design("pops(4,2)").bill_of_materials().couplers
+    4
+    """
     return NetworkSpec.parse(spec).design()
 
 
 def route(spec, src: int, dst: int):
     """Route processor ``src -> dst`` on the network named by ``spec``.
 
-    Returns a :class:`~repro.routing.stack_routing.StackRoute` whose
-    hops carry ``(group, mux)`` coupler ids and transmitter ports in
-    the optical design's coordinates, for every family.
+    Parameters
+    ----------
+    spec : NetworkSpec, str, dict, or sequence
+        The machine to route on; see :func:`build` for accepted forms.
+    src, dst : int
+        Flat processor ids in ``[0, num_processors)``.
+
+    Returns
+    -------
+    StackRoute
+        A :class:`~repro.routing.stack_routing.StackRoute` whose hops
+        carry ``(group, mux)`` coupler ids and transmitter ports in
+        the optical design's coordinates, for every family.
+
+    Raises
+    ------
+    IndexError
+        If ``src`` or ``dst`` is outside ``[0, num_processors)``.
+
+    Examples
+    --------
+    >>> route("sk(6,3,2)", 0, 71).num_hops
+    1
+    >>> route("pops(4,2)", 0, 0).num_hops
+    0
     """
     parsed = NetworkSpec.parse(spec)
     family = get_family(parsed.family)
@@ -96,10 +162,38 @@ def simulate(
 ):
     """Run ``workload`` on the network named by ``spec``.
 
-    ``workload`` is a registered name (see
-    :func:`repro.core.workloads.workload_names`), a callable, or an
-    explicit ``(src, dst, slot)`` triple list.  Returns the
-    :class:`~repro.simulation.metrics.SimulationReport`.
+    Parameters
+    ----------
+    spec : NetworkSpec, str, dict, or sequence
+        The machine to simulate; see :func:`build` for accepted forms.
+    workload : str, callable, or list, optional
+        A registered workload name (see
+        :func:`repro.core.workloads.workload_names`), a callable
+        generator, or an explicit list of ``(src, dst, slot)``
+        triples.  Default ``"uniform"``.
+    messages : int, optional
+        Number of messages to generate (default 200).
+    seed : int, optional
+        Traffic-generator seed (default 0).
+    policy : optional
+        Arbitration policy passed to the family's simulator.
+    max_slots : int, optional
+        Hard stop for the slotted engine (default 100000).
+    **workload_options
+        Extra keyword arguments forwarded to the workload generator.
+
+    Returns
+    -------
+    SimulationReport
+        The :class:`~repro.simulation.metrics.SimulationReport` with
+        latency/throughput/utilization statistics.
+
+    Examples
+    --------
+    >>> simulate("sk(2,2,2)", messages=40).num_messages
+    40
+    >>> simulate("pops(2,2)", "permutation", messages=8).delivery_ratio
+    1.0
     """
     from ..simulation.network_sim import run_traffic
     from .workloads import resolve_workload
@@ -115,10 +209,27 @@ def simulate(
 
 
 def describe(spec) -> dict[str, object]:
-    """A JSON-ready summary of the network named by ``spec``.
+    """Summarize the shape of the network named by ``spec``.
 
+    Parameters
+    ----------
+    spec : NetworkSpec, str, dict, or sequence
+        The machine to describe; see :func:`build` for accepted forms.
+
+    Returns
+    -------
+    dict
+        JSON-ready mapping with keys ``spec``, ``family``, ``params``,
+        ``processors``, ``groups``, ``couplers``, ``coupler_degree``,
+        ``processor_degree`` and ``diameter`` (the key set the CLI's
+        ``describe --json`` pins).
+
+    Examples
+    --------
     >>> describe("pops(4,2)")["processors"]
     8
+    >>> describe("sk(6,3,2)")["diameter"]
+    2
     """
     parsed = NetworkSpec.parse(spec)
     net = parsed.build()
@@ -138,20 +249,41 @@ def describe(spec) -> dict[str, object]:
 def degrade(
     spec, *, model="coupler", faults: int | None = None, seed: int = 0, scenario=None
 ):
-    """The network named by ``spec`` with a fault scenario applied.
+    """Apply a fault scenario to the network named by ``spec``.
 
-    ``model`` is a registered fault-model key (``"coupler"``,
-    ``"processor"``, ``"link"``, ``"adversarial"``, ``"group"``) --
-    which takes intensity ``faults`` (default 1) -- or a
-    :class:`~repro.resilience.faults.FaultModel` instance, which
-    already carries its intensity (combining it with ``faults`` is an
-    error).  Pass an explicit ``scenario`` to replay a previous draw
-    instead.  Returns a
-    :class:`~repro.resilience.degrade.DegradedNetwork`.
+    Parameters
+    ----------
+    spec : NetworkSpec, str, dict, or sequence
+        The machine to break; see :func:`build` for accepted forms.
+    model : str or FaultModel, optional
+        A registered fault-model key (``"coupler"``, ``"processor"``,
+        ``"link"``, ``"adversarial"``, ``"group"``) -- which takes
+        intensity ``faults`` (default 1) -- or a
+        :class:`~repro.resilience.faults.FaultModel` instance, which
+        already carries its intensity (combining it with ``faults``
+        is an error).
+    faults : int, optional
+        Fault intensity for string model keys.
+    seed : int, optional
+        Scenario seed; the same ``(model, spec, seed)`` reproduces
+        the same faults.
+    scenario : FaultScenario, optional
+        An explicit scenario to replay instead of drawing one.
 
+    Returns
+    -------
+    DegradedNetwork
+        The :class:`~repro.resilience.degrade.DegradedNetwork` view:
+        surviving digraph/hypergraph, degraded-mode routing and a
+        fault-aware simulator.
+
+    Examples
+    --------
     >>> deg = degrade("sk(2,2,2)", model="coupler", faults=1, seed=3)
     >>> len(deg.dead_couplers)
     1
+    >>> degrade("pops(2,2)", faults=0).simulate(messages=6).delivery_ratio
+    1.0
     """
     from ..resilience.degrade import DegradedNetwork
     from ..resilience.faults import FaultModel, make_fault_model
@@ -179,7 +311,7 @@ def resilience_sweep(
     spec,
     *,
     model="coupler",
-    faults: int = 1,
+    faults: int | None = None,
     trials: int = 100,
     seed: int = 0,
     workers: int | None = None,
@@ -194,15 +326,64 @@ def resilience_sweep(
 
     Fans ``trials`` seeded fault scenarios (optionally across
     ``workers`` processes -- the aggregate is worker-count
-    independent) and returns the quantile
-    :class:`~repro.resilience.sweep.SweepSummary`.  ``metrics``
-    selects scoring depth (``"full"``, ``"paths"``,
-    ``"connectivity"``) and ``backend`` the executor (``"batched"``
-    default, ``"legacy"`` the rebuild-per-trial reference path).
+    independent) and aggregates per-trial survivability rows into
+    quantile summaries.
 
+    Parameters
+    ----------
+    spec : NetworkSpec, str, dict, or sequence
+        The machine to sweep; see :func:`build` for accepted forms.
+    model : str or FaultModel, optional
+        Fault model key or instance (see :func:`degrade`).
+    faults : int, optional
+        Faults injected per trial for string model keys (default 1);
+        combining it with a :class:`FaultModel` instance is an error.
+    trials : int, optional
+        Number of Monte-Carlo trials (default 100).
+    seed : int, optional
+        Sweep seed; per-trial seeds derive from it via SHA-256, so
+        the result is byte-identical for any worker count.
+    workers : int, optional
+        ``multiprocessing`` processes; ``None``/``0``/``1`` runs
+        inline.
+    workload : str, optional
+        Workload scored per trial in ``full`` mode (default
+        ``"uniform"``).
+    messages : int, optional
+        Messages per trial in ``full`` mode (default 60).
+    bound : int, optional
+        Path-length bound; default ``diameter + 2`` (the paper's
+        ``k + 2`` generalized).
+    max_slots : int, optional
+        Hard stop for each trial's simulation (default 100000).
+    metrics : {"full", "paths", "connectivity"}, optional
+        Scoring depth: ``"full"`` (everything, including the degraded
+        slotted simulation), ``"paths"`` (connectivity + route
+        quality), or ``"connectivity"`` (reachability only -- the
+        fast path).
+    backend : {"batched", "vectorized", "legacy"}, optional
+        Trial executor: ``"batched"`` (default; one built network per
+        process), ``"vectorized"`` (shared-memory topology arrays +
+        numpy trial batches; ``connectivity`` metrics only,
+        byte-identical to ``batched``) or ``"legacy"`` (the
+        rebuild-per-trial reference path, ``full`` metrics only).
+
+    Returns
+    -------
+    SweepSummary
+        The quantile :class:`~repro.resilience.sweep.SweepSummary`;
+        its ``to_json()`` is byte-identical for the same seed across
+        worker counts and overlapping backends.
+
+    Examples
+    --------
     >>> s = resilience_sweep("pops(2,2)", faults=1, trials=3, messages=6)
     >>> 0.0 <= s.quantiles["delivery_ratio"]["p50"] <= 1.0
     True
+    >>> fast = resilience_sweep("sk(2,2,2)", trials=4,
+    ...                         metrics="connectivity", backend="vectorized")
+    >>> sorted(fast.quantiles)
+    ['alive_connectivity', 'connectivity', 'reachable_groups']
     """
     from ..resilience.sweep import survivability_sweep
 
@@ -242,24 +423,74 @@ def design_search(
     max_diameter: int | None = None,
     min_margin_db: float | None = None,
     top: int | None = None,
+    parallelism: str = "sweeps",
+    backend: str = "batched",
 ):
     """Resilience-aware design search over every registered family.
 
     Enumerates candidate specs in the processor window, prices each
-    design's bill of materials, runs one seeded batched survivability
-    sweep per candidate (``model`` is a fault-model key taking
-    intensity ``faults``, default 1, or a
-    :class:`~repro.resilience.faults.FaultModel` instance carrying its
-    own), and returns a
-    :class:`~repro.design_search.search.DesignSearchResult`: ranked by
-    survivability per 1000 cost units, (cost, survivability, diameter)
-    Pareto front marked.  Candidates too small to absorb ``faults``
-    are skipped (and listed in ``skipped_underfaulted``) rather than
-    scored as immune.  Deterministic: same parameters and seed give
-    byte-identical ``to_json()`` output.
+    design's bill of materials, runs one seeded survivability sweep
+    per candidate, and ranks by survivability per 1000 cost units
+    with the (cost, survivability, diameter) Pareto front marked.
+    Candidates too small to absorb ``faults`` are skipped (and listed
+    in ``skipped_underfaulted``) rather than scored as immune.
 
+    Parameters
+    ----------
+    max_processors, min_processors : int
+        Candidate window: every buildable spec with
+        ``min_processors <= N <= max_processors`` is considered.
+    families : iterable of str, optional
+        Family keys to search (default: all registered).
+    model : str or FaultModel, optional
+        Fault model key (taking intensity ``faults``, default 1) or a
+        :class:`~repro.resilience.faults.FaultModel` instance carrying
+        its own.
+    faults : int, optional
+        Faults injected per trial for string model keys.
+    trials, seed : int, optional
+        Monte-Carlo trials per candidate and the sweep seed.
+    workers : int, optional
+        ``multiprocessing`` processes for the sweeps.
+    metrics : {"connectivity", "paths", "full"}, optional
+        Scoring depth per trial (``"connectivity"`` is the fast
+        path and the default).
+    workload, messages : optional
+        Traffic per trial when ``metrics="full"``.
+    cost_model : CostModel, optional
+        Unit prices for the bill of materials (default
+        :data:`~repro.design_search.costing.DEFAULT_COST_MODEL`).
+    max_coupler_degree, min_groups, max_groups, max_diameter : int, optional
+        Shape windows; ``min_groups=2`` excludes the degenerate
+        single-star machines.
+    min_margin_db : float, optional
+        Drop designs whose optical link margin is below this.
+    top : int, optional
+        Truncate the report to the best ``top`` candidates after
+        ranking (the Pareto front is computed over the full set
+        first).
+    parallelism : {"sweeps", "candidates"}, optional
+        ``"sweeps"`` (default) opens one pool per candidate sweep;
+        ``"candidates"`` schedules every candidate's trial batches
+        onto one shared pool.  The ranked table is identical.
+    backend : {"batched", "vectorized", "legacy"}, optional
+        Trial executor for the per-candidate sweeps.
+
+    Returns
+    -------
+    DesignSearchResult
+        The ranked
+        :class:`~repro.design_search.search.DesignSearchResult`.
+        Deterministic: same parameters and seed give byte-identical
+        ``to_json()`` output for any ``workers``, ``parallelism`` and
+        overlapping ``backend``.
+
+    Examples
+    --------
     >>> r = design_search(max_processors=8, families=("pops",), trials=4)
     >>> len(r) >= 1
+    True
+    >>> r.best().spec == r.candidates[0].spec
     True
     """
     from ..design_search.search import design_search as _search
@@ -283,6 +514,8 @@ def design_search(
         max_diameter=max_diameter,
         min_margin_db=min_margin_db,
         top=top,
+        parallelism=parallelism,
+        backend=backend,
     )
 
 
@@ -372,10 +605,26 @@ def sweep(
 ) -> SweepResult:
     """Run every workload on every spec; one structured table back.
 
-    ``specs`` is an iterable of anything :meth:`NetworkSpec.parse`
-    accepts; ``workloads`` an iterable of workload names (or callables
-    -- named by their ``__name__``).  Cells appear in spec-major order.
+    Parameters
+    ----------
+    specs : iterable
+        Anything :meth:`~repro.core.spec.NetworkSpec.parse` accepts,
+        one entry per machine.
+    workloads : iterable of str or callable, optional
+        Workload names (or callables, named by their ``__name__``)
+        forming the matrix columns.  Default
+        ``("uniform", "permutation")``.
+    messages, seed, policy, max_slots, **workload_options
+        Forwarded to :func:`simulate` for every cell.
 
+    Returns
+    -------
+    SweepResult
+        The :class:`SweepResult` matrix; cells appear in spec-major
+        order.
+
+    Examples
+    --------
     >>> result = sweep(["pops(4,2)", "sk(2,2,2)"], ["uniform"], messages=40)
     >>> len(result)
     2

@@ -23,6 +23,7 @@ import types as _types
 
 from .costing import DEFAULT_COST_MODEL, CostModel, price_spec
 from .search import (
+    PARALLELISM_MODES,
     DesignCandidate,
     DesignSearchResult,
     design_search,
@@ -31,6 +32,7 @@ from .search import (
 
 __all__ = [
     "DEFAULT_COST_MODEL",
+    "PARALLELISM_MODES",
     "CostModel",
     "DesignCandidate",
     "DesignSearchResult",

@@ -29,12 +29,21 @@ from dataclasses import dataclass, field, fields, replace
 
 from ..core.registry import family_keys, get_family
 from ..core.spec import NetworkSpec
-from ..resilience.sweep import METRICS_MODES, survivability_sweep
+from ..resilience.sweep import (
+    METRICS_MODES,
+    SWEEP_BACKENDS,
+    pooled_survivability_sweeps,
+    survivability_sweep,
+)
 from .costing import DEFAULT_COST_MODEL, CostModel
+
+#: How candidate sweeps are scheduled over the worker budget.
+PARALLELISM_MODES = ("sweeps", "candidates")
 
 __all__ = [
     "DesignCandidate",
     "DesignSearchResult",
+    "PARALLELISM_MODES",
     "enumerate_candidates",
     "design_search",
 ]
@@ -260,6 +269,8 @@ def design_search(
     max_diameter: int | None = None,
     min_margin_db: float | None = None,
     top: int | None = None,
+    parallelism: str = "sweeps",
+    backend: str = "batched",
 ) -> DesignSearchResult:
     """Search the candidate window for survivability-per-cost winners.
 
@@ -274,7 +285,7 @@ def design_search(
     sweeping those would crown never-faulted designs -- they are
     reported in ``skipped_underfaulted`` instead), prices the rest via
     their bill of materials,
-    and runs one seeded batched survivability sweep per candidate
+    and runs one seeded survivability sweep per candidate
     (``metrics="connectivity"`` by default -- the fast path; pass
     ``"paths"`` or ``"full"`` for deeper scoring).  Candidates come
     back ranked by survivability per 1000 cost units (ties: cheaper
@@ -282,6 +293,16 @@ def design_search(
     Pareto front marked.  ``top`` truncates the report to the best
     ``top`` candidates after ranking (the Pareto front is computed
     over the full set first).
+
+    ``parallelism`` picks how the worker budget is spent:
+    ``"sweeps"`` (default) opens one ``workers``-process pool *per
+    candidate sweep*, serializing candidates; ``"candidates"``
+    schedules every candidate's trial batches onto ONE shared pool,
+    so small per-candidate sweeps no longer leave workers idle.
+    ``backend`` selects the trial executor per sweep (``"batched"``
+    default, ``"vectorized"`` for connectivity metrics at scale).
+    The ranked table is byte-identical across all parallelism modes,
+    backends and worker counts.
 
     >>> r = design_search(max_processors=8, families=("pops", "sops"),
     ...                   trials=6, seed=3)
@@ -291,6 +312,14 @@ def design_search(
     if metrics not in METRICS_MODES:
         known = ", ".join(sorted(METRICS_MODES))
         raise ValueError(f"unknown metrics mode {metrics!r}; known: {known}")
+    if parallelism not in PARALLELISM_MODES:
+        known = ", ".join(PARALLELISM_MODES)
+        raise ValueError(
+            f"unknown parallelism mode {parallelism!r}; known: {known}"
+        )
+    if backend not in SWEEP_BACKENDS:
+        known = ", ".join(SWEEP_BACKENDS)
+        raise ValueError(f"unknown sweep backend {backend!r}; known: {known}")
     from ..resilience.faults import FaultModel, make_fault_model
 
     # same contract as repro.degrade / resilience_sweep: a string key
@@ -309,7 +338,21 @@ def design_search(
     keys = tuple(family_keys()) if families is None else tuple(
         get_family(k).key for k in families
     )
-    evaluated: list[DesignCandidate] = []
+    sweep_kw = dict(
+        trials=trials,
+        seed=seed,
+        workload=workload,
+        messages=messages,
+        metrics=metrics,
+        backend=backend,
+    )
+    pooled = parallelism == "candidates"
+    #: (spec, (N, groups, degree, diameter), cost, margin) per eligible
+    #: candidate -- shape scalars, not the built networks, so sweeps
+    #: mode releases each net right after its sweep
+    records: list[tuple[NetworkSpec, tuple[int, int, int, int], float, float]] = []
+    requests: list[dict] = []
+    summaries = []
     skipped_underfaulted: list[str] = []
     for spec in enumerate_candidates(
         max_processors=max_processors,
@@ -342,26 +385,45 @@ def design_search(
                 f"cost model prices {spec} at {cost}; survivability-per-"
                 f"cost ranking needs every candidate priced > 0"
             )
-        summary = survivability_sweep(
-            spec,
-            fault_model,
-            trials=trials,
-            seed=seed,
-            workers=workers,
-            workload=workload,
-            messages=messages,
-            metrics=metrics,
-            _net=net,  # already built for the shape filters above
+        shape = (
+            net.num_processors,
+            net.num_groups,
+            net.coupler_degree,
+            net.diameter,
         )
+        records.append((spec, shape, cost, margin))
+        if pooled:
+            # no _net here: the pooled executor rebuilds (and, for the
+            # vectorized backend, exports + releases) each candidate's
+            # network one at a time, so no side retains the window's
+            # built networks (vectorized shm arrays, far smaller, live
+            # for the pool run)
+            requests.append(dict(spec=spec, model=fault_model, **sweep_kw))
+        else:
+            summaries.append(
+                survivability_sweep(
+                    spec, fault_model, workers=workers, _net=net, **sweep_kw
+                )
+            )
+
+    if pooled:
+        # one shared pool over every candidate's trial batches: the
+        # summaries are byte-identical to per-sweep execution, only
+        # the scheduling changes
+        summaries = pooled_survivability_sweeps(requests, workers=workers)
+
+    evaluated: list[DesignCandidate] = []
+    for (spec, shape, cost, margin), summary in zip(records, summaries):
+        processors, groups, coupler_degree, diameter = shape
         survivability = summary.quantiles["connectivity"]["mean"]
         evaluated.append(
             DesignCandidate(
                 spec=spec.canonical(),
                 family=spec.family,
-                processors=net.num_processors,
-                groups=net.num_groups,
-                coupler_degree=net.coupler_degree,
-                diameter=net.diameter,
+                processors=processors,
+                groups=groups,
+                coupler_degree=coupler_degree,
+                diameter=diameter,
                 cost=cost,
                 link_margin_db=margin,
                 survivability=survivability,

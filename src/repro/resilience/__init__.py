@@ -20,7 +20,8 @@ for every registered family -- into something you can *run*:
 * :mod:`~repro.resilience.sweep` -- the Monte-Carlo engine fanning
   scenarios over ``multiprocessing`` workers with per-trial
   deterministic seeds (same seed => byte-identical JSON, any worker
-  count).
+  count and any of the three backends: ``batched``, shared-memory
+  ``vectorized``, and the ``legacy`` rebuild-per-trial reference).
 
 Facade: :func:`repro.degrade` and :func:`repro.resilience_sweep`; CLI:
 ``python -m repro resilience "sk(6,3,2)" --faults 2 --trials 1000``.
@@ -50,11 +51,18 @@ from .metrics import (
     measure,
     path_survival,
 )
-from .sweep import METRICS_MODES, SweepSummary, survivability_sweep
+from .sweep import (
+    METRICS_MODES,
+    SWEEP_BACKENDS,
+    SweepSummary,
+    pooled_survivability_sweeps,
+    survivability_sweep,
+)
 
 __all__ = [
     "FAULT_MODELS",
     "METRICS_MODES",
+    "SWEEP_BACKENDS",
     "AdversarialFirstHopFaults",
     "DegradedNetwork",
     "FaultModel",
@@ -74,6 +82,7 @@ __all__ = [
     "make_fault_model",
     "measure",
     "path_survival",
+    "pooled_survivability_sweeps",
     "scenarios",
     "survivability_sweep",
     "trial_seed",

@@ -9,7 +9,7 @@ the sweep seed and the trial index only), rows are re-ordered by trial
 index, and quantiles use exact nearest-rank selection -- so the same
 seed produces **byte-identical** JSON for any worker count.
 
-Two executors share that contract:
+Three executors share that contract:
 
 * the **batched** backend (default) builds one network + family
   context per process -- via a ``multiprocessing`` pool *initializer*,
@@ -20,23 +20,50 @@ Two executors share that contract:
   ``fault_route`` scan and the slotted simulation (the design-search
   fast path), ``"paths"`` keeps route quality but skips simulation,
   ``"full"`` computes everything;
+* the **vectorized** backend (``metrics="connectivity"`` only) never
+  instantiates a :class:`~repro.resilience.degrade.DegradedNetwork` at
+  all: the built network's topology is exported once into flat numpy
+  arrays (CSR coupler->processor incidence, coupler endpoint pairs,
+  processor->group map), fault masks for whole trial *batches* are
+  drawn as boolean arrays -- seeded by the same SHA-256 per-trial
+  scheme, so every draw matches the batched backend bit for bit -- and
+  connectivity metrics come from a batched reachability closure over
+  the masked group adjacency instead of per-trial Python BFS.  With
+  ``workers`` the topology arrays live in
+  :mod:`multiprocessing.shared_memory`, attached (not copied) by every
+  worker.  This is the 10^5-10^6-trial path;
 * the **legacy** backend is the original one-task-per-trial executor
   that re-parses and rebuilds the network inside every trial.  It is
   kept as the regression reference: for the same seed the batched
   backend's ``full`` mode must produce byte-identical JSON.
+
+:func:`pooled_survivability_sweeps` runs *many* sweeps' trial batches
+on one shared worker pool (the design search's
+``parallelism="candidates"`` mode), returning summaries byte-identical
+to per-sweep execution.
 """
 
 from __future__ import annotations
 
 import json
 import multiprocessing
-from dataclasses import dataclass, field
+import random
+from dataclasses import dataclass, field, replace
+from multiprocessing import shared_memory
+
+import numpy as np
 
 from .degrade import DegradedNetwork
 from .faults import FaultModel, make_fault_model, trial_seed
 from .metrics import connectivity_metrics, measure, path_survival
 
-__all__ = ["SweepSummary", "survivability_sweep", "METRICS_MODES"]
+__all__ = [
+    "SweepSummary",
+    "survivability_sweep",
+    "pooled_survivability_sweeps",
+    "METRICS_MODES",
+    "SWEEP_BACKENDS",
+]
 
 #: Per-trial metric keys that get quantile summaries (``full`` mode).
 _SUMMARIZED = (
@@ -71,7 +98,21 @@ METRICS_MODES: dict[str, tuple[str, ...]] = {
     "full": _SUMMARIZED,
 }
 
-_BACKENDS = ("batched", "legacy")
+#: Registered trial executors (see the module docstring).
+SWEEP_BACKENDS = ("batched", "vectorized", "legacy")
+
+#: Most trials the vectorized backend scores per numpy batch; the
+#: effective batch also shrinks with the group count (see
+#: :data:`_VECTOR_CELL_BUDGET`) so the (batch, groups, groups) working
+#: set stays bounded.  Batch size never changes results.
+_VECTOR_BATCH = 4096
+
+#: Cap on cells per vectorized batch (~32 MB of int64), applied to the
+#: widest per-trial axis -- ``groups^2`` (reachability tensors),
+#: ``num_processors`` (fault masks) and the coupler incidence nnz (the
+#: source/target gathers) -- so machines that are large in *any*
+#: dimension get smaller batches instead of multi-GB temporaries.
+_VECTOR_CELL_BUDGET = 4_000_000
 
 
 @dataclass(frozen=True)
@@ -207,6 +248,7 @@ class _SweepPlan:
     max_slots: int
     baseline_mean_latency: float | None
     metrics: str
+    backend: str = "batched"
 
 
 class _TrialContext:
@@ -260,27 +302,635 @@ class _TrialContext:
             row["within_bound"] = within
         return row
 
+    def run_range(self, start: int, stop: int) -> list[dict[str, object]]:
+        """Rows of trials ``start .. stop - 1``, in index order."""
+        return [self.run_trial(i) for i in range(start, stop)]
 
-_WORKER_CTX: _TrialContext | None = None
+
+# ----------------------------------------------------------------------
+# Vectorized executor: shared-memory topology arrays, batched masks.
+# ----------------------------------------------------------------------
+#: Array fields of :class:`_TopologyArrays`, in shared-memory export order.
+_ARRAY_FIELDS = (
+    "endpoints",
+    "proc_group",
+    "src_indptr",
+    "src_indices",
+    "tgt_indptr",
+    "tgt_indices",
+)
 
 
-def _init_batched_worker(plan: _SweepPlan) -> None:
+@dataclass(frozen=True)
+class _TopologyArrays:
+    """One built network, flattened into numpy arrays.
+
+    This is everything the vectorized backend needs per trial --
+    coupler endpoint group pairs, the processor->group map and the
+    CSR coupler->source/target-processor incidence -- exported once
+    per sweep and shared (not copied) across workers via
+    :mod:`multiprocessing.shared_memory`.
+    """
+
+    num_processors: int
+    num_groups: int
+    num_couplers: int
+    endpoints: np.ndarray  # (m, 2) int64: coupler -> (src_group, dst_group)
+    proc_group: np.ndarray  # (n,) int64: processor -> group
+    src_indptr: np.ndarray  # (m + 1,) int64 CSR over source processors
+    src_indices: np.ndarray
+    tgt_indptr: np.ndarray  # (m + 1,) int64 CSR over target processors
+    tgt_indices: np.ndarray
+
+    @classmethod
+    def from_network(cls, net) -> "_TopologyArrays":
+        """Export any registry-built network's topology."""
+        from .faults import coupler_endpoints
+
+        model = net.hypergraph_model()
+        n = net.num_processors
+        m = model.num_hyperarcs
+        endpoints = np.asarray(coupler_endpoints(net), dtype=np.int64).reshape(
+            m, 2
+        )
+        proc_group = np.asarray(
+            [int(net.label_of(p)[0]) for p in range(n)], dtype=np.int64
+        )
+        src_indptr = np.zeros(m + 1, dtype=np.int64)
+        tgt_indptr = np.zeros(m + 1, dtype=np.int64)
+        src_chunks: list[tuple[int, ...]] = []
+        tgt_chunks: list[tuple[int, ...]] = []
+        for idx, ha in enumerate(model.hyperarcs):
+            src_chunks.append(ha.sources)
+            tgt_chunks.append(ha.targets)
+            src_indptr[idx + 1] = src_indptr[idx] + len(ha.sources)
+            tgt_indptr[idx + 1] = tgt_indptr[idx] + len(ha.targets)
+        flat = [p for chunk in src_chunks for p in chunk]
+        src_indices = np.asarray(flat, dtype=np.int64)
+        flat = [p for chunk in tgt_chunks for p in chunk]
+        tgt_indices = np.asarray(flat, dtype=np.int64)
+        return cls(
+            num_processors=n,
+            num_groups=net.num_groups,
+            num_couplers=m,
+            endpoints=endpoints,
+            proc_group=proc_group,
+            src_indptr=src_indptr,
+            src_indices=src_indices,
+            tgt_indptr=tgt_indptr,
+            tgt_indices=tgt_indices,
+        )
+
+
+class _ArrayNetworkProxy:
+    """Duck-typed stand-in for a built network, backed by arrays.
+
+    Implements exactly the surface the registered
+    :meth:`FaultModel.sample_faults` implementations touch
+    (``num_couplers`` / ``num_processors`` / ``num_groups``,
+    ``label_of`` for the group of a processor, and ``base_graph()``
+    with ``arc_array()`` for
+    :func:`~repro.resilience.faults.coupler_endpoints`) so workers can
+    draw byte-identical fault sets without ever rebuilding the
+    network.
+    """
+
+    __slots__ = ("_arrays",)
+
+    def __init__(self, arrays: _TopologyArrays) -> None:
+        self._arrays = arrays
+
+    @property
+    def num_processors(self) -> int:
+        return self._arrays.num_processors
+
+    @property
+    def num_groups(self) -> int:
+        return self._arrays.num_groups
+
+    @property
+    def num_couplers(self) -> int:
+        return self._arrays.num_couplers
+
+    def label_of(self, processor: int) -> tuple[int]:
+        return (int(self._arrays.proc_group[processor]),)
+
+    def base_graph(self) -> "_ArrayNetworkProxy":
+        # coupler_endpoints() only calls .arc_array() on the result
+        return self
+
+    def arc_array(self) -> np.ndarray:
+        return self._arrays.endpoints
+
+
+class _VectorContext:
+    """Per-process vectorized trial scorer over shared topology arrays.
+
+    Scores ``connectivity``-mode metrics for whole trial batches: the
+    per-trial fault draws reuse the exact sampler + SHA-256 seed
+    stream of the batched backend (so the two backends agree bit for
+    bit), but everything downstream -- the dead-coupler closure, the
+    surviving group adjacency, reachability, and the three metric
+    ratios -- is batched numpy over all trials of a chunk at once, with
+    no per-trial ``DegradedNetwork`` or Python BFS.
+    """
+
+    def __init__(self, plan: _SweepPlan, arrays: _TopologyArrays) -> None:
+        self.plan = plan
+        self.arrays = arrays
+        self._proxy = _ArrayNetworkProxy(arrays)
+        g = arrays.num_groups
+        m = arrays.num_couplers
+        self._src_sizes = np.diff(arrays.src_indptr)
+        self._tgt_sizes = np.diff(arrays.tgt_indptr)
+        #: coupler -> flattened (src_group, dst_group) cell index
+        self._pair_id = arrays.endpoints[:, 0] * g + arrays.endpoints[:, 1]
+        #: (n, g) one-hot processor->group incidence for dead counts
+        self._group_onehot = np.zeros(
+            (arrays.num_processors, g), dtype=np.int64
+        )
+        if arrays.num_processors:
+            self._group_onehot[
+                np.arange(arrays.num_processors), arrays.proc_group
+            ] = 1
+        self._group_sizes = self._group_onehot.sum(axis=0)
+
+    def run_range(self, start: int, stop: int) -> list[dict[str, object]]:
+        """Rows of trials ``start .. stop - 1``, in index order."""
+        arrays = self.arrays
+        cells = max(
+            arrays.num_groups**2,
+            arrays.num_processors,
+            int(arrays.src_indptr[-1]),
+            int(arrays.tgt_indptr[-1]),
+            1,
+        )
+        batch = max(1, min(_VECTOR_BATCH, _VECTOR_CELL_BUDGET // cells))
+        rows: list[dict[str, object]] = []
+        for lo in range(start, stop, batch):
+            rows.extend(self._run_batch(lo, min(lo + batch, stop)))
+        return rows
+
+    def _sample_masks(self, lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(dead_processors, directly_hit_couplers)`` boolean masks.
+
+        One row per trial; each row replays the exact draw the batched
+        backend's ``model.scenario(...)`` would make for that trial
+        index (same sampler, same ``trial_seed`` stream).
+        """
+        plan, arrays = self.plan, self.arrays
+        n, m = arrays.num_processors, arrays.num_couplers
+        dead_proc = np.zeros((hi - lo, n), dtype=bool)
+        direct = np.zeros((hi - lo, m), dtype=bool)
+        for j in range(hi - lo):
+            rng = random.Random(trial_seed(plan.seed, lo + j))
+            try:
+                couplers, processors = plan.model.sample_faults(
+                    self._proxy, rng
+                )
+            except (AttributeError, IndexError, TypeError) as exc:
+                # custom models may sample from network surface the
+                # array proxy does not carry -- name the restriction
+                # instead of leaking a deep (possibly pickled) error
+                raise ValueError(
+                    f"fault model {type(plan.model).__name__} needs "
+                    f"network surface the vectorized backend's array "
+                    f"proxy does not provide ({exc}); run it with "
+                    f"backend='batched'"
+                ) from exc
+            hit = [c for c in couplers if 0 <= c < m]
+            if hit:
+                direct[j, hit] = True
+            hit = [p for p in processors if 0 <= p < n]
+            if hit:
+                dead_proc[j, hit] = True
+        return dead_proc, direct
+
+    def _run_batch(self, lo: int, hi: int) -> list[dict[str, object]]:
+        arrays = self.arrays
+        n, g, m = arrays.num_processors, arrays.num_groups, arrays.num_couplers
+        batch = hi - lo
+        if n <= 1:  # the connectivity_metrics() degenerate short-circuit
+            return [
+                {
+                    "connectivity": 1.0,
+                    "alive_connectivity": 1.0,
+                    "reachable_groups": 1.0,
+                }
+                for _ in range(batch)
+            ]
+        dead_proc, direct = self._sample_masks(lo, hi)
+        dead_i = dead_proc.astype(np.int64)
+        # effective dead couplers (the DegradedNetwork closure): hit
+        # directly, or every source processor died, or every target died
+        if m:
+            src_dead = np.add.reduceat(
+                dead_i[:, arrays.src_indices], arrays.src_indptr[:-1], axis=1
+            )
+            tgt_dead = np.add.reduceat(
+                dead_i[:, arrays.tgt_indices], arrays.tgt_indptr[:-1], axis=1
+            )
+            dead_coupler = (
+                direct
+                | (src_dead == self._src_sizes)
+                | (tgt_dead == self._tgt_sizes)
+            )
+        else:
+            dead_coupler = direct
+        # surviving group adjacency, one scatter for the whole batch
+        ti, ci = np.nonzero(~dead_coupler)
+        counts = np.bincount(
+            ti * (g * g) + self._pair_id[ci], minlength=batch * g * g
+        )
+        adj = counts.reshape(batch, g, g) > 0
+        # reachability closure by repeated squaring: R holds "reaches
+        # in <= 2^k hops" (identity included, loops kept -- the same
+        # booleans as bfs_distances(u)[v] >= 0 on the surviving base)
+        reach = adj.copy()
+        diag = np.arange(g)
+        reach[:, diag, diag] = True
+        while True:
+            grown = (
+                np.matmul(reach.astype(np.int16), reach.astype(np.int16)) > 0
+            )
+            if np.array_equal(grown, reach):
+                break
+            reach = grown
+        # a same-group pair needs a surviving closed walk at its group:
+        # some surviving out-arc (u, v) that is a loop or can get back
+        sibling_ok = np.any(adj & np.swapaxes(reach, 1, 2), axis=2)
+        alive_per_group = self._group_sizes[None, :] - dead_i @ self._group_onehot
+        reach_off = reach.copy()
+        reach_off[:, diag, diag] = False
+        cross = np.einsum(
+            "bu,buv,bv->b",
+            alive_per_group,
+            reach_off.astype(np.int64),
+            alive_per_group,
+        )
+        same = (alive_per_group * (alive_per_group - 1) * sibling_ok).sum(axis=1)
+        connected = cross + same
+        alive = alive_per_group.sum(axis=1)
+        alive_pairs = alive * (alive - 1)
+        live = (alive_per_group > 0).astype(np.int64)
+        num_live = live.sum(axis=1)
+        routed = np.einsum(
+            "bu,buv,bv->b", live, reach_off.astype(np.int64), live
+        )
+        live_pairs = num_live * (num_live - 1)
+        connectivity = connected / (n * (n - 1))
+        alive_conn = np.where(
+            alive_pairs > 0, connected / np.maximum(alive_pairs, 1), 1.0
+        )
+        reachable = np.where(
+            num_live >= 2, routed / np.maximum(live_pairs, 1), 1.0
+        )
+        return [
+            {
+                "connectivity": float(connectivity[j]),
+                "alive_connectivity": float(alive_conn[j]),
+                "reachable_groups": float(reachable[j]),
+            }
+            for j in range(batch)
+        ]
+
+
+def _export_shared(
+    arrays: _TopologyArrays,
+) -> tuple[tuple, list[shared_memory.SharedMemory]]:
+    """Copy the topology arrays into named shared-memory segments.
+
+    Returns ``(meta, handles)``: ``meta`` is the picklable attachment
+    recipe shipped to workers, ``handles`` the parent-owned segments
+    (close + unlink them once the pool is done).
+    """
+    entries = []
+    handles: list[shared_memory.SharedMemory] = []
+    try:
+        for name in _ARRAY_FIELDS:
+            arr: np.ndarray = getattr(arrays, name)
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(arr.nbytes, 1)
+            )
+            handles.append(shm)
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+            view[...] = arr
+            entries.append((name, shm.name, arr.shape, arr.dtype.str))
+    except BaseException:
+        # never leak the segments already created (e.g. /dev/shm full
+        # partway through the export)
+        _release_shared(handles)
+        raise
+    meta = (
+        arrays.num_processors,
+        arrays.num_groups,
+        arrays.num_couplers,
+        tuple(entries),
+    )
+    return meta, handles
+
+
+def _attach_shared(
+    meta,
+) -> tuple[_TopologyArrays, list[shared_memory.SharedMemory]]:
+    """Worker-side inverse of :func:`_export_shared` (views, not copies)."""
+    n, g, m, entries = meta
+    handles = []
+    kwargs: dict[str, np.ndarray] = {}
+    for field_name, shm_name, shape, dtype in entries:
+        shm = shared_memory.SharedMemory(name=shm_name)
+        handles.append(shm)
+        kwargs[field_name] = np.ndarray(
+            shape, dtype=np.dtype(dtype), buffer=shm.buf
+        )
+    arrays = _TopologyArrays(
+        num_processors=n, num_groups=g, num_couplers=m, **kwargs
+    )
+    return arrays, handles
+
+
+def _release_shared(handles: list[shared_memory.SharedMemory]) -> None:
+    """Close and unlink parent-owned shared segments (idempotent)."""
+    for shm in handles:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker plumbing shared by the per-sweep and the pooled executors.
+# ----------------------------------------------------------------------
+def _make_context(plan: _SweepPlan, net=None, arrays=None):
+    """The trial-runner context for ``plan`` (builds what it lacks)."""
+    if plan.backend == "vectorized":
+        if arrays is None:
+            if net is None:
+                from ..core.spec import NetworkSpec
+
+                net = NetworkSpec.parse(plan.canonical).build()
+            arrays = _TopologyArrays.from_network(net)
+        return _VectorContext(plan, arrays)
+    return _TrialContext(plan, net=net)
+
+
+_WORKER_CTX = None
+_WORKER_SHM: list[shared_memory.SharedMemory] = []
+
+
+def _init_sweep_worker(plan: _SweepPlan, shared_meta=None) -> None:
     """Pool initializer: build the shared trial context once per process."""
-    global _WORKER_CTX
-    _WORKER_CTX = _TrialContext(plan)
+    global _WORKER_CTX, _WORKER_SHM
+    if shared_meta is not None:
+        arrays, _WORKER_SHM = _attach_shared(shared_meta)
+        _WORKER_CTX = _VectorContext(plan, arrays)
+    else:
+        _WORKER_CTX = _make_context(plan)
 
 
-def _run_batched_chunk(index_range: tuple[int, int]) -> list[dict[str, object]]:
+def _run_sweep_chunk(index_range: tuple[int, int]) -> list[dict[str, object]]:
     """Run a contiguous range of trials on the process-local context."""
-    assert _WORKER_CTX is not None, "batched worker used before initialization"
-    start, stop = index_range
-    return [_WORKER_CTX.run_trial(i) for i in range(start, stop)]
+    assert _WORKER_CTX is not None, "sweep worker used before initialization"
+    return _WORKER_CTX.run_range(*index_range)
+
+
+_POOL_PLANS: tuple[_SweepPlan, ...] | None = None
+_POOL_METAS: tuple | None = None
+_POOL_CTXS: dict[int, object] = {}
+#: plan index -> ``(arrays, handles)``: shared-memory attachments are
+#: kept for the pool's lifetime (views are cheap; the segments are
+#: shared) so an evicted vectorized context never re-attaches.
+_POOL_SHM: dict[int, tuple] = {}
+
+#: Most sweep contexts a pooled worker keeps alive at once.  Batched
+#: contexts hold a whole built network, and a design-search window can
+#: span hundreds of candidates; evicting in insertion order keeps each
+#: worker at O(1) networks (chunk scheduling is mostly contiguous per
+#: candidate, so evicted contexts are rarely rebuilt).
+_POOL_CTX_CACHE = 8
+
+
+def _init_pool_worker(plans: tuple[_SweepPlan, ...], shared_metas) -> None:
+    """Pool initializer for the many-sweeps-one-pool executor."""
+    global _POOL_PLANS, _POOL_METAS, _POOL_CTXS, _POOL_SHM
+    _POOL_PLANS = plans
+    _POOL_METAS = shared_metas
+    _POOL_CTXS = {}
+    _POOL_SHM = {}
+
+
+def _run_pool_chunk(task: tuple[int, int, int]):
+    """Run one sweep's trial range; contexts are cached per process.
+
+    Vectorized plans come with a shared-memory meta: the worker
+    attaches the parent's topology arrays (views, not copies) instead
+    of rebuilding the candidate's network.
+    """
+    assert _POOL_PLANS is not None, "pool worker used before initialization"
+    plan_index, start, stop = task
+    ctx = _POOL_CTXS.get(plan_index)
+    if ctx is None:
+        meta = _POOL_METAS[plan_index] if _POOL_METAS else None
+        if meta is not None:
+            attached = _POOL_SHM.get(plan_index)
+            if attached is None:
+                attached = _POOL_SHM[plan_index] = _attach_shared(meta)
+            ctx = _VectorContext(_POOL_PLANS[plan_index], attached[0])
+        else:
+            ctx = _make_context(_POOL_PLANS[plan_index])
+        while len(_POOL_CTXS) >= _POOL_CTX_CACHE:
+            _POOL_CTXS.pop(next(iter(_POOL_CTXS)))
+        _POOL_CTXS[plan_index] = ctx
+    return plan_index, start, ctx.run_range(start, stop)
 
 
 def _index_chunks(trials: int, workers: int) -> list[tuple[int, int]]:
     """Contiguous ``(start, stop)`` trial ranges, ~4 chunks per worker."""
     chunk = max(1, trials // (workers * 4))
     return [(lo, min(lo + chunk, trials)) for lo in range(0, trials, chunk)]
+
+
+# ----------------------------------------------------------------------
+# Preparation and aggregation shared by every executor.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _PreparedSweep:
+    """One validated sweep: the worker plan plus parent-only state."""
+
+    plan: _SweepPlan
+    trials: int
+    simulate: bool
+    net: object  # the built network (parent-side only; never pickled)
+
+
+def _prepare_sweep(
+    spec,
+    model: FaultModel | str = "coupler",
+    *,
+    faults: int | None = None,
+    trials: int = 100,
+    seed: int = 0,
+    workload: str = "uniform",
+    messages: int = 60,
+    bound: int | None = None,
+    max_slots: int = 100_000,
+    metrics: str = "full",
+    backend: str = "batched",
+    _net=None,
+) -> _PreparedSweep:
+    """Validate one sweep request and freeze its :class:`_SweepPlan`."""
+    from ..core.spec import NetworkSpec
+    from ..core.workloads import resolve_workload
+    from ..simulation.network_sim import run_traffic
+
+    parsed = NetworkSpec.parse(spec)
+    if isinstance(model, str):
+        model = make_fault_model(model, 1 if faults is None else faults)
+    elif faults is not None:
+        raise ValueError(
+            "faults applies to string model keys; a FaultModel instance "
+            "already carries its intensity"
+        )
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if metrics not in METRICS_MODES:
+        known = ", ".join(sorted(METRICS_MODES))
+        raise ValueError(f"unknown metrics mode {metrics!r}; known: {known}")
+    if backend not in SWEEP_BACKENDS:
+        known = ", ".join(SWEEP_BACKENDS)
+        raise ValueError(f"unknown sweep backend {backend!r}; known: {known}")
+    if backend == "legacy" and metrics != "full":
+        raise ValueError(
+            "the legacy backend only supports metrics='full'; use "
+            "backend='batched' for connectivity/paths short-circuits "
+            "(or 'vectorized' for connectivity at scale)"
+        )
+    if backend == "vectorized" and metrics != "connectivity":
+        raise ValueError(
+            "the vectorized backend only scores metrics='connectivity'; "
+            "paths/full need backend='batched'"
+        )
+    net = parsed.build() if _net is None else _net
+    resolved_bound = net.diameter + 2 if bound is None else bound
+    simulate = metrics == "full"
+    if simulate:
+        # The intact baseline depends only on (workload, messages, seed):
+        # run it once here instead of once per trial.
+        from ..core.registry import get_family
+
+        traffic = resolve_workload(workload, net, messages=messages, seed=seed)
+        baseline = run_traffic(
+            get_family(parsed.family).simulator(net), traffic, max_slots=max_slots
+        )
+        baseline_mean_latency = baseline.mean_latency
+    else:
+        baseline_mean_latency = None
+    plan = _SweepPlan(
+        canonical=parsed.canonical(),
+        model=model,
+        seed=seed,
+        workload=workload,
+        messages=messages,
+        bound=resolved_bound,
+        max_slots=max_slots,
+        baseline_mean_latency=baseline_mean_latency,
+        metrics=metrics,
+        backend=backend,
+    )
+    return _PreparedSweep(plan=plan, trials=trials, simulate=simulate, net=net)
+
+
+def _summarize(prepared: _PreparedSweep, rows: list[dict]) -> SweepSummary:
+    """Aggregate per-trial rows into the deterministic quantile summary."""
+    plan, trials = prepared.plan, prepared.trials
+    summarized = METRICS_MODES[plan.metrics]
+    quantiles: dict[str, dict[str, float]] = {}
+    for key in summarized:
+        values = sorted(float(r[key]) for r in rows)
+        quantiles[key] = {
+            "mean": round(sum(values) / len(values), 6),
+            "p05": round(_nearest_rank(values, 0.05), 6),
+            "p50": round(_nearest_rank(values, 0.50), 6),
+            "p95": round(_nearest_rank(values, 0.95), 6),
+            "min": round(values[0], 6),
+            "max": round(values[-1], 6),
+        }
+    if "within_bound" in summarized:
+        within_full = sum(1 for r in rows if float(r["within_bound"]) >= 1.0)
+        within_bound_fraction = round(within_full / trials, 6)
+    else:
+        within_bound_fraction = None
+    # partitioned == some *surviving* pair severed: dead endpoints are a
+    # casualty count, not a partition (alive_connectivity excludes them)
+    partitioned = sum(
+        1 for r in rows if float(r["alive_connectivity"]) < 1.0
+    )
+    return SweepSummary(
+        spec=plan.canonical,
+        model=plan.model.key,
+        faults=plan.model.faults,
+        trials=trials,
+        seed=plan.seed,
+        workload=plan.workload,
+        messages=plan.messages if prepared.simulate else 0,
+        bound=plan.bound,
+        quantiles=quantiles,
+        within_bound_fraction=within_bound_fraction,
+        partitioned_fraction=round(partitioned / trials, 6),
+    )
+
+
+def _execute(prepared: _PreparedSweep, workers: int | None) -> list[dict]:
+    """Run one prepared sweep's trials on the plan's backend."""
+    plan, trials = prepared.plan, prepared.trials
+    parallel = workers is not None and workers > 1
+    if plan.backend == "legacy":
+        tasks = [
+            (
+                plan.canonical,
+                plan.model,
+                trial_seed(plan.seed, i),
+                plan.workload,
+                plan.messages,
+                plan.seed,
+                plan.bound,
+                plan.max_slots,
+                plan.baseline_mean_latency,
+            )
+            for i in range(trials)
+        ]
+        if parallel:
+            with multiprocessing.Pool(processes=workers) as pool:
+                return pool.map(
+                    _run_trial, tasks, chunksize=max(1, trials // (workers * 4))
+                )
+        return [_run_trial(t) for t in tasks]
+    if not parallel:
+        ctx = _make_context(plan, net=prepared.net)
+        return ctx.run_range(0, trials)
+    if plan.backend == "vectorized":
+        # topology arrays go into shared memory once; workers attach
+        meta, handles = _export_shared(
+            _TopologyArrays.from_network(prepared.net)
+        )
+        try:
+            with multiprocessing.Pool(
+                processes=workers,
+                initializer=_init_sweep_worker,
+                initargs=(plan, meta),
+            ) as pool:
+                chunks = pool.map(_run_sweep_chunk, _index_chunks(trials, workers))
+        finally:
+            _release_shared(handles)
+    else:
+        with multiprocessing.Pool(
+            processes=workers,
+            initializer=_init_sweep_worker,
+            initargs=(plan,),
+        ) as pool:
+            chunks = pool.map(_run_sweep_chunk, _index_chunks(trials, workers))
+    return [row for chunk in chunks for row in chunk]
 
 
 def survivability_sweep(
@@ -314,10 +964,13 @@ def survivability_sweep(
     (connectivity + route quality, no simulation) or
     ``"connectivity"`` (surviving-base reachability only -- the
     design-search fast path).  ``backend`` selects the executor:
-    ``"batched"`` (default; shared built network per process) or
-    ``"legacy"`` (the original rebuild-per-trial path, ``full``
-    metrics only).  Both backends produce byte-identical JSON for the
-    same seed in ``full`` mode.  ``_net`` is internal: callers that
+    ``"batched"`` (default; shared built network per process),
+    ``"vectorized"`` (shared-memory topology arrays + batched numpy
+    scoring; ``connectivity`` metrics only, byte-identical to
+    ``batched`` -- the 10^5-10^6-trial path) or ``"legacy"`` (the
+    original rebuild-per-trial path, ``full`` metrics only).  All
+    backends produce byte-identical JSON for the same seed wherever
+    their metrics modes overlap.  ``_net`` is internal: callers that
     already built the spec's network (the design search evaluates
     shape filters on it first) pass it to skip the rebuild; it MUST
     be the machine ``spec`` names.
@@ -330,132 +983,124 @@ def survivability_sweep(
     ...                         metrics="connectivity")
     >>> sorted(c.quantiles)
     ['alive_connectivity', 'connectivity', 'reachable_groups']
+    >>> v = survivability_sweep("pops(2,2)", "coupler", trials=4, seed=1,
+    ...                         metrics="connectivity", backend="vectorized")
+    >>> v.to_json() == c.to_json()
+    True
     """
-    from ..core.spec import NetworkSpec
-    from ..core.workloads import resolve_workload
-    from ..simulation.network_sim import run_traffic
-
-    parsed = NetworkSpec.parse(spec)
-    if isinstance(model, str):
-        model = make_fault_model(model, 1 if faults is None else faults)
-    elif faults is not None:
-        raise ValueError(
-            "faults applies to string model keys; a FaultModel instance "
-            "already carries its intensity"
-        )
-    if trials < 1:
-        raise ValueError(f"trials must be >= 1, got {trials}")
-    if metrics not in METRICS_MODES:
-        known = ", ".join(sorted(METRICS_MODES))
-        raise ValueError(f"unknown metrics mode {metrics!r}; known: {known}")
-    if backend not in _BACKENDS:
-        known = ", ".join(_BACKENDS)
-        raise ValueError(f"unknown sweep backend {backend!r}; known: {known}")
-    if backend == "legacy" and metrics != "full":
-        raise ValueError(
-            "the legacy backend only supports metrics='full'; "
-            "connectivity/paths short-circuits need backend='batched'"
-        )
-    net = parsed.build() if _net is None else _net
-    resolved_bound = net.diameter + 2 if bound is None else bound
-    canonical = parsed.canonical()
-    simulate = metrics == "full"
-    if simulate:
-        # The intact baseline depends only on (workload, messages, seed):
-        # run it once here instead of once per trial.
-        from ..core.registry import get_family
-
-        traffic = resolve_workload(workload, net, messages=messages, seed=seed)
-        baseline = run_traffic(
-            get_family(parsed.family).simulator(net), traffic, max_slots=max_slots
-        )
-        baseline_mean_latency = baseline.mean_latency
-    else:
-        baseline_mean_latency = None
-
-    if backend == "legacy":
-        tasks = [
-            (
-                canonical,
-                model,
-                trial_seed(seed, i),
-                workload,
-                messages,
-                seed,
-                resolved_bound,
-                max_slots,
-                baseline_mean_latency,
-            )
-            for i in range(trials)
-        ]
-        if workers is not None and workers > 1:
-            with multiprocessing.Pool(processes=workers) as pool:
-                rows = pool.map(
-                    _run_trial, tasks, chunksize=max(1, trials // (workers * 4))
-                )
-        else:
-            rows = [_run_trial(t) for t in tasks]
-    else:
-        plan = _SweepPlan(
-            canonical=canonical,
-            model=model,
-            seed=seed,
-            workload=workload,
-            messages=messages,
-            bound=resolved_bound,
-            max_slots=max_slots,
-            baseline_mean_latency=baseline_mean_latency,
-            metrics=metrics,
-        )
-        if workers is not None and workers > 1:
-            with multiprocessing.Pool(
-                processes=workers,
-                initializer=_init_batched_worker,
-                initargs=(plan,),
-            ) as pool:
-                rows = [
-                    row
-                    for chunk in pool.map(
-                        _run_batched_chunk, _index_chunks(trials, workers)
-                    )
-                    for row in chunk
-                ]
-        else:
-            ctx = _TrialContext(plan, net=net)
-            rows = [ctx.run_trial(i) for i in range(trials)]
-
-    summarized = METRICS_MODES[metrics]
-    quantiles: dict[str, dict[str, float]] = {}
-    for key in summarized:
-        values = sorted(float(r[key]) for r in rows)
-        quantiles[key] = {
-            "mean": round(sum(values) / len(values), 6),
-            "p05": round(_nearest_rank(values, 0.05), 6),
-            "p50": round(_nearest_rank(values, 0.50), 6),
-            "p95": round(_nearest_rank(values, 0.95), 6),
-            "min": round(values[0], 6),
-            "max": round(values[-1], 6),
-        }
-    if "within_bound" in summarized:
-        within_full = sum(1 for r in rows if float(r["within_bound"]) >= 1.0)
-        within_bound_fraction = round(within_full / trials, 6)
-    else:
-        within_bound_fraction = None
-    # partitioned == some *surviving* pair severed: dead endpoints are a
-    # casualty count, not a partition (alive_connectivity excludes them)
-    partitioned = sum(
-        1 for r in rows if float(r["alive_connectivity"]) < 1.0
-    )
-    return SweepSummary(
-        spec=canonical,
-        model=model.key,
-        faults=model.faults,
+    prepared = _prepare_sweep(
+        spec,
+        model,
+        faults=faults,
         trials=trials,
         seed=seed,
         workload=workload,
-        messages=messages if simulate else 0,
-        bound=resolved_bound,
-        quantiles=quantiles,
-        within_bound_fraction=within_bound_fraction,
-        partitioned_fraction=round(partitioned / trials, 6),
+        messages=messages,
+        bound=bound,
+        max_slots=max_slots,
+        metrics=metrics,
+        backend=backend,
+        _net=_net,
     )
+    return _summarize(prepared, _execute(prepared, workers))
+
+
+def _reject_legacy_pooled(prepared: _PreparedSweep) -> None:
+    """The legacy reference executor deliberately has no pooled form."""
+    if prepared.plan.backend == "legacy":
+        raise ValueError(
+            "pooled sweeps support the batched and vectorized backends; "
+            "the legacy reference path runs per-sweep only"
+        )
+
+
+def pooled_survivability_sweeps(
+    requests, *, workers: int | None = None
+) -> list[SweepSummary]:
+    """Run many survivability sweeps on ONE shared worker pool.
+
+    ``requests`` is an iterable of dicts of
+    :func:`survivability_sweep` keyword arguments (``spec`` required,
+    same defaults; ``backend`` may be ``"batched"`` or
+    ``"vectorized"`` -- ``"legacy"`` has no pooled form, and
+    per-request ``workers`` is rejected since the pool is shared).
+    Instead of
+    opening one pool per sweep, every sweep's trial-index chunks are
+    scheduled onto a single pool, so many small sweeps -- the design
+    search's candidates -- keep all workers busy at once.  Workers
+    build each sweep's context lazily and cache it per process.
+
+    Returns the summaries in request order; each is **byte-identical**
+    to what :func:`survivability_sweep` returns for the same request,
+    whatever ``workers`` is (``None``/``0``/``1`` runs inline).
+
+    >>> a, b = pooled_survivability_sweeps(
+    ...     [dict(spec="pops(2,2)", trials=3, metrics="connectivity"),
+    ...      dict(spec="sk(2,2,2)", trials=3, metrics="connectivity")])
+    >>> (a.spec, b.spec)
+    ('pops(2,2)', 'sk(2,2,2)')
+    """
+    requests = list(requests)
+    for request in requests:
+        if "workers" in request:
+            raise ValueError(
+                "per-request 'workers' is not supported; the pool is "
+                "shared -- pass workers= to pooled_survivability_sweeps"
+            )
+    if workers is None or workers <= 1:
+        # prepare-and-execute one request at a time so each built
+        # network is released before the next candidate's is built
+        summaries = []
+        for request in requests:
+            p = _prepare_sweep(**request)
+            _reject_legacy_pooled(p)
+            summaries.append(_summarize(p, _execute(p, None)))
+        return summaries
+    # vectorized plans ship their topology through shared memory here
+    # too: the parent exports each candidate's arrays once and releases
+    # the built network immediately (workers attach the arrays, and
+    # batched workers rebuild from the canonical spec).  Built Python
+    # networks are held one at a time; the flat shm segments -- much
+    # smaller -- do stay allocated for the whole pool run
+    prepared: list[_PreparedSweep] = []
+    metas: list = []
+    handles: list[shared_memory.SharedMemory] = []
+    try:
+        for request in requests:
+            p = _prepare_sweep(**request)
+            _reject_legacy_pooled(p)
+            if p.plan.backend == "vectorized":
+                meta, owned = _export_shared(
+                    _TopologyArrays.from_network(p.net)
+                )
+                metas.append(meta)
+                handles.extend(owned)
+            else:
+                metas.append(None)
+            prepared.append(replace(p, net=None))
+        tasks = [
+            (index, start, stop)
+            for index, p in enumerate(prepared)
+            for start, stop in _index_chunks(p.trials, workers)
+        ]
+        plans = tuple(p.plan for p in prepared)
+        with multiprocessing.Pool(
+            processes=workers,
+            initializer=_init_pool_worker,
+            initargs=(plans, tuple(metas)),
+        ) as pool:
+            results = pool.map(_run_pool_chunk, tasks)
+    finally:
+        _release_shared(handles)
+    rows_by_sweep: list[dict[int, list[dict]]] = [{} for _ in prepared]
+    for plan_index, start, rows in results:
+        rows_by_sweep[plan_index][start] = rows
+    summaries = []
+    for index, p in enumerate(prepared):
+        ordered = [
+            row
+            for start in sorted(rows_by_sweep[index])
+            for row in rows_by_sweep[index][start]
+        ]
+        summaries.append(_summarize(p, ordered))
+    return summaries
