@@ -84,19 +84,27 @@ from . import (
     simulation,
 )
 from .core import (
+    Experiment,
+    ExperimentCell,
+    ExperimentResult,
     Network,
     NetworkFamily,
     NetworkSpec,
+    Session,
+    SpecCache,
     SpecError,
     SweepCell,
     SweepResult,
     build,
+    default_session,
     degrade,
     describe,
     design,
+    experiment,
     get_family,
     family_keys,
     register_family,
+    reset_default_session,
     resilience_sweep,
     route,
     simulate,
@@ -115,6 +123,7 @@ from .resilience import (
     DegradedNetwork,
     FaultModel,
     FaultScenario,
+    PersistentSweepExecutor,
     SweepSummary,
     make_fault_model,
     pooled_survivability_sweeps,
@@ -172,6 +181,9 @@ __all__ = [
     "DesignSearchResult",
     "DiGraph",
     "DirectedHypergraph",
+    "Experiment",
+    "ExperimentCell",
+    "ExperimentResult",
     "FaultModel",
     "FaultScenario",
     "FaultSet",
@@ -184,10 +196,13 @@ __all__ = [
     "OTISLayout",
     "POPSDesign",
     "POPSNetwork",
+    "PersistentSweepExecutor",
     "PowerBudget",
+    "Session",
     "SingleOPSDesign",
     "SingleOPSNetwork",
     "SlottedSimulator",
+    "SpecCache",
     "SpecError",
     "StackGraph",
     "StackImaseItohDesign",
@@ -200,12 +215,14 @@ __all__ = [
     "analysis",
     "build",
     "core",
+    "default_session",
     "degrade",
     "describe",
     "design",
     "design_search",
     "comm",
     "debruijn_graph",
+    "experiment",
     "family_keys",
     "fault_tolerant_route",
     "get_family",
@@ -225,6 +242,7 @@ __all__ = [
     "pooled_survivability_sweeps",
     "pops_simulator",
     "register_family",
+    "reset_default_session",
     "resilience",
     "resilience_sweep",
     "route",

@@ -21,6 +21,14 @@ Usage::
     python -m repro sweep "sk(2,2,2)" "pops(4,2)" --workloads uniform permutation
     python -m repro resilience "sk(6,3,2)" --faults 2 --trials 1000 --json
     python -m repro design-search --max-processors 48 --faults 2 --trials 200 --json
+    python -m repro experiment "sk(2,2,2)" "pops(4,2)" --models coupler:1 link:2 --trials 200 --json
+    python -m repro batch commands.txt --reuse-session
+
+``batch`` reads one CLI invocation per line from a file (or stdin with
+``-``) and runs them in-process; with ``--reuse-session`` all commands
+share one warm session (spec-keyed build caches + persistent worker
+pools), so repeated queries against the same machines skip cold-start
+cost.
 """
 
 from __future__ import annotations
@@ -287,6 +295,75 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .core import experiment
+
+    try:
+        specs = [NetworkSpec.parse(s) for s in args.specs]
+        result = experiment(
+            specs,
+            models=args.models,
+            metrics=args.metrics,
+            trials=args.trials,
+            seed=args.seed,
+            workers=args.workers,
+            backend=args.backend,
+            workload=args.workload,
+            messages=args.messages,
+        )
+    except (SpecError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(result.to_json())
+        return 0
+    print(result.formatted())
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import shlex
+
+    from .core.session import reset_default_session
+
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(args.file, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        argv = shlex.split(line)
+        if argv and argv[0] == "repro":
+            argv = argv[1:]  # tolerate pasted "repro ..." prefixes
+        if argv and argv[0] == "batch":
+            print(
+                f"line {lineno}: batch cannot nest batch commands",
+                file=sys.stderr,
+            )
+            return 2
+        if not args.reuse_session:
+            # cold semantics: every command starts from a fresh session
+            reset_default_session()
+        try:
+            code = main(argv)
+        except SystemExit as exc:  # argparse errors exit instead of return
+            code = exc.code if isinstance(exc.code, int) else 2
+        if code:
+            print(
+                f"batch stopped: line {lineno} ({line!r}) exited {code}",
+                file=sys.stderr,
+            )
+            return code
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from .analysis import TopologyRow, equal_size_comparison
     from .analysis.comparison import DEFAULT_COMPARISON_FAMILIES
@@ -328,7 +405,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(exc, file=sys.stderr)
         return 2
     if args.json:
-        print(json.dumps(result.as_dicts(), indent=2))
+        print(result.to_json())
         return 0
     print(result.formatted())
     return 0
@@ -538,6 +615,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_resilience)
+
+    p = sub.add_parser(
+        "experiment",
+        help="declarative specs x models x metrics x trials sweep grid",
+    )
+    p.add_argument(
+        "specs",
+        nargs="+",
+        help='network specs forming the grid, e.g. "sk(2,2,2)" "pops(4,2)"',
+    )
+    p.add_argument(
+        "--models",
+        nargs="+",
+        default=["coupler"],
+        help="fault-model grid entries: key or key:faults (e.g. coupler:2 link)",
+    )
+    p.add_argument(
+        "--metrics",
+        nargs="+",
+        choices=metrics_modes,
+        default=["connectivity"],
+        help="scoring-depth grid entries",
+    )
+    p.add_argument(
+        "--trials",
+        type=int,
+        nargs="+",
+        default=[100],
+        help="Monte-Carlo trial-count grid entries",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shared worker pool size (results are worker-count independent)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=SWEEP_BACKENDS,
+        default="batched",
+        help=(
+            "preferred trial executor; cells whose metrics mode it "
+            "cannot score fall back to batched"
+        ),
+    )
+    p.add_argument(
+        "--workload",
+        default="uniform",
+        help="workload scored per trial (metrics=full cells only)",
+    )
+    p.add_argument(
+        "--messages",
+        type=int,
+        default=60,
+        help="messages per trial (metrics=full cells only)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "batch",
+        help="run many CLI commands in-process, optionally on one warm session",
+    )
+    p.add_argument(
+        "file",
+        nargs="?",
+        default="-",
+        help="command file, one CLI invocation per line ('-' or omitted: stdin; "
+        "'#' starts a comment)",
+    )
+    p.add_argument(
+        "--reuse-session",
+        action="store_true",
+        help=(
+            "share one warm session (build caches + persistent worker "
+            "pools) across all commands instead of resetting between them"
+        ),
+    )
+    p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("compare", help="equal-N design comparison table")
     p.add_argument("n", type=int)

@@ -13,6 +13,8 @@ downstream.  The resilience verbs apply seeded fault scenarios from
 :mod:`repro.resilience` and measure what survives.
 """
 
+from .cache import CacheEntry, CacheStats, SpecCache
+from .experiment import Experiment, ExperimentCell, ExperimentResult
 from .facade import (
     SweepCell,
     SweepResult,
@@ -21,12 +23,14 @@ from .facade import (
     describe,
     design,
     design_search,
+    experiment,
     resilience_sweep,
     route,
     simulate,
     sweep,
 )
 from .protocols import Network
+from .session import Session, default_session, reset_default_session
 from .registry import (
     NetworkFamily,
     family_for_network,
@@ -39,18 +43,27 @@ from .spec import NetworkSpec, Param, SpecError
 from .workloads import get_workload, register_workload, workload_names
 
 __all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "Experiment",
+    "ExperimentCell",
+    "ExperimentResult",
     "Network",
     "NetworkFamily",
     "NetworkSpec",
     "Param",
+    "Session",
+    "SpecCache",
     "SpecError",
     "SweepCell",
     "SweepResult",
     "build",
+    "default_session",
     "degrade",
     "describe",
     "design",
     "design_search",
+    "experiment",
     "family_for_network",
     "family_keys",
     "get_family",
@@ -58,6 +71,7 @@ __all__ = [
     "iter_families",
     "register_family",
     "register_workload",
+    "reset_default_session",
     "resilience_sweep",
     "route",
     "simulate",

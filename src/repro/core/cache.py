@@ -1,0 +1,213 @@
+"""Spec-keyed build caches for long-lived sessions.
+
+Every facade verb used to re-parse its spec, rebuild the network and
+recompute derived views on every call.  A :class:`SpecCache` keeps one
+:class:`CacheEntry` per canonical spec string -- the built network plus
+lazily-computed expensive views (the optical design, the vectorized
+sweep's topology arrays, BFS routing tables, intact-baseline
+simulation metrics) -- under an LRU bound with explicit
+:meth:`~SpecCache.invalidate`.  :class:`~repro.core.session.Session`
+owns one; the module-level facade verbs share the default session's.
+
+Determinism note: everything cached here is a pure function of the
+canonical spec (networks are frozen after construction), so a cache
+hit returns byte-identical results to a cold rebuild -- caching is a
+latency optimization, never a semantic one.
+
+>>> cache = SpecCache(maxsize=2)
+>>> cache.network("pops(2,2)") is cache.network("pops(2,2)")
+True
+>>> cache.stats.hits, cache.stats.misses
+(1, 1)
+>>> _ = cache.network("sops(4)"); _ = cache.network("sk(2,2,2)")
+>>> "pops(2,2)" in cache  # evicted: LRU bound is 2
+False
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from .spec import NetworkSpec
+
+__all__ = ["CacheEntry", "CacheStats", "SpecCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`SpecCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-ready counter view."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class CacheEntry:
+    """One cached spec: the built network plus lazy derived views.
+
+    The network is built eagerly (an entry that exists is an entry
+    that builds); the expensive derived views -- optical design,
+    vectorized topology arrays, the BFS routing table and per-workload
+    intact baselines -- materialize on first use and stick to the
+    entry for its cache lifetime.
+    """
+
+    __slots__ = ("spec", "network", "_design", "_arrays", "_table", "_baselines")
+
+    def __init__(self, spec: NetworkSpec) -> None:
+        self.spec = spec
+        self.network = spec.build()
+        self._design = None
+        self._arrays = None
+        self._table = None
+        self._baselines: dict[tuple, float] = {}
+
+    @property
+    def canonical(self) -> str:
+        """The entry's cache key, ``family(p1,p2,...)``."""
+        return self.spec.canonical()
+
+    def design(self):
+        """The spec's optical design, built once."""
+        if self._design is None:
+            self._design = self.spec.design()
+        return self._design
+
+    def arrays(self):
+        """The vectorized sweep backend's flat topology arrays.
+
+        One :class:`~repro.resilience.sweep._TopologyArrays` export per
+        entry; repeated vectorized sweeps on the same spec skip the
+        re-export entirely.
+        """
+        if self._arrays is None:
+            from ..resilience.sweep import _TopologyArrays
+
+            self._arrays = _TopologyArrays.from_network(self.network)
+        return self._arrays
+
+    def routing_table(self):
+        """The all-pairs BFS next-hop table over the group digraph.
+
+        Uses the network's base digraph when it has one (stack
+        families, POPS); single-OPS machines get the group digraph
+        derived from their coupler endpoints.
+        """
+        if self._table is None:
+            from ..routing.tables import build_routing_table
+
+            if hasattr(self.network, "base_graph"):
+                graph = self.network.base_graph()
+            else:
+                from ..graphs.digraph import DiGraph
+                from ..resilience.faults import coupler_endpoints
+
+                graph = DiGraph(
+                    self.network.num_groups,
+                    sorted(set(coupler_endpoints(self.network))),
+                )
+            self._table = build_routing_table(graph)
+        return self._table
+
+    def baseline(
+        self,
+        *,
+        workload: str = "uniform",
+        messages: int = 60,
+        seed: int = 0,
+        max_slots: int = 100_000,
+    ) -> float:
+        """Intact-network mean latency for one workload configuration.
+
+        The number ``metrics="full"`` sweeps normalize latency
+        inflation against; it depends only on ``(workload, messages,
+        seed, max_slots)``, so it is computed once per configuration
+        per entry instead of once per sweep call.
+        """
+        key = (workload, messages, seed, max_slots)
+        if key not in self._baselines:
+            from ..resilience.sweep import _intact_baseline
+
+            self._baselines[key] = _intact_baseline(
+                self.network,
+                self.spec.family,
+                workload=workload,
+                messages=messages,
+                seed=seed,
+                max_slots=max_slots,
+            )
+        return self._baselines[key]
+
+
+class SpecCache:
+    """LRU cache of :class:`CacheEntry` keyed by canonical spec string.
+
+    ``maxsize`` bounds the number of simultaneously-held built
+    networks; the least recently used entry is evicted first.
+    :meth:`invalidate` drops one spec (or everything) explicitly.
+    """
+
+    def __init__(self, maxsize: int = 32) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+
+    def entry(self, spec) -> CacheEntry:
+        """The (possibly fresh) entry for ``spec``; hits refresh LRU order."""
+        parsed = NetworkSpec.parse(spec)
+        key = parsed.canonical()
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.stats.misses += 1
+        fresh = CacheEntry(parsed)
+        while len(self._entries) >= self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = fresh
+        return fresh
+
+    def network(self, spec):
+        """The built network for ``spec`` (cached)."""
+        return self.entry(spec).network
+
+    def invalidate(self, spec=None) -> int:
+        """Drop one spec's entry (or all entries); returns the count dropped.
+
+        Invalidation never changes results -- entries are pure
+        functions of the spec -- it just releases memory and forces
+        the next call to rebuild.
+        """
+        if spec is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+        key = NetworkSpec.parse(spec).canonical()
+        return 1 if self._entries.pop(key, None) is not None else 0
+
+    def keys(self) -> tuple[str, ...]:
+        """Currently cached canonical specs, LRU-oldest first."""
+        return tuple(self._entries)
+
+    def __contains__(self, spec) -> bool:
+        try:
+            key = NetworkSpec.parse(spec).canonical()
+        except Exception:
+            return False
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,316 @@
+"""Declarative experiments: a plan grid that compiles to one schedule.
+
+Before this module, running "survivability of these machines under
+these fault models at these scoring depths" meant hand-writing loops
+over :func:`repro.resilience_sweep` (or :func:`repro.sweep`, or
+:func:`repro.design_search`) and collecting summaries yourself.  An
+:class:`Experiment` is the declarative form of that loop: a frozen
+plan object over the grid
+
+    ``specs x fault models x metrics modes x trial counts``
+
+that **compiles** into one
+:func:`~repro.resilience.sweep.pooled_survivability_sweeps`-shaped
+schedule, executes on a single (persistent, when run through a
+:class:`~repro.core.session.Session`) worker pool, and reports a
+structured :class:`ExperimentResult` with ``as_dicts()`` /
+``to_json()``.
+
+Determinism: cells are ordered spec-major (specs, then models, then
+metrics, then trials), every cell reuses the experiment seed, and each
+cell's summary is **byte-identical** to calling
+:func:`repro.resilience_sweep` with that cell's parameters.
+
+>>> exp = Experiment(specs=("pops(2,2)",), models=("coupler:1",),
+...                  metrics=("connectivity",), trials=4)
+>>> [c["spec"] for c in exp.compile()]
+['pops(2,2)']
+>>> result = exp.run()
+>>> result.cells[0].summary.trials
+4
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from .spec import NetworkSpec
+
+__all__ = ["Experiment", "ExperimentCell", "ExperimentResult"]
+
+#: Sentinel for :meth:`Experiment.run`: "caller did not pass workers",
+#: so the target session's own default applies.
+_UNSET_WORKERS = object()
+
+
+def _normalize_tuple(value) -> tuple:
+    """One entry or an iterable of entries -> a tuple of entries.
+
+    Grid axes accept single entries of every shape the underlying
+    parsers take -- including non-iterable ones (a spec dict, a
+    ``NetworkSpec``, a ``FaultModel`` instance) -- so anything that is
+    not a proper collection of entries wraps into a 1-tuple.
+    """
+    if isinstance(value, (str, int, Mapping)):
+        return (value,)
+    try:
+        return tuple(value)
+    except TypeError:
+        return (value,)
+
+
+def _parse_model(entry):
+    """One model grid entry -> a FaultModel instance.
+
+    Accepts a :class:`~repro.resilience.faults.FaultModel`, a key
+    string (``"coupler"``), a ``"key:faults"`` string
+    (``"coupler:2"``) or a ``(key, faults)`` pair.
+    """
+    from ..resilience.faults import FaultModel, make_fault_model
+
+    if isinstance(entry, FaultModel):
+        return entry
+    if isinstance(entry, str):
+        key, sep, faults = entry.partition(":")
+        if sep:
+            try:
+                intensity = int(faults)
+            except ValueError:
+                raise ValueError(
+                    f"malformed fault-model entry {entry!r}: expected "
+                    f"'key' or 'key:faults' with integer faults"
+                ) from None
+            return make_fault_model(key, intensity)
+        return make_fault_model(key, 1)
+    if isinstance(entry, (tuple, list)) and len(entry) == 2:
+        return make_fault_model(str(entry[0]), int(entry[1]))
+    raise ValueError(
+        f"cannot parse a fault model from {entry!r}; pass a FaultModel, "
+        f"'key', 'key:faults' or a (key, faults) pair"
+    )
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A frozen plan: spec grid x fault models x metrics x trials.
+
+    Parameters are normalized (single entries become one-element
+    grids, model entries become :class:`FaultModel` instances, specs
+    are canonicalized) and validated at construction, so an experiment
+    that exists is an experiment that runs.
+
+    ``backend`` is the *preferred* trial executor; grid cells whose
+    metrics mode the backend cannot score fall back automatically
+    (``vectorized`` scores only ``connectivity``; ``legacy`` only
+    ``full``), so one plan can mix scoring depths.
+
+    >>> e = Experiment(specs=("pops(2,2)", "sk(2,2,2)"),
+    ...                models=("coupler", "processor:2"), trials=8)
+    >>> len(e.compile())
+    4
+    """
+
+    specs: tuple = ()
+    models: tuple = ("coupler",)
+    metrics: tuple = ("connectivity",)
+    trials: tuple = (100,)
+    seed: int = 0
+    backend: str = "batched"
+    workload: str = "uniform"
+    messages: int = 60
+    bound: int | None = None
+    max_slots: int = 100_000
+
+    def __post_init__(self) -> None:
+        from ..resilience.sweep import METRICS_MODES, SWEEP_BACKENDS
+
+        specs = tuple(
+            NetworkSpec.parse(s) for s in _normalize_tuple(self.specs)
+        )
+        if not specs:
+            raise ValueError("an experiment needs at least one spec")
+        models = tuple(_parse_model(m) for m in _normalize_tuple(self.models))
+        if not models:
+            raise ValueError("an experiment needs at least one fault model")
+        metrics = tuple(_normalize_tuple(self.metrics))
+        for mode in metrics:
+            if mode not in METRICS_MODES:
+                known = ", ".join(sorted(METRICS_MODES))
+                raise ValueError(
+                    f"unknown metrics mode {mode!r}; known: {known}"
+                )
+        if not metrics:
+            raise ValueError("an experiment needs at least one metrics mode")
+        trials = tuple(int(t) for t in _normalize_tuple(self.trials))
+        if not trials or any(t < 1 for t in trials):
+            raise ValueError(f"trial counts must be >= 1, got {trials}")
+        if self.backend not in SWEEP_BACKENDS:
+            known = ", ".join(SWEEP_BACKENDS)
+            raise ValueError(
+                f"unknown sweep backend {self.backend!r}; known: {known}"
+            )
+        object.__setattr__(self, "specs", specs)
+        object.__setattr__(self, "models", models)
+        object.__setattr__(self, "metrics", metrics)
+        object.__setattr__(self, "trials", trials)
+
+    def _cell_backend(self, metrics_mode: str) -> str:
+        """The preferred backend, downgraded where it cannot score."""
+        if self.backend == "vectorized" and metrics_mode != "connectivity":
+            return "batched"
+        if self.backend == "legacy" and metrics_mode != "full":
+            return "batched"
+        return self.backend
+
+    def compile(self) -> list[dict]:
+        """The grid flattened into sweep-request dicts, spec-major order.
+
+        One dict per cell, shaped for
+        :func:`~repro.resilience.sweep.survivability_sweep` /
+        :func:`~repro.resilience.sweep.pooled_survivability_sweeps`
+        (``spec`` is the canonical string; ``model`` a
+        :class:`FaultModel` instance).
+        """
+        return [
+            dict(
+                spec=spec.canonical(),
+                model=model,
+                trials=trials,
+                seed=self.seed,
+                workload=self.workload,
+                messages=self.messages,
+                bound=self.bound,
+                max_slots=self.max_slots,
+                metrics=metrics_mode,
+                backend=self._cell_backend(metrics_mode),
+            )
+            for spec in self.specs
+            for model in self.models
+            for metrics_mode in self.metrics
+            for trials in self.trials
+        ]
+
+    def run(self, *, workers=_UNSET_WORKERS, session=None) -> "ExperimentResult":
+        """Execute the plan and return its :class:`ExperimentResult`.
+
+        Runs on ``session`` (default: the shared default session, so
+        repeated experiments reuse warm caches and pools).  ``workers``
+        follows :func:`repro.resilience_sweep` semantics; when omitted,
+        the target session's own default worker count applies.
+        """
+        from .session import default_session
+
+        target = default_session() if session is None else session
+        if workers is _UNSET_WORKERS:
+            return target.run_experiment(self)
+        return target.run_experiment(self, workers=workers)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready view of the plan itself."""
+        return {
+            "specs": [s.canonical() for s in self.specs],
+            "models": [f"{m.key}:{m.faults}" for m in self.models],
+            "metrics": list(self.metrics),
+            "trials": list(self.trials),
+            "seed": self.seed,
+            "backend": self.backend,
+            "workload": self.workload,
+            "messages": self.messages,
+        }
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One executed grid cell: its coordinates plus the sweep summary."""
+
+    spec: str
+    model: str
+    faults: int
+    metrics: str
+    backend: str
+    summary: object  # the cell's SweepSummary
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready view (the summary nested under ``"summary"``)."""
+        return {
+            "spec": self.spec,
+            "model": self.model,
+            "faults": self.faults,
+            "metrics": self.metrics,
+            "backend": self.backend,
+            "summary": self.summary.as_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The structured report of one executed :class:`Experiment`."""
+
+    experiment: Experiment
+    cells: tuple[ExperimentCell, ...] = field(default_factory=tuple)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def cell(
+        self, spec, *, model=None, metrics=None, trials=None
+    ) -> ExperimentCell:
+        """The first cell matching the coordinates; ``KeyError`` if none.
+
+        ``model`` accepts the same forms as the experiment's model
+        grid; omitted coordinates match anything.
+        """
+        key = NetworkSpec.parse(spec).canonical()
+        want = _parse_model(model) if model is not None else None
+        for c in self.cells:
+            if c.spec != key:
+                continue
+            if want is not None and (
+                c.model != want.key or c.faults != want.faults
+            ):
+                continue
+            if metrics is not None and c.metrics != metrics:
+                continue
+            if trials is not None and c.summary.trials != trials:
+                continue
+            return c
+        raise KeyError(
+            f"no experiment cell for ({key}, model={model}, "
+            f"metrics={metrics}, trials={trials})"
+        )
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        """All cells as plain dicts, in grid order (JSON-ready)."""
+        return [c.as_dict() for c in self.cells]
+
+    def as_dict(self) -> dict[str, object]:
+        """The whole report: plan parameters plus the cell list."""
+        return {**self.experiment.as_dict(), "cells": self.as_dicts()}
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, 2-space indent.
+
+        Deterministic: the same plan and seed give the same string at
+        any worker count, on a cold or a warm session.
+        """
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def formatted(self) -> str:
+        """Human-readable per-cell quantile table."""
+        header = (
+            f"experiment: {len(self.experiment.specs)} spec(s) x "
+            f"{len(self.experiment.models)} model(s) x "
+            f"{len(self.experiment.metrics)} metrics mode(s) x "
+            f"{len(self.experiment.trials)} trial count(s), "
+            f"seed {self.experiment.seed}, backend {self.experiment.backend}"
+        )
+        blocks = [header]
+        for c in self.cells:
+            blocks.append("")
+            blocks.append(f"[{c.metrics}/{c.backend}] {c.summary.formatted()}")
+        return "\n".join(blocks)

@@ -1,6 +1,6 @@
 """The package facade: spec in, result out.
 
-Nine verbs cover the paper's whole pipeline for every registered
+Ten verbs cover the paper's whole pipeline for every registered
 family, with a :class:`~repro.core.spec.NetworkSpec` (or anything
 parseable into one) naming the machine:
 
@@ -17,7 +17,16 @@ parseable into one) naming the machine:
   under seeded fault models, parallel and worker-count deterministic;
 * :func:`design_search` -- enumerate, price and sweep candidate
   designs across families; ranked survivability-per-cost report with
-  a Pareto front.
+  a Pareto front;
+* :func:`experiment` -- declare a specs x fault-models x metrics x
+  trials grid, execute it as one pooled schedule, get a structured
+  :class:`~repro.core.experiment.ExperimentResult`.
+
+Every verb is a thin wrapper over the shared *default session*
+(:func:`repro.core.session.default_session`): repeated calls against
+the same spec reuse the session's build cache and persistent worker
+pools, while staying byte-identical to a cold run.  Hold your own
+:class:`~repro.core.session.Session` for explicit cache/pool control.
 
 >>> import repro
 >>> repro.build("sk(6,3,2)").num_processors
@@ -32,9 +41,10 @@ True
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, fields
 
-from .registry import get_family
+from .session import default_session
 from .spec import NetworkSpec
 
 __all__ = [
@@ -47,6 +57,7 @@ __all__ = [
     "degrade",
     "resilience_sweep",
     "design_search",
+    "experiment",
     "SweepCell",
     "SweepResult",
 ]
@@ -80,7 +91,7 @@ def build(spec) -> object:
     >>> build({"family": "pops", "t": 4, "g": 2}).num_groups
     2
     """
-    return NetworkSpec.parse(spec).build()
+    return default_session().build(spec)
 
 
 def design(spec) -> object:
@@ -106,7 +117,7 @@ def design(spec) -> object:
     >>> design("pops(4,2)").bill_of_materials().couplers
     4
     """
-    return NetworkSpec.parse(spec).design()
+    return default_session().design(spec)
 
 
 def route(spec, src: int, dst: int):
@@ -138,16 +149,7 @@ def route(spec, src: int, dst: int):
     >>> route("pops(4,2)", 0, 0).num_hops
     0
     """
-    parsed = NetworkSpec.parse(spec)
-    family = get_family(parsed.family)
-    net = parsed.build()
-    n = net.num_processors
-    for name, value in (("src", src), ("dst", dst)):
-        if not 0 <= value < n:
-            raise IndexError(
-                f"{name} processor {value} out of range [0, {n}) for {parsed}"
-            )
-    return family.route(net, src, dst)
+    return default_session().route(spec, src, dst)
 
 
 def simulate(
@@ -195,17 +197,15 @@ def simulate(
     >>> simulate("pops(2,2)", "permutation", messages=8).delivery_ratio
     1.0
     """
-    from ..simulation.network_sim import run_traffic
-    from .workloads import resolve_workload
-
-    parsed = NetworkSpec.parse(spec)
-    family = get_family(parsed.family)
-    net = parsed.build()
-    traffic = resolve_workload(
-        workload, net, messages=messages, seed=seed, **workload_options
+    return default_session().simulate(
+        spec,
+        workload,
+        messages=messages,
+        seed=seed,
+        policy=policy,
+        max_slots=max_slots,
+        **workload_options,
     )
-    sim = family.simulator(net, policy)
-    return run_traffic(sim, traffic, max_slots=max_slots)
 
 
 def describe(spec) -> dict[str, object]:
@@ -231,19 +231,7 @@ def describe(spec) -> dict[str, object]:
     >>> describe("sk(6,3,2)")["diameter"]
     2
     """
-    parsed = NetworkSpec.parse(spec)
-    net = parsed.build()
-    return {
-        "spec": parsed.canonical(),
-        "family": parsed.family,
-        "params": parsed.params_dict(),
-        "processors": net.num_processors,
-        "groups": net.num_groups,
-        "couplers": net.num_couplers,
-        "coupler_degree": net.coupler_degree,
-        "processor_degree": net.processor_degree,
-        "diameter": net.diameter,
-    }
+    return default_session().describe(spec)
 
 
 def degrade(
@@ -285,26 +273,9 @@ def degrade(
     >>> degrade("pops(2,2)", faults=0).simulate(messages=6).delivery_ratio
     1.0
     """
-    from ..resilience.degrade import DegradedNetwork
-    from ..resilience.faults import FaultModel, make_fault_model
-
-    parsed = NetworkSpec.parse(spec)
-    net = parsed.build()
-    if scenario is None:
-        if isinstance(model, str):
-            model = make_fault_model(model, 1 if faults is None else faults)
-        elif not isinstance(model, FaultModel):
-            raise TypeError(
-                f"model must be a fault-model key or FaultModel, "
-                f"got {type(model).__name__}"
-            )
-        elif faults is not None:
-            raise ValueError(
-                "faults applies to string model keys; a FaultModel "
-                "instance already carries its intensity"
-            )
-        scenario = model.scenario(parsed.canonical(), net, seed)
-    return DegradedNetwork(net, scenario)
+    return default_session().degrade(
+        spec, model=model, faults=faults, seed=seed, scenario=scenario
+    )
 
 
 def resilience_sweep(
@@ -385,11 +356,9 @@ def resilience_sweep(
     >>> sorted(fast.quantiles)
     ['alive_connectivity', 'connectivity', 'reachable_groups']
     """
-    from ..resilience.sweep import survivability_sweep
-
-    return survivability_sweep(
+    return default_session().resilience_sweep(
         spec,
-        model,
+        model=model,
         faults=faults,
         trials=trials,
         seed=seed,
@@ -493,9 +462,7 @@ def design_search(
     >>> r.best().spec == r.candidates[0].spec
     True
     """
-    from ..design_search.search import design_search as _search
-
-    return _search(
+    return default_session().design_search(
         max_processors=max_processors,
         min_processors=min_processors,
         families=families,
@@ -516,6 +483,84 @@ def design_search(
         top=top,
         parallelism=parallelism,
         backend=backend,
+    )
+
+
+def experiment(
+    specs,
+    *,
+    models=("coupler",),
+    metrics=("connectivity",),
+    trials=100,
+    seed: int = 0,
+    workers: int | None = None,
+    backend: str = "batched",
+    workload: str = "uniform",
+    messages: int = 60,
+    bound: int | None = None,
+    max_slots: int = 100_000,
+):
+    """Run a declarative specs x models x metrics x trials experiment.
+
+    Builds an :class:`~repro.core.experiment.Experiment` plan over the
+    grid, compiles it to ONE pooled sweep schedule (every cell's trial
+    chunks share the session's persistent worker pool) and returns the
+    structured :class:`~repro.core.experiment.ExperimentResult`.
+
+    Parameters
+    ----------
+    specs : spec or iterable of specs
+        The machines of the grid; each entry is anything
+        :meth:`~repro.core.spec.NetworkSpec.parse` accepts.
+    models : iterable, optional
+        Fault-model grid entries: a key (``"coupler"``), a
+        ``"key:faults"`` string (``"link:2"``), a ``(key, faults)``
+        pair or a :class:`~repro.resilience.faults.FaultModel`
+        instance.  Default ``("coupler",)``.
+    metrics : iterable of str, optional
+        Scoring depths (``"connectivity"``, ``"paths"``, ``"full"``).
+    trials : int or iterable of int, optional
+        Monte-Carlo trial counts (a grid axis; default 100).
+    seed : int, optional
+        One seed for every cell; each cell's summary is byte-identical
+        to :func:`resilience_sweep` with the same parameters.
+    workers : int, optional
+        Worker-pool size (``None``/``0``/``1`` runs inline); the
+        report is worker-count independent.
+    backend : {"batched", "vectorized", "legacy"}, optional
+        Preferred trial executor; cells whose metrics mode it cannot
+        score fall back to ``"batched"``.
+    workload, messages, bound, max_slots : optional
+        Per-cell sweep parameters (see :func:`resilience_sweep`).
+
+    Returns
+    -------
+    ExperimentResult
+        Grid-ordered cells with ``as_dicts()`` / ``to_json()`` /
+        ``formatted()``; ``to_json()`` is deterministic for the same
+        plan and seed.
+
+    Examples
+    --------
+    >>> r = experiment(["pops(2,2)", "sk(2,2,2)"], models=["coupler:1"],
+    ...                trials=4)
+    >>> len(r)
+    2
+    >>> r.cell("pops(2,2)").summary.trials
+    4
+    """
+    return default_session().experiment(
+        specs,
+        models=models,
+        metrics=metrics,
+        trials=trials,
+        seed=seed,
+        workers=workers,
+        backend=backend,
+        workload=workload,
+        messages=messages,
+        bound=bound,
+        max_slots=max_slots,
     )
 
 
@@ -586,6 +631,15 @@ class SweepResult:
         """All cells as plain dicts (JSON-ready)."""
         return [c.as_dict() for c in self.cells]
 
+    def to_json(self) -> str:
+        """The cell list as canonical JSON (2-space indent).
+
+        Exactly the payload ``python -m repro sweep ... --json``
+        prints, so library and CLI consumers share one schema (pinned
+        by the golden CLI tests).
+        """
+        return json.dumps(self.as_dicts(), indent=2)
+
     def formatted(self) -> str:
         """The whole matrix as a fixed-width table."""
         return "\n".join(
@@ -631,40 +685,12 @@ def sweep(
     >>> result.cell("pops(4,2)", "uniform").messages
     40
     """
-    from ..simulation.network_sim import run_traffic
-    from .workloads import resolve_workload
-
-    parsed = [NetworkSpec.parse(s) for s in specs]
-    workloads = list(workloads)
-    names = [
-        w if isinstance(w, str) else getattr(w, "__name__", repr(w))
-        for w in workloads
-    ]
-    cells = []
-    for spec in parsed:
-        # Build once per spec; each cell gets a fresh simulator over it.
-        family = get_family(spec.family)
-        net = spec.build()
-        for wname, w in zip(names, workloads):
-            traffic = resolve_workload(
-                w, net, messages=messages, seed=seed, **workload_options
-            )
-            report = run_traffic(
-                family.simulator(net, policy), traffic, max_slots=max_slots
-            )
-            cells.append(
-                SweepCell(
-                    spec=spec.canonical(),
-                    workload=wname,
-                    processors=net.num_processors,
-                    messages=report.num_messages,
-                    slots=report.slots,
-                    mean_latency=report.mean_latency,
-                    p95_latency=report.p95_latency,
-                    max_latency=report.max_latency,
-                    mean_hops=report.mean_hops,
-                    throughput=report.throughput,
-                    coupler_utilization=report.coupler_utilization,
-                )
-            )
-    return SweepResult(tuple(cells))
+    return default_session().sweep(
+        specs,
+        workloads,
+        messages=messages,
+        seed=seed,
+        policy=policy,
+        max_slots=max_slots,
+        **workload_options,
+    )

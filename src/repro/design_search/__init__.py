@@ -21,6 +21,7 @@ design-search --max-processors 48 --faults 2 --trials 200 --json``.
 import sys as _sys
 import types as _types
 
+from . import prices
 from .costing import DEFAULT_COST_MODEL, CostModel, price_spec
 from .search import (
     PARALLELISM_MODES,
@@ -39,6 +40,7 @@ __all__ = [
     "design_search",
     "enumerate_candidates",
     "price_spec",
+    "prices",
 ]
 
 
@@ -55,7 +57,11 @@ class _CallableModule(_types.ModuleType):
     """
 
     def __call__(self, **kwargs):
-        return design_search(**kwargs)
+        # route through the facade verb so callable-module calls share
+        # the default session's caches and persistent pools
+        from repro.core.facade import design_search as _verb
+
+        return _verb(**kwargs)
 
 
 _sys.modules[__name__].__class__ = _CallableModule

@@ -6,10 +6,12 @@ this module turns those counts into one scalar so designs can be
 :class:`~repro.networks.design.BillOfMaterials` line item -- lenses
 (the OTIS stages' real estate), multiplexers, beam-splitters, loop
 fibers, transceivers and OPS couplers -- plus a per-OTIS-stage
-assembly charge.  Prices are in arbitrary "cost units"; only ratios
-matter to the search, and the defaults follow the paper's qualitative
-ordering (transceivers dominate, free-space lens stages are cheap per
-lens but add up).
+assembly charge.  The defaults are calibrated to published
+late-1990s component prices (USD) from
+:mod:`repro.design_search.prices` -- see that module for the cited
+sources; only price *ratios* move the search's ranking, and the
+published ratios keep the paper's qualitative ordering (transceivers
+dominate, free-space lens stages are cheap per lens but add up).
 
 >>> from repro.core import design
 >>> DEFAULT_COST_MODEL.price(design("pops(4,2)").bill_of_materials()) > 0
@@ -20,21 +22,28 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
+from . import prices
+
 __all__ = ["CostModel", "DEFAULT_COST_MODEL", "price_spec"]
 
 
 @dataclass(frozen=True)
 class CostModel:
-    """Unit prices (cost units) per bill-of-materials line item."""
+    """Unit prices per bill-of-materials line item.
 
-    lens: float = 40.0
-    otis_stage: float = 150.0  # per-stage alignment/assembly charge
-    multiplexer: float = 180.0
-    beam_splitter: float = 120.0
-    loop_fiber: float = 25.0
-    transmitter: float = 300.0
-    receiver: float = 220.0
-    coupler: float = 80.0
+    Defaults are the cited late-1990s USD prices of
+    :mod:`repro.design_search.prices`; pass your own values to re-rank
+    under different hardware economics.
+    """
+
+    lens: float = prices.LENS_USD
+    otis_stage: float = prices.OTIS_STAGE_USD  # per-stage assembly charge
+    multiplexer: float = prices.MULTIPLEXER_USD
+    beam_splitter: float = prices.BEAM_SPLITTER_USD
+    loop_fiber: float = prices.LOOP_FIBER_USD
+    transmitter: float = prices.TRANSMITTER_USD
+    receiver: float = prices.RECEIVER_USD
+    coupler: float = prices.COUPLER_USD
 
     def price(self, bom) -> float:
         """The scalar cost of one bill of materials, rounded to cents.

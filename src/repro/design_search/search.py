@@ -271,6 +271,7 @@ def design_search(
     top: int | None = None,
     parallelism: str = "sweeps",
     backend: str = "batched",
+    _executor=None,
 ) -> DesignSearchResult:
     """Search the candidate window for survivability-per-cost winners.
 
@@ -302,7 +303,10 @@ def design_search(
     ``backend`` selects the trial executor per sweep (``"batched"``
     default, ``"vectorized"`` for connectivity metrics at scale).
     The ranked table is byte-identical across all parallelism modes,
-    backends and worker counts.
+    backends and worker counts.  ``_executor`` (internal, session
+    plumbing) reuses an injected
+    :class:`~repro.resilience.sweep.PersistentSweepExecutor` for every
+    candidate sweep instead of spawning pools per call.
 
     >>> r = design_search(max_processors=8, families=("pops", "sops"),
     ...                   trials=6, seed=3)
@@ -402,7 +406,12 @@ def design_search(
         else:
             summaries.append(
                 survivability_sweep(
-                    spec, fault_model, workers=workers, _net=net, **sweep_kw
+                    spec,
+                    fault_model,
+                    workers=workers,
+                    _net=net,
+                    _executor=_executor,
+                    **sweep_kw,
                 )
             )
 
@@ -410,7 +419,9 @@ def design_search(
         # one shared pool over every candidate's trial batches: the
         # summaries are byte-identical to per-sweep execution, only
         # the scheduling changes
-        summaries = pooled_survivability_sweeps(requests, workers=workers)
+        summaries = pooled_survivability_sweeps(
+            requests, workers=workers, executor=_executor
+        )
 
     evaluated: list[DesignCandidate] = []
     for (spec, shape, cost, margin), summary in zip(records, summaries):

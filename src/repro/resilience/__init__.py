@@ -54,6 +54,7 @@ from .metrics import (
 from .sweep import (
     METRICS_MODES,
     SWEEP_BACKENDS,
+    PersistentSweepExecutor,
     SweepSummary,
     pooled_survivability_sweeps,
     survivability_sweep,
@@ -68,6 +69,7 @@ __all__ = [
     "FaultModel",
     "FaultScenario",
     "GroupBlockOutage",
+    "PersistentSweepExecutor",
     "ResilienceMetrics",
     "SweepSummary",
     "UniformCouplerFaults",

@@ -41,6 +41,14 @@ Three executors share that contract:
 on one shared worker pool (the design search's
 ``parallelism="candidates"`` mode), returning summaries byte-identical
 to per-sweep execution.
+
+Pool *ownership* lives in executors, not in the sweep functions: the
+default (one-shot) path spawns and tears down a pool per call, while a
+:class:`PersistentSweepExecutor` -- what
+:class:`repro.core.session.Session` injects -- keeps one lazily-started
+pool alive across calls, re-initializing each worker's trial context
+only when the sweep plan changes.  Both produce byte-identical rows
+for the same plan and worker count.
 """
 
 from __future__ import annotations
@@ -48,6 +56,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import random
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from multiprocessing import shared_memory
 
@@ -59,6 +68,7 @@ from .metrics import connectivity_metrics, measure, path_survival
 
 __all__ = [
     "SweepSummary",
+    "PersistentSweepExecutor",
     "survivability_sweep",
     "pooled_survivability_sweeps",
     "METRICS_MODES",
@@ -752,6 +762,199 @@ def _index_chunks(trials: int, workers: int) -> list[tuple[int, int]]:
 
 
 # ----------------------------------------------------------------------
+# Persistent executor: one long-lived pool, contexts re-keyed by plan.
+# ----------------------------------------------------------------------
+#: Most plan contexts a persistent worker (or the inline executor)
+#: keeps alive at once; least recently used evicted first.
+_PERSIST_CTX_CACHE = 8
+
+_PERSIST_CTXS: OrderedDict = OrderedDict()
+_PERSIST_LIMIT = _PERSIST_CTX_CACHE
+
+
+def _init_persistent_worker(context_cache: int) -> None:
+    """Pool initializer: an empty per-process plan-keyed context cache."""
+    global _PERSIST_CTXS, _PERSIST_LIMIT
+    _PERSIST_CTXS = OrderedDict()
+    _PERSIST_LIMIT = context_cache
+
+
+def _cached_context(cache: OrderedDict, limit: int, plan: _SweepPlan, **kw):
+    """The trial context for ``plan``, LRU-cached when the plan hashes.
+
+    Plans are frozen dataclasses, hashable whenever their fault model
+    is (every built-in model); an unhashable custom model just skips
+    caching and rebuilds per chunk -- correct, only slower.
+    """
+    try:
+        ctx = cache.get(plan)
+    except TypeError:
+        return _make_context(plan, **kw)
+    if ctx is not None:
+        cache.move_to_end(plan)
+        return ctx
+    ctx = _make_context(plan, **kw)
+    while len(cache) >= limit:
+        cache.popitem(last=False)
+    cache[plan] = ctx
+    return ctx
+
+
+def _run_persistent_chunk(task: tuple[int, _SweepPlan, int, int]):
+    """Run one sweep's trial range on the persistent worker's context cache.
+
+    Unlike the one-shot initializers, the plan travels with the task,
+    so one pool serves any sequence of sweeps: a worker builds the
+    context the first time it sees a plan and reuses it for every
+    later chunk of that plan.
+    """
+    index, plan, start, stop = task
+    ctx = _cached_context(_PERSIST_CTXS, _PERSIST_LIMIT, plan)
+    return index, start, ctx.run_range(start, stop)
+
+
+class PersistentSweepExecutor:
+    """A reusable sweep executor that owns one lazily-started pool.
+
+    The one-shot path pays a full ``multiprocessing`` pool spawn (and
+    per-process network build) on every sweep call; this executor
+    keeps the pool alive across calls and ships each task its frozen
+    :class:`_SweepPlan`, so workers re-initialize their trial context
+    only when the plan actually changes.  ``workers`` of
+    ``None``/``0``/``1`` runs inline with a parent-side context cache
+    (warm repeated sweeps skip context rebuilds there too).
+
+    Row lists are **byte-identical** to the one-shot executor for the
+    same plan and worker count -- trial chunking, per-trial seeds and
+    row order are shared.  This is what
+    :class:`repro.core.session.Session` injects into
+    :func:`survivability_sweep`, :func:`pooled_survivability_sweeps`
+    and the design search.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        context_cache: int = _PERSIST_CTX_CACHE,
+    ) -> None:
+        if context_cache < 1:
+            raise ValueError(
+                f"context_cache must be >= 1, got {context_cache}"
+            )
+        self.workers = workers if workers is not None and workers > 1 else 0
+        self._context_cache = context_cache
+        self._pool = None
+        self._inline_ctxs: OrderedDict = OrderedDict()
+        self._closed = False
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this executor fans trials over a worker pool."""
+        return self.workers > 1
+
+    @property
+    def pool_started(self) -> bool:
+        """Whether the lazily-created pool currently exists."""
+        return self._pool is not None
+
+    def _ensure_pool(self):
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(
+                processes=self.workers,
+                initializer=_init_persistent_worker,
+                initargs=(self._context_cache,),
+            )
+        return self._pool
+
+    def run(self, prepared: _PreparedSweep, *, arrays=None) -> list[dict]:
+        """All trial rows of one prepared sweep, in trial-index order.
+
+        ``arrays`` (inline vectorized runs only) short-circuits the
+        topology export when the caller already holds the spec's
+        :class:`_TopologyArrays`.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        plan, trials = prepared.plan, prepared.trials
+        if plan.backend == "legacy":
+            tasks = _legacy_tasks(plan, trials)
+            if not self.parallel:
+                return [_run_trial(t) for t in tasks]
+            return self._ensure_pool().map(
+                _run_trial,
+                tasks,
+                chunksize=max(1, trials // (self.workers * 4)),
+            )
+        if not self.parallel:
+            ctx = _cached_context(
+                self._inline_ctxs,
+                self._context_cache,
+                plan,
+                net=prepared.net,
+                arrays=arrays,
+            )
+            return ctx.run_range(0, trials)
+        tasks = [
+            (0, plan, lo, hi) for lo, hi in _index_chunks(trials, self.workers)
+        ]
+        chunks = self._ensure_pool().map(_run_persistent_chunk, tasks)
+        return [row for _, _, rows in chunks for row in rows]
+
+    def run_many(
+        self, prepared_list: list[_PreparedSweep], *, arrays_list=None
+    ) -> list[list[dict]]:
+        """Row lists for many prepared sweeps, scheduled on ONE pool.
+
+        Returns one row list per input sweep, each identical to what
+        :meth:`run` would produce for it alone.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        if not self.parallel:
+            out = []
+            for i, prepared in enumerate(prepared_list):
+                arrays = arrays_list[i] if arrays_list else None
+                out.append(self.run(prepared, arrays=arrays))
+            return out
+        tasks = [
+            (i, p.plan, lo, hi)
+            for i, p in enumerate(prepared_list)
+            for lo, hi in _index_chunks(p.trials, self.workers)
+        ]
+        results = self._ensure_pool().map(_run_persistent_chunk, tasks)
+        by_sweep: list[dict[int, list[dict]]] = [{} for _ in prepared_list]
+        for index, start, rows in results:
+            by_sweep[index][start] = rows
+        return [
+            [row for start in sorted(g) for row in g[start]] for g in by_sweep
+        ]
+
+    def close(self) -> None:
+        """Shut the pool down and drop cached contexts (idempotent)."""
+        self._closed = True
+        self._inline_ctxs.clear()
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+            pool.join()
+
+    def __enter__(self) -> "PersistentSweepExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
 # Preparation and aggregation shared by every executor.
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -762,6 +965,32 @@ class _PreparedSweep:
     trials: int
     simulate: bool
     net: object  # the built network (parent-side only; never pickled)
+
+
+def _intact_baseline(
+    net,
+    family_key: str,
+    *,
+    workload: str,
+    messages: int,
+    seed: int,
+    max_slots: int,
+) -> float:
+    """Mean latency of the intact network under one workload config.
+
+    The normalizer for ``metrics="full"`` latency inflation; it
+    depends only on ``(workload, messages, seed, max_slots)``, so
+    sessions cache it per spec instead of recomputing per sweep.
+    """
+    from ..core.registry import get_family
+    from ..core.workloads import resolve_workload
+    from ..simulation.network_sim import run_traffic
+
+    traffic = resolve_workload(workload, net, messages=messages, seed=seed)
+    report = run_traffic(
+        get_family(family_key).simulator(net), traffic, max_slots=max_slots
+    )
+    return report.mean_latency
 
 
 def _prepare_sweep(
@@ -778,11 +1007,19 @@ def _prepare_sweep(
     metrics: str = "full",
     backend: str = "batched",
     _net=None,
+    _baseline=None,
 ) -> _PreparedSweep:
-    """Validate one sweep request and freeze its :class:`_SweepPlan`."""
+    """Validate one sweep request and freeze its :class:`_SweepPlan`.
+
+    ``_net`` and ``_baseline`` are internal fast paths: callers that
+    already hold the built network / the intact-baseline mean latency
+    (sessions, the design search) pass them to skip the recompute;
+    they MUST match what ``spec`` would produce.  ``_baseline`` may be
+    a float or a zero-argument callable producing one -- the callable
+    is only invoked after the request validates (so cache-backed
+    providers never run for rejected requests).
+    """
     from ..core.spec import NetworkSpec
-    from ..core.workloads import resolve_workload
-    from ..simulation.network_sim import run_traffic
 
     parsed = NetworkSpec.parse(spec)
     if isinstance(model, str):
@@ -817,13 +1054,19 @@ def _prepare_sweep(
     if simulate:
         # The intact baseline depends only on (workload, messages, seed):
         # run it once here instead of once per trial.
-        from ..core.registry import get_family
-
-        traffic = resolve_workload(workload, net, messages=messages, seed=seed)
-        baseline = run_traffic(
-            get_family(parsed.family).simulator(net), traffic, max_slots=max_slots
-        )
-        baseline_mean_latency = baseline.mean_latency
+        if _baseline is None:
+            baseline_mean_latency = _intact_baseline(
+                net,
+                parsed.family,
+                workload=workload,
+                messages=messages,
+                seed=seed,
+                max_slots=max_slots,
+            )
+        elif callable(_baseline):
+            baseline_mean_latency = _baseline()
+        else:
+            baseline_mean_latency = _baseline
     else:
         baseline_mean_latency = None
     plan = _SweepPlan(
@@ -881,25 +1124,41 @@ def _summarize(prepared: _PreparedSweep, rows: list[dict]) -> SweepSummary:
     )
 
 
-def _execute(prepared: _PreparedSweep, workers: int | None) -> list[dict]:
-    """Run one prepared sweep's trials on the plan's backend."""
+def _legacy_tasks(plan: _SweepPlan, trials: int) -> list[tuple]:
+    """The legacy backend's one-task-per-trial argument tuples."""
+    return [
+        (
+            plan.canonical,
+            plan.model,
+            trial_seed(plan.seed, i),
+            plan.workload,
+            plan.messages,
+            plan.seed,
+            plan.bound,
+            plan.max_slots,
+            plan.baseline_mean_latency,
+        )
+        for i in range(trials)
+    ]
+
+
+def _execute(
+    prepared: _PreparedSweep,
+    workers: int | None,
+    executor: "PersistentSweepExecutor | None" = None,
+) -> list[dict]:
+    """Run one prepared sweep's trials on the plan's backend.
+
+    With ``executor`` the trials run on its (persistent) pool; without
+    one, this is the one-shot path that spawns and tears down a pool
+    per call.  Row lists are byte-identical either way.
+    """
     plan, trials = prepared.plan, prepared.trials
+    if executor is not None:
+        return executor.run(prepared)
     parallel = workers is not None and workers > 1
     if plan.backend == "legacy":
-        tasks = [
-            (
-                plan.canonical,
-                plan.model,
-                trial_seed(plan.seed, i),
-                plan.workload,
-                plan.messages,
-                plan.seed,
-                plan.bound,
-                plan.max_slots,
-                plan.baseline_mean_latency,
-            )
-            for i in range(trials)
-        ]
+        tasks = _legacy_tasks(plan, trials)
         if parallel:
             with multiprocessing.Pool(processes=workers) as pool:
                 return pool.map(
@@ -948,6 +1207,7 @@ def survivability_sweep(
     metrics: str = "full",
     backend: str = "batched",
     _net=None,
+    _executor: PersistentSweepExecutor | None = None,
 ) -> SweepSummary:
     """Monte-Carlo survivability of ``spec`` under ``model`` faults.
 
@@ -973,7 +1233,9 @@ def survivability_sweep(
     their metrics modes overlap.  ``_net`` is internal: callers that
     already built the spec's network (the design search evaluates
     shape filters on it first) pass it to skip the rebuild; it MUST
-    be the machine ``spec`` names.
+    be the machine ``spec`` names.  ``_executor`` (internal, session
+    plumbing) runs the trials on an injected
+    :class:`PersistentSweepExecutor` instead of a one-shot pool.
 
     >>> s = survivability_sweep("pops(2,2)", "coupler", trials=4, seed=1,
     ...                         messages=8)
@@ -1002,7 +1264,7 @@ def survivability_sweep(
         backend=backend,
         _net=_net,
     )
-    return _summarize(prepared, _execute(prepared, workers))
+    return _summarize(prepared, _execute(prepared, workers, _executor))
 
 
 def _reject_legacy_pooled(prepared: _PreparedSweep) -> None:
@@ -1015,7 +1277,10 @@ def _reject_legacy_pooled(prepared: _PreparedSweep) -> None:
 
 
 def pooled_survivability_sweeps(
-    requests, *, workers: int | None = None
+    requests,
+    *,
+    workers: int | None = None,
+    executor: PersistentSweepExecutor | None = None,
 ) -> list[SweepSummary]:
     """Run many survivability sweeps on ONE shared worker pool.
 
@@ -1033,6 +1298,9 @@ def pooled_survivability_sweeps(
     Returns the summaries in request order; each is **byte-identical**
     to what :func:`survivability_sweep` returns for the same request,
     whatever ``workers`` is (``None``/``0``/``1`` runs inline).
+    ``executor`` (session plumbing) schedules the same chunks on an
+    injected :class:`PersistentSweepExecutor` instead of a one-shot
+    pool; ``workers`` is ignored in that case.
 
     >>> a, b = pooled_survivability_sweeps(
     ...     [dict(spec="pops(2,2)", trials=3, metrics="connectivity"),
@@ -1047,6 +1315,28 @@ def pooled_survivability_sweeps(
                 "per-request 'workers' is not supported; the pool is "
                 "shared -- pass workers= to pooled_survivability_sweeps"
             )
+    if executor is not None:
+        # session plumbing: the injected executor owns pool lifetime.
+        # Inline executors run one request at a time (networks released
+        # as the context cache turns over); parallel ones drop the
+        # parent-side nets and let workers build plan contexts lazily.
+        if not executor.parallel:
+            summaries = []
+            for request in requests:
+                p = _prepare_sweep(**request)
+                _reject_legacy_pooled(p)
+                summaries.append(_summarize(p, executor.run(p)))
+            return summaries
+        prepared_list: list[_PreparedSweep] = []
+        for request in requests:
+            p = _prepare_sweep(**request)
+            _reject_legacy_pooled(p)
+            prepared_list.append(replace(p, net=None))
+        rows_lists = executor.run_many(prepared_list)
+        return [
+            _summarize(p, rows)
+            for p, rows in zip(prepared_list, rows_lists)
+        ]
     if workers is None or workers <= 1:
         # prepare-and-execute one request at a time so each built
         # network is released before the next candidate's is built

@@ -93,6 +93,27 @@ DESIGN_SEARCH_SCHEMA = {
     "candidates": list,
 }
 
+EXPERIMENT_SCHEMA = {
+    "specs": list,
+    "models": list,
+    "metrics": list,
+    "trials": list,
+    "seed": int,
+    "backend": str,
+    "workload": str,
+    "messages": int,
+    "cells": list,
+}
+
+EXPERIMENT_CELL_SCHEMA = {
+    "spec": str,
+    "model": str,
+    "faults": int,
+    "metrics": str,
+    "backend": str,
+    "summary": dict,
+}
+
 CANDIDATE_SCHEMA = {
     "spec": str,
     "family": str,
@@ -138,6 +159,29 @@ class TestSweepSchema:
         )
         assert isinstance(data, list) and len(data) == 2
         for cell in data:
+            assert_schema(cell, SWEEP_CELL_SCHEMA)
+
+    def test_sweep_result_to_json_matches_cli_payload(self, capsys):
+        """`SweepResult.to_json()` IS the CLI `sweep --json` contract."""
+        import repro
+
+        argv = [
+            "sweep",
+            "pops(2,2)",
+            "sk(2,2,2)",
+            "--workloads",
+            "uniform",
+            "--messages",
+            "20",
+            "--json",
+        ]
+        assert main(argv) == 0
+        cli_text = capsys.readouterr().out
+        result = repro.sweep(
+            ["pops(2,2)", "sk(2,2,2)"], ["uniform"], messages=20
+        )
+        assert result.to_json() == cli_text.rstrip("\n")
+        for cell in json.loads(result.to_json()):
             assert_schema(cell, SWEEP_CELL_SCHEMA)
 
 
@@ -195,6 +239,47 @@ class TestResilienceSchema:
         }
         assert data["within_bound_fraction"] is None
         assert data["messages"] == 0
+
+
+class TestExperimentSchema:
+    def test_result_and_cell_rows(self, capsys):
+        data = cli_json(
+            capsys,
+            [
+                "experiment",
+                "pops(2,2)",
+                "sk(2,2,2)",
+                "--models",
+                "coupler:1",
+                "processor",
+                "--trials",
+                "4",
+                "--json",
+            ],
+        )
+        assert_schema(data, EXPERIMENT_SCHEMA)
+        assert len(data["cells"]) == 4  # 2 specs x 2 models
+        for cell in data["cells"]:
+            assert_schema(cell, EXPERIMENT_CELL_SCHEMA)
+            assert_schema(cell["summary"], RESILIENCE_SCHEMA)
+        assert data["models"] == ["coupler:1", "processor:1"]
+
+    def test_cell_summaries_match_resilience_verb(self, capsys):
+        """Each grid cell is byte-identical to a resilience_sweep call."""
+        import repro
+
+        result = repro.experiment(
+            ["pops(2,2)"], models=["coupler:2"], trials=5, seed=3
+        )
+        direct = repro.resilience_sweep(
+            "pops(2,2)",
+            model="coupler",
+            faults=2,
+            trials=5,
+            seed=3,
+            metrics="connectivity",
+        )
+        assert result.cells[0].summary.to_json() == direct.to_json()
 
 
 class TestDesignSearchSchema:

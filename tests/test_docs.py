@@ -79,6 +79,7 @@ class TestCliSchemaCrossCheck:
             ("sweep", "SWEEP_CELL_SCHEMA"),
             ("resilience", "RESILIENCE_SCHEMA"),
             ("design-search", "DESIGN_SEARCH_SCHEMA"),
+            ("experiment", "EXPERIMENT_SCHEMA"),
         ],
     )
     def test_documented_keys_equal_goldens(self, gen_ref, subcommand, schema_name):
@@ -112,8 +113,11 @@ class TestCliSchemaCrossCheck:
         assert set(row) == set(gen_ref.CLI_JSON_KEYS[subcommand]), subcommand
 
     def test_every_json_subcommand_is_documented(self, gen_ref):
-        # every subcommand except the ASCII-art one carries --json
-        assert set(gen_ref.CLI_JSON_KEYS) == set(_subcommands()) - {"otis"}
+        # every subcommand carries --json except those the generator
+        # explicitly lists as having no JSON form
+        assert set(gen_ref.CLI_JSON_KEYS) == set(_subcommands()) - set(
+            gen_ref.CLI_NO_JSON
+        )
 
 
 class TestSiteCoverage:
