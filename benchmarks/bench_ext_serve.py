@@ -1,0 +1,162 @@
+"""EXT-12: serving-tier throughput, latency and coalescing economics.
+
+The serving tier puts one warm Session behind an asyncio HTTP front
+with request coalescing and admission control; this benchmark measures
+what that buys under concurrent load, end to end over a real socket:
+
+* **req/s and p50/p95 latency** at 1, 4 and 16 concurrent clients,
+* **warm vs cold** -- the first request on a cold server (spec build,
+  context init) against steady-state requests on warm caches,
+* **coalesced vs distinct** -- 16 clients firing the SAME sweep
+  (single-flighted into one execution) against 16 clients firing 16
+  DIFFERENT sweeps (no coalescing possible).
+
+Coalescing must make duplicate load cheaper than distinct load; the
+server must answer identical bytes to every client either way.
+Headline numbers land in ``BENCH_serve.json``.
+"""
+
+import json
+import statistics
+import threading
+import time
+
+from repro.serve.client import ServeClient, run_in_thread
+
+CLIENT_COUNTS = (1, 4, 16)
+REQUESTS_PER_CLIENT = 4
+TRIALS = 256
+CONCURRENCY = 4
+QUEUE_DEPTH = 64
+
+
+def _sweep_payload(seed: int) -> dict:
+    return {
+        "spec": "sk(2,2,2)",
+        "trials": TRIALS,
+        "seed": seed,
+        "metrics": "connectivity",
+    }
+
+
+def _fire_clients(client, n_clients, payload_of):
+    """n_clients threads x REQUESTS_PER_CLIENT requests; latency list."""
+    latencies: list[float] = []
+    bodies: set[str] = set()
+    lock = threading.Lock()
+
+    def worker(index: int) -> None:
+        local = ServeClient(client.host, client.port)
+        for request_number in range(REQUESTS_PER_CLIENT):
+            payload = payload_of(index, request_number)
+            t0 = time.perf_counter()
+            body, _role = local.post("sweep", payload)
+            dt = time.perf_counter() - t0
+            with lock:
+                latencies.append(dt)
+                bodies.add(json.dumps(body, sort_keys=True))
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(n_clients)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    return latencies, wall, bodies
+
+
+def _stats_row(latencies, wall):
+    ordered = sorted(latencies)
+    p95_index = max(0, round(0.95 * (len(ordered) - 1)))
+    return {
+        "requests": len(ordered),
+        "wall_seconds": round(wall, 4),
+        "req_per_s": round(len(ordered) / wall, 2),
+        "p50_ms": round(1e3 * statistics.median(ordered), 3),
+        "p95_ms": round(1e3 * ordered[p95_index], 3),
+    }
+
+
+def bench_ext12_serving_tier(benchmark, record_artifact):
+    """Socket-level throughput/latency, with coalescing economics."""
+    with run_in_thread(
+        concurrency=CONCURRENCY, queue_depth=QUEUE_DEPTH, workers=0
+    ) as client:
+        # cold: the very first sweep pays spec build + context init
+        t0 = time.perf_counter()
+        client.sweep(**{"spec": "sk(2,2,2)"}, trials=TRIALS, seed=0,
+                     metrics="connectivity")
+        cold_ms = 1e3 * (time.perf_counter() - t0)
+
+        # warm single-client baseline, measured through pytest-benchmark
+        benchmark.pedantic(
+            lambda: client.sweep(
+                "sk(2,2,2)", trials=TRIALS, seed=0, metrics="connectivity"
+            ),
+            rounds=1,
+            iterations=1,
+        )
+
+        # load points: distinct seeds -> every request really executes
+        load_rows = {}
+        for n_clients in CLIENT_COUNTS:
+            latencies, wall, _ = _fire_clients(
+                client,
+                n_clients,
+                lambda i, r: _sweep_payload(seed=1 + i * 1000 + r),
+            )
+            load_rows[str(n_clients)] = _stats_row(latencies, wall)
+
+        # coalesced vs distinct at the widest load point
+        wide = CLIENT_COUNTS[-1]
+        before = client.stats()["coalescer"]
+        co_lat, co_wall, co_bodies = _fire_clients(
+            client, wide, lambda i, r: _sweep_payload(seed=777_000 + r)
+        )
+        after = client.stats()["coalescer"]
+        coalesced = _stats_row(co_lat, co_wall)
+        followers = after["followers"] - before["followers"]
+        leaders = after["leaders"] - before["leaders"]
+        assert len(co_bodies) == REQUESTS_PER_CLIENT, (
+            f"{REQUESTS_PER_CLIENT} distinct payloads -> "
+            f"{len(co_bodies)} distinct bodies"
+        )
+        assert followers > 0, "wide duplicate load must coalesce"
+
+        di_lat, di_wall, _ = _fire_clients(
+            client, wide, lambda i, r: _sweep_payload(seed=888_000 + i * 100 + r)
+        )
+        distinct = _stats_row(di_lat, di_wall)
+
+        warm_ms = load_rows["1"]["p50_ms"]
+
+    point = {
+        "trials_per_sweep": TRIALS,
+        "concurrency": CONCURRENCY,
+        "queue_depth": QUEUE_DEPTH,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "cold_first_request_ms": round(cold_ms, 3),
+        "warm_p50_ms": warm_ms,
+        "load": load_rows,
+        "coalesced_16_clients": {
+            **coalesced,
+            "leaders": leaders,
+            "followers": followers,
+        },
+        "distinct_16_clients": distinct,
+        "coalesced_speedup_vs_distinct": round(
+            distinct["wall_seconds"] / coalesced["wall_seconds"], 2
+        ),
+    }
+    record_artifact(
+        "BENCH_serve.json", json.dumps(point, indent=2, sort_keys=True)
+    )
+
+    assert coalesced["wall_seconds"] <= distinct["wall_seconds"] * 1.5, (
+        "duplicate load should not be slower than distinct load: "
+        f"coalesced {coalesced['wall_seconds']}s vs "
+        f"distinct {distinct['wall_seconds']}s"
+    )

@@ -1,0 +1,117 @@
+"""CI smoke test for the serving tier, against a real server process.
+
+Boots ``python -m repro serve`` as a subprocess, then asserts the two
+serving-tier guarantees end to end over the wire:
+
+1. **Coalescing** -- N identical concurrent sweep requests produce one
+   leader, N-1 followers, identical bodies, and ``/stats`` counters
+   agreeing (exactly one execution happened).
+2. **Sharded determinism** -- an experiment run with ``shards=2`` and
+   ``shards=3`` is byte-identical to the single-host run.
+
+Finally the server is sent SIGTERM and must exit 0 with a silent
+stderr (graceful pool shutdown, no resource-tracker noise).
+
+Usage: ``PYTHONPATH=src python scripts/serve_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import threading
+import urllib.request
+
+CONCURRENT_DUPLICATES = 8
+
+
+def post(port: int, verb: str, payload: dict):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/v1/{verb}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return json.load(response), response.headers.get("X-Repro-Coalesced")
+
+
+def get(port: int, path: str):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=30
+    ) as response:
+        return json.load(response)
+
+
+def main() -> int:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "0", "--concurrency", "4", "--queue-depth", "8"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        banner = proc.stdout.readline().strip()
+        assert banner.startswith("serving on http://"), banner
+        port = int(banner.rsplit(":", 1)[-1])
+        print(f"[serve-smoke] {banner}")
+
+        assert get(port, "/healthz") == {"ok": True}
+
+        # 1. concurrent duplicates -> exactly one execution
+        sweep = {"spec": "sk(2,2,2)", "trials": 500, "seed": 42,
+                 "metrics": "connectivity"}
+        results: list = []
+
+        def fire() -> None:
+            results.append(post(port, "sweep", sweep))
+
+        threads = [
+            threading.Thread(target=fire)
+            for _ in range(CONCURRENT_DUPLICATES)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roles = sorted(role for _, role in results)
+        assert roles.count("leader") == 1, roles
+        assert roles.count("follower") == CONCURRENT_DUPLICATES - 1, roles
+        bodies = {json.dumps(body, sort_keys=True) for body, _ in results}
+        assert len(bodies) == 1, f"{len(bodies)} distinct sweep bodies"
+        stats = get(port, "/stats")
+        assert stats["coalescer"]["leaders"] == 1, stats
+        assert stats["coalescer"]["followers"] == CONCURRENT_DUPLICATES - 1
+        print(
+            f"[serve-smoke] coalescing OK: "
+            f"{CONCURRENT_DUPLICATES} duplicates -> 1 execution"
+        )
+
+        # 2. sharded experiment byte-identical to single-host
+        plan = {"specs": ["pops(2,2)", "sk(2,2,2)"],
+                "metrics": ["connectivity", "full"],
+                "trials": [4], "seed": 7}
+        single, _ = post(port, "experiment", {**plan, "shards": 0})
+        for shards in (2, 3):
+            sharded, _ = post(port, "experiment", {**plan, "shards": shards})
+            assert json.dumps(sharded, sort_keys=True) == json.dumps(
+                single, sort_keys=True
+            ), f"shards={shards} diverged from single-host"
+        print("[serve-smoke] sharding OK: shards 2 and 3 == single-host")
+
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=60)
+        stderr = proc.stderr.read()
+        assert code == 0, f"exit code {code}: {stderr}"
+        assert stderr.strip() == "", f"noisy shutdown:\n{stderr}"
+        print("[serve-smoke] shutdown OK: exit 0, silent stderr")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

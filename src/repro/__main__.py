@@ -23,6 +23,12 @@ Usage::
     python -m repro design-search --max-processors 48 --faults 2 --trials 200 --json
     python -m repro experiment "sk(2,2,2)" "pops(4,2)" --models coupler:1 link:2 --trials 200 --json
     python -m repro batch commands.txt --reuse-session
+    python -m repro serve --port 8000 --workers 4 --queue-depth 8
+
+``serve`` boots the HTTP serving tier (:mod:`repro.serve`): one warm
+session shared by every request, identical concurrent requests
+coalesced into a single execution, and a bounded admission queue in
+front of the worker pools.
 
 ``batch`` reads one CLI invocation per line from a file (or stdin with
 ``-``) and runs them in-process; with ``--reuse-session`` all commands
@@ -364,6 +370,27 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.app import run_server
+
+    try:
+        run_server(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            concurrency=args.concurrency,
+            queue_depth=args.queue_depth,
+            shards=args.shards,
+            ready=lambda port: print(
+                f"serving on http://{args.host}:{port}", flush=True
+            ),
+        )
+    except OSError as exc:  # port in use, bad interface, ...
+        print(exc, file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from .analysis import TopologyRow, equal_size_comparison
     from .analysis.comparison import DEFAULT_COMPARISON_FAMILIES
@@ -695,6 +722,45 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "serve",
+        help="HTTP serving tier: one warm session behind coalescing + admission control",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8000,
+        help="TCP port to bind (0 picks an ephemeral port, printed on start)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sweep worker-pool size of the shared session",
+    )
+    p.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        help="requests executing simultaneously (server thread-pool size)",
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        help="admitted requests allowed to wait beyond --concurrency "
+        "(overflow is rejected with a structured 429)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="default subprocess count for experiment requests "
+        "(0: run on the shared session in-process)",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("compare", help="equal-N design comparison table")
     p.add_argument("n", type=int)

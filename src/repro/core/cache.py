@@ -14,6 +14,15 @@ canonical spec (networks are frozen after construction), so a cache
 hit returns byte-identical results to a cold rebuild -- caching is a
 latency optimization, never a semantic one.
 
+Thread safety: get-or-build (:meth:`~SpecCache.entry`), invalidation,
+the candidate-window memo and the stats snapshot all serialize on one
+internal lock, so a cache shared by server worker threads never builds
+a spec twice concurrently and never tears an LRU update.  The views
+hanging off a :class:`CacheEntry` (design, arrays, routing table,
+baselines) materialize outside that lock; racing threads may build one
+view twice, but both builds are pure functions of the spec, so either
+result is correct and one simply wins.
+
 >>> cache = SpecCache(maxsize=2)
 >>> cache.network("pops(2,2)") is cache.network("pops(2,2)")
 True
@@ -26,6 +35,7 @@ False
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -36,11 +46,19 @@ __all__ = ["CacheEntry", "CacheStats", "SpecCache"]
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters of one :class:`SpecCache`."""
+    """Hit/miss/eviction counters of one :class:`SpecCache`.
+
+    ``candidate_hits``/``candidate_misses`` count the design-search
+    candidate-window memo (:meth:`SpecCache.candidate_specs`), kept
+    separate from the spec-entry counters so a warm search window
+    never masquerades as build-cache traffic.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    candidate_hits: int = 0
+    candidate_misses: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """JSON-ready counter view."""
@@ -48,6 +66,8 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "candidate_hits": self.candidate_hits,
+            "candidate_misses": self.candidate_misses,
         }
 
 
@@ -154,7 +174,15 @@ class SpecCache:
     ``maxsize`` bounds the number of simultaneously-held built
     networks; the least recently used entry is evicted first.
     :meth:`invalidate` drops one spec (or everything) explicitly.
+
+    All public methods are thread-safe: get-or-build is atomic under
+    an internal :class:`threading.RLock` (concurrent requests for the
+    same spec build it exactly once), as are invalidation, the
+    candidate-window memo and :meth:`stats_dict`.
     """
+
+    #: Most candidate-enumeration windows memoized at once (LRU).
+    CANDIDATE_MEMO = 8
 
     def __init__(self, maxsize: int = 32) -> None:
         if maxsize < 1:
@@ -162,52 +190,112 @@ class SpecCache:
         self.maxsize = maxsize
         self.stats = CacheStats()
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._candidates: OrderedDict[tuple, list] = OrderedDict()
+        self._lock = threading.RLock()
 
     def entry(self, spec) -> CacheEntry:
         """The (possibly fresh) entry for ``spec``; hits refresh LRU order."""
         parsed = NetworkSpec.parse(spec)
         key = parsed.canonical()
-        cached = self._entries.get(key)
-        if cached is not None:
-            self.stats.hits += 1
-            self._entries.move_to_end(key)
-            return cached
-        self.stats.misses += 1
-        fresh = CacheEntry(parsed)
-        while len(self._entries) >= self.maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        self._entries[key] = fresh
-        return fresh
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                return cached
+            self.stats.misses += 1
+            fresh = CacheEntry(parsed)
+            while len(self._entries) >= self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            self._entries[key] = fresh
+            return fresh
 
     def network(self, spec):
         """The built network for ``spec`` (cached)."""
         return self.entry(spec).network
+
+    def candidate_specs(
+        self,
+        *,
+        max_processors: int,
+        min_processors: int = 2,
+        families=None,
+    ) -> list:
+        """Memoized design-search candidate enumeration for one window.
+
+        Same contract as
+        :func:`~repro.design_search.search.enumerate_candidates`
+        (which performs the actual enumeration on a miss); the result
+        for a ``(families, min, max)`` window is kept under a small
+        LRU so repeated searches over the same window skip the
+        family-by-family size scan.  Counted separately in
+        :class:`CacheStats` as ``candidate_hits``/``candidate_misses``.
+        """
+        key = (
+            None if families is None else tuple(families),
+            min_processors,
+            max_processors,
+        )
+        with self._lock:
+            cached = self._candidates.get(key)
+            if cached is not None:
+                self.stats.candidate_hits += 1
+                self._candidates.move_to_end(key)
+                return list(cached)
+            self.stats.candidate_misses += 1
+        from ..design_search.search import enumerate_candidates
+
+        specs = enumerate_candidates(
+            max_processors=max_processors,
+            min_processors=min_processors,
+            families=families,
+        )
+        with self._lock:
+            while len(self._candidates) >= self.CANDIDATE_MEMO:
+                self._candidates.popitem(last=False)
+            self._candidates[key] = specs
+        return list(specs)
 
     def invalidate(self, spec=None) -> int:
         """Drop one spec's entry (or all entries); returns the count dropped.
 
         Invalidation never changes results -- entries are pure
         functions of the spec -- it just releases memory and forces
-        the next call to rebuild.
+        the next call to rebuild.  Dropping everything also clears the
+        candidate-window memo.
         """
-        if spec is None:
-            dropped = len(self._entries)
-            self._entries.clear()
-            return dropped
-        key = NetworkSpec.parse(spec).canonical()
-        return 1 if self._entries.pop(key, None) is not None else 0
+        with self._lock:
+            if spec is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                self._candidates.clear()
+                return dropped
+            key = NetworkSpec.parse(spec).canonical()
+            return 1 if self._entries.pop(key, None) is not None else 0
+
+    def stats_dict(self) -> dict[str, int]:
+        """Atomic snapshot of the counters plus size/maxsize (JSON-ready)."""
+        with self._lock:
+            return {
+                **self.stats.as_dict(),
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }
 
     def keys(self) -> tuple[str, ...]:
         """Currently cached canonical specs, LRU-oldest first."""
-        return tuple(self._entries)
+        with self._lock:
+            return tuple(self._entries)
 
     def __contains__(self, spec) -> bool:
         try:
             key = NetworkSpec.parse(spec).canonical()
         except Exception:
             return False
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

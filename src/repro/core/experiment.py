@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import json
 from collections.abc import Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from .spec import NetworkSpec
 
@@ -219,6 +219,39 @@ class Experiment:
             "workload": self.workload,
             "messages": self.messages,
         }
+
+    def to_payload(self) -> dict[str, object]:
+        """The full constructor-argument dict, JSON-safe.
+
+        Unlike :meth:`as_dict` (the *report* header, whose key set is
+        golden-tested), this carries every plan field -- including
+        ``bound`` and ``max_slots`` -- so :meth:`from_payload` rebuilds
+        an equal plan on the other side of a JSON hop (the serving
+        protocol) or a process boundary (experiment shard workers).
+        """
+        return {**self.as_dict(), "bound": self.bound,
+                "max_slots": self.max_slots}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "Experiment":
+        """Rebuild a plan from :meth:`to_payload` output (round-trip safe).
+
+        Accepts any mapping of constructor keyword arguments; unknown
+        keys raise ``ValueError`` (the serving tier's strict-request
+        contract) rather than being dropped silently.
+
+        >>> e = Experiment(specs=("pops(2,2)",), trials=4, bound=5)
+        >>> Experiment.from_payload(e.to_payload()) == e
+        True
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown experiment field(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        return cls(**dict(payload))
 
 
 @dataclass(frozen=True)

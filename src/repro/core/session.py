@@ -34,6 +34,7 @@ True
 from __future__ import annotations
 
 import atexit
+import threading
 
 from .cache import SpecCache
 from .registry import get_family
@@ -74,6 +75,7 @@ class Session:
         self._cache = SpecCache(maxsize=cache_size)
         self._workers = workers
         self._executors: dict[int, object] = {}
+        self._executor_lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -90,12 +92,13 @@ class Session:
         return self._cache
 
     def cache_stats(self) -> dict[str, int]:
-        """Hit/miss/eviction counters plus current size (JSON-ready)."""
-        return {
-            **self._cache.stats.as_dict(),
-            "size": len(self._cache),
-            "maxsize": self._cache.maxsize,
-        }
+        """Hit/miss/eviction counters plus current size (JSON-ready).
+
+        Includes the design-search candidate-window memo counters
+        (``candidate_hits``/``candidate_misses``); the snapshot is
+        taken atomically, so concurrent readers never see a torn view.
+        """
+        return self._cache.stats_dict()
 
     def invalidate(self, spec=None) -> int:
         """Drop one spec's cache entry (or all); returns the count dropped.
@@ -106,12 +109,19 @@ class Session:
         self._check_open()
         return self._cache.invalidate(spec)
 
-    def close(self) -> None:
-        """Shut down every pool and drop the cache (idempotent)."""
+    def close(self, *, terminate: bool = False) -> None:
+        """Shut down every pool and drop the cache (idempotent).
+
+        ``terminate=True`` kills pool workers instead of draining them
+        -- the signal-handler teardown path (SIGINT/SIGTERM), where
+        waiting on a pool that may hold an interrupted task would hang
+        or spray ``BrokenProcessPool`` noise.
+        """
         self._closed = True
-        executors, self._executors = self._executors, {}
+        with self._executor_lock:
+            executors, self._executors = self._executors, {}
         for executor in executors.values():
-            executor.close()
+            executor.close(terminate=terminate)
         self._cache.invalidate()
 
     def __enter__(self) -> "Session":
@@ -128,20 +138,27 @@ class Session:
         return self._workers if workers is _UNSET else workers
 
     def _executor_for(self, workers):
-        """The persistent executor for one worker count (lazily built)."""
+        """The persistent executor for one worker count (lazily built).
+
+        Guarded by a lock so concurrent server threads asking for the
+        same worker count share ONE executor (and thus one pool)
+        instead of racing two into existence.
+        """
         from ..resilience.sweep import PersistentSweepExecutor
 
         key = workers if workers is not None and workers > 1 else 0
-        executor = self._executors.get(key)
-        if executor is None:
-            executor = PersistentSweepExecutor(workers=key or None)
-            self._executors[key] = executor
-        return executor
+        with self._executor_lock:
+            executor = self._executors.get(key)
+            if executor is None:
+                executor = PersistentSweepExecutor(workers=key or None)
+                self._executors[key] = executor
+            return executor
 
     @property
     def pools_started(self) -> int:
         """How many persistent pools currently exist (for introspection)."""
-        return sum(1 for e in self._executors.values() if e.pool_started)
+        with self._executor_lock:
+            return sum(1 for e in self._executors.values() if e.pool_started)
 
     # ------------------------------------------------------------------
     # Light verbs: build / design / route / simulate / describe / sweep
@@ -378,8 +395,12 @@ class Session:
     def design_search(self, *, workers=_UNSET, **kwargs):
         """Survivability-per-cost search (see :func:`repro.design_search`).
 
-        Candidate sweeps run on the session's persistent executor; the
-        ranked table is byte-identical to the module-level search.
+        Candidate sweeps run on the session's persistent executor, and
+        candidate *enumeration* is memoized per (families, window) in
+        the session cache -- repeated searches over the same window
+        skip the family size scan (``candidate_hits`` in
+        :meth:`cache_stats`).  The ranked table is byte-identical to
+        the module-level search.
         """
         self._check_open()
         from ..design_search.search import design_search as _search
@@ -388,6 +409,7 @@ class Session:
         return _search(
             workers=effective,
             _executor=self._executor_for(effective),
+            _enumerator=self._cache.candidate_specs,
             **kwargs,
         )
 
@@ -513,15 +535,16 @@ def default_session() -> Session:
     return _default_session
 
 
-def reset_default_session() -> None:
+def reset_default_session(*, terminate: bool = False) -> None:
     """Close and forget the default session (pools shut down, cache dropped).
 
     The next facade-verb call starts a cold one; useful for tests and
-    the CLI's non-reuse batch mode.
+    the CLI's non-reuse batch mode.  ``terminate=True`` kills pool
+    workers instead of draining them (signal-handler teardown).
     """
     global _default_session
     if _default_session is not None:
-        _default_session.close()
+        _default_session.close(terminate=terminate)
     _default_session = None
 
 

@@ -272,6 +272,7 @@ def design_search(
     parallelism: str = "sweeps",
     backend: str = "batched",
     _executor=None,
+    _enumerator=None,
 ) -> DesignSearchResult:
     """Search the candidate window for survivability-per-cost winners.
 
@@ -306,7 +307,10 @@ def design_search(
     backends and worker counts.  ``_executor`` (internal, session
     plumbing) reuses an injected
     :class:`~repro.resilience.sweep.PersistentSweepExecutor` for every
-    candidate sweep instead of spawning pools per call.
+    candidate sweep instead of spawning pools per call; ``_enumerator``
+    (same plumbing) swaps :func:`enumerate_candidates` for a memoized
+    equivalent -- :meth:`repro.core.cache.SpecCache.candidate_specs` --
+    which MUST return the same specs in the same order.
 
     >>> r = design_search(max_processors=8, families=("pops", "sops"),
     ...                   trials=6, seed=3)
@@ -358,7 +362,8 @@ def design_search(
     requests: list[dict] = []
     summaries = []
     skipped_underfaulted: list[str] = []
-    for spec in enumerate_candidates(
+    enumerator = enumerate_candidates if _enumerator is None else _enumerator
+    for spec in enumerator(
         max_processors=max_processors,
         min_processors=min_processors,
         families=keys,

@@ -56,6 +56,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import random
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from multiprocessing import shared_memory
@@ -845,8 +846,11 @@ class PersistentSweepExecutor:
         self.workers = workers if workers is not None and workers > 1 else 0
         self._context_cache = context_cache
         self._pool = None
+        self._pool_lock = threading.Lock()
         self._inline_ctxs: OrderedDict = OrderedDict()
+        self._inline_lock = threading.Lock()
         self._closed = False
+        self._interrupted = False
 
     @property
     def parallel(self) -> bool:
@@ -861,13 +865,33 @@ class PersistentSweepExecutor:
     def _ensure_pool(self):
         if self._closed:
             raise RuntimeError("executor is closed")
-        if self._pool is None:
-            self._pool = multiprocessing.Pool(
-                processes=self.workers,
-                initializer=_init_persistent_worker,
-                initargs=(self._context_cache,),
-            )
-        return self._pool
+        # locked: concurrent server threads must share ONE pool, never
+        # race two into existence (Pool itself is thread-safe once built)
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = multiprocessing.Pool(
+                    processes=self.workers,
+                    initializer=_init_persistent_worker,
+                    initargs=(self._context_cache,),
+                )
+            return self._pool
+
+    def _pool_map(self, fn, tasks, chunksize=None):
+        """``pool.map`` that remembers interrupts for :meth:`close`.
+
+        A ``KeyboardInterrupt``/``SystemExit`` mid-map can leave tasks
+        the pool will never drain; marking the executor interrupted
+        makes the eventual :meth:`close` terminate the workers instead
+        of hanging on (or warning out of) a doomed drain.
+        """
+        pool = self._ensure_pool()
+        try:
+            if chunksize is None:
+                return pool.map(fn, tasks)
+            return pool.map(fn, tasks, chunksize=chunksize)
+        except (KeyboardInterrupt, SystemExit):
+            self._interrupted = True
+            raise
 
     def run(self, prepared: _PreparedSweep, *, arrays=None) -> list[dict]:
         """All trial rows of one prepared sweep, in trial-index order.
@@ -883,24 +907,27 @@ class PersistentSweepExecutor:
             tasks = _legacy_tasks(plan, trials)
             if not self.parallel:
                 return [_run_trial(t) for t in tasks]
-            return self._ensure_pool().map(
+            return self._pool_map(
                 _run_trial,
                 tasks,
                 chunksize=max(1, trials // (self.workers * 4)),
             )
         if not self.parallel:
-            ctx = _cached_context(
-                self._inline_ctxs,
-                self._context_cache,
-                plan,
-                net=prepared.net,
-                arrays=arrays,
-            )
+            # lock covers only the cache lookup/insert; trial compute
+            # runs unlocked (contexts are read-only once built)
+            with self._inline_lock:
+                ctx = _cached_context(
+                    self._inline_ctxs,
+                    self._context_cache,
+                    plan,
+                    net=prepared.net,
+                    arrays=arrays,
+                )
             return ctx.run_range(0, trials)
         tasks = [
             (0, plan, lo, hi) for lo, hi in _index_chunks(trials, self.workers)
         ]
-        chunks = self._ensure_pool().map(_run_persistent_chunk, tasks)
+        chunks = self._pool_map(_run_persistent_chunk, tasks)
         return [row for _, _, rows in chunks for row in rows]
 
     def run_many(
@@ -924,7 +951,7 @@ class PersistentSweepExecutor:
             for i, p in enumerate(prepared_list)
             for lo, hi in _index_chunks(p.trials, self.workers)
         ]
-        results = self._ensure_pool().map(_run_persistent_chunk, tasks)
+        results = self._pool_map(_run_persistent_chunk, tasks)
         by_sweep: list[dict[int, list[dict]]] = [{} for _ in prepared_list]
         for index, start, rows in results:
             by_sweep[index][start] = rows
@@ -932,14 +959,42 @@ class PersistentSweepExecutor:
             [row for start in sorted(g) for row in g[start]] for g in by_sweep
         ]
 
-    def close(self) -> None:
-        """Shut the pool down and drop cached contexts (idempotent)."""
+    def close(self, *, terminate: bool = False) -> None:
+        """Shut the pool down and drop cached contexts (idempotent).
+
+        ``terminate=False`` (the default) drains the pool: workers
+        finish in-flight chunks and exit.  ``terminate=True`` kills
+        them immediately -- the path signal handlers take, where an
+        interrupted ``map`` may never return its tasks and a drain
+        would hang.  Either way teardown is quiet: a pool whose drain
+        fails (workers already dead after a ``KeyboardInterrupt``,
+        interpreter shutdown races) falls back to terminate instead of
+        leaking ``BrokenProcessPool``/resource-tracker warnings out of
+        ``atexit``.
+        """
         self._closed = True
         self._inline_ctxs.clear()
-        pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.close()
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        terminate = terminate or self._interrupted
+        try:
+            if terminate:
+                pool.terminate()
+            else:
+                pool.close()
             pool.join()
+        except BaseException:
+            # last resort: never let teardown noise escape -- kill the
+            # workers and swallow whatever state the pool was left in
+            try:
+                pool.terminate()
+                pool.join()
+            except BaseException:  # pragma: no cover - interpreter exit
+                pass
+            if not terminate:
+                raise
 
     def __enter__(self) -> "PersistentSweepExecutor":
         return self

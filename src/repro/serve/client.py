@@ -1,0 +1,181 @@
+"""A small blocking client for the serving tier (tests, benchmarks).
+
+Pure stdlib (``http.client``); one connection per request, which
+matches the server's ``Connection: close`` discipline.  Also home of
+:func:`run_in_thread`, the harness that boots a
+:class:`~repro.serve.app.ReproServer` on a background thread with its
+own event loop -- tests and benchmarks drive a real socket without
+managing a subprocess.
+
+>>> from repro.serve.client import run_in_thread
+>>> with run_in_thread(concurrency=2) as client:
+...     client.healthz()["ok"]
+True
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+from contextlib import contextmanager
+
+from .protocol import ServeError
+
+__all__ = ["ServeClient", "ServeHTTPError", "run_in_thread"]
+
+
+class ServeHTTPError(RuntimeError):
+    """A non-2xx response; carries status and the structured payload."""
+
+    def __init__(self, status: int, payload) -> None:
+        error = (
+            payload.get("error", {}) if isinstance(payload, dict) else {}
+        )
+        super().__init__(
+            f"HTTP {status}: {error.get('message', payload)}"
+        )
+        self.status = status
+        self.payload = payload
+        self.code = error.get("code")
+
+
+class ServeClient:
+    """Blocking JSON client bound to one server address."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8000, *,
+        timeout: float = 120.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload=None):
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None if payload is None else json.dumps(payload)
+            conn.request(
+                method, path, body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            data = response.read()
+            parsed = json.loads(data) if data else None
+            if response.status >= 400:
+                raise ServeHTTPError(response.status, parsed)
+            return parsed, dict(response.getheaders())
+        finally:
+            conn.close()
+
+    def get(self, path: str):
+        payload, _ = self._request("GET", path)
+        return payload
+
+    def post(self, verb: str, payload):
+        """POST ``/v1/<verb>``; returns ``(result, coalesced_role)``."""
+        result, headers = self._request("POST", f"/v1/{verb}", payload)
+        return result, headers.get("X-Repro-Coalesced")
+
+    # -- convenience verbs -------------------------------------------------
+    def healthz(self):
+        return self.get("/healthz")
+
+    def stats(self):
+        return self.get("/stats")
+
+    def describe(self, spec):
+        return self.post("describe", {"spec": spec})[0]
+
+    def sweep(self, spec, **fields):
+        return self.post("sweep", {"spec": spec, **fields})
+
+    def design_search(self, **fields):
+        return self.post("design-search", fields)
+
+    def experiment(self, payload):
+        return self.post("experiment", payload)
+
+    def stream_experiment(self, payload):
+        """POST a streaming experiment; yield each parsed NDJSON line.
+
+        Lines: the header (``{"experiment": ...}``), then one
+        ``{"index": i, "cell": ...}`` per grid cell in index order,
+        then the footer (``{"done": true, "cells": n}``).
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(
+                "POST", "/v1/experiment",
+                body=json.dumps({**payload, "stream": True}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise ServeHTTPError(
+                    response.status, json.loads(response.read() or b"null")
+                )
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+
+@contextmanager
+def run_in_thread(**server_kwargs):
+    """Boot a server on a daemon thread; yield a bound :class:`ServeClient`.
+
+    The server gets its own event loop and an ephemeral port
+    (``port=0`` unless overridden).  On exit the server stops
+    gracefully -- thread pool drained, owned Session closed -- and the
+    thread is joined, so tests leak neither sockets nor pools.  The
+    yielded client exposes the live server as ``client.server`` for
+    white-box assertions (coalescer counters, admission state).
+    """
+    from .app import ReproServer
+
+    server_kwargs.setdefault("port", 0)
+    ready = threading.Event()
+    state: dict[str, object] = {}
+
+    def target() -> None:
+        async def main() -> None:
+            server = ReproServer(**server_kwargs)
+            await server.start()
+            state["server"] = server
+            state["loop"] = asyncio.get_running_loop()
+            ready.set()
+            await server.serve_forever()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # surface boot failures to the waiter
+            state["boot_error"] = exc
+            ready.set()
+
+    thread = threading.Thread(
+        target=target, name="repro-serve-harness", daemon=True
+    )
+    thread.start()
+    if not ready.wait(timeout=60) or "boot_error" in state:
+        raise ServeError(
+            f"server failed to start: {state.get('boot_error', 'timeout')}",
+            code="internal",
+            status=500,
+        )
+    server = state["server"]
+    loop = state["loop"]
+    client = ServeClient("127.0.0.1", server.port)
+    client.server = server
+    try:
+        yield client
+    finally:
+        loop.call_soon_threadsafe(server._stopping.set)
+        thread.join(timeout=60)

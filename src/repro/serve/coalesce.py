@@ -1,0 +1,109 @@
+"""In-flight request coalescing: identical concurrent work runs once.
+
+A serving tier in front of Monte-Carlo sweeps sees bursts of identical
+requests -- a dashboard refreshing, N clients asking for the same
+``(spec, model, metrics, trials, seed, backend)`` sweep at once.  The
+:class:`~repro.core.cache.SpecCache` already deduplicates *topologies*
+across requests; this module deduplicates the *work itself* while it
+is still running: the first request with a given canonical key becomes
+the **leader** and executes, every concurrent duplicate becomes a
+**follower** that awaits the leader's future, and all of them receive
+the same result object.  Followers never touch the worker pool, never
+occupy an admission slot, and -- because results are deterministic --
+are indistinguishable from having run themselves.
+
+The coalescer is a pure asyncio object (no locks): :meth:`join` and
+:meth:`lead`/:meth:`resolve` run on the event loop, and the
+check-then-register step in the server never awaits between the two,
+so there is no window where two leaders can start for one key.
+
+>>> import asyncio
+>>> async def demo():
+...     c = RequestCoalescer()
+...     assert c.join("k") is None          # nobody in flight: lead it
+...     fut = c.lead("k")
+...     follower = c.join("k")              # duplicate joins the flight
+...     c.resolve("k", fut, result=42)
+...     return await follower, c.stats()
+>>> asyncio.run(demo())
+(42, {'leaders': 1, 'followers': 1, 'in_flight': 0})
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["RequestCoalescer"]
+
+
+class RequestCoalescer:
+    """Single-flight execution keyed by canonical request strings.
+
+    Usage from a handler (all on the event loop, no await between
+    :meth:`join` returning ``None`` and :meth:`lead`)::
+
+        existing = coalescer.join(key)
+        if existing is not None:
+            return await existing           # follower
+        future = coalescer.lead(key)        # leader
+        try:
+            result = await run_the_work()
+        ...
+        coalescer.resolve(key, future, result=result)  # or error=exc
+        return result
+    """
+
+    def __init__(self) -> None:
+        self._in_flight: dict[str, asyncio.Future] = {}
+        self._leaders = 0
+        self._followers = 0
+
+    def join(self, key: str) -> asyncio.Future | None:
+        """The in-flight future for ``key``, or ``None`` (caller leads).
+
+        Counts a follower only when there IS a flight to join, so
+        ``stats()['followers']`` is exactly the number of requests that
+        skipped execution.
+        """
+        future = self._in_flight.get(key)
+        if future is not None:
+            self._followers += 1
+        return future
+
+    def lead(self, key: str) -> asyncio.Future:
+        """Register the caller as the leader for ``key``.
+
+        Raises ``RuntimeError`` if a flight already exists -- that
+        means the caller awaited between :meth:`join` and here, which
+        would silently duplicate work.
+        """
+        if key in self._in_flight:
+            raise RuntimeError(
+                f"flight already in progress for {key!r}; "
+                f"join() must be checked without awaiting before lead()"
+            )
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._in_flight[key] = future
+        self._leaders += 1
+        return future
+
+    def resolve(self, key, future, *, result=None, error=None) -> None:
+        """Complete the flight: wake every follower, clear the key."""
+        if self._in_flight.get(key) is future:
+            del self._in_flight[key]
+        if not future.done():
+            if error is not None:
+                future.set_exception(error)
+                # the leader re-raises its own exception; if no
+                # follower ever awaited, don't warn about it unseen
+                future.exception()
+            else:
+                future.set_result(result)
+
+    def stats(self) -> dict[str, int]:
+        """Counters: flights led, duplicates absorbed, currently open."""
+        return {
+            "leaders": self._leaders,
+            "followers": self._followers,
+            "in_flight": len(self._in_flight),
+        }
