@@ -8,6 +8,10 @@ serving-tier guarantees end to end over the wire:
    agreeing (exactly one execution happened).
 2. **Sharded determinism** -- an experiment run with ``shards=2`` and
    ``shards=3`` is byte-identical to the single-host run.
+3. **Observability** -- ``/metrics`` serves parseable Prometheus text
+   exposition with the expected families, every response carries an
+   ``X-Repro-Request-Id``, and ``--access-log`` writes one JSON line
+   per request.
 
 Finally the server is sent SIGTERM and must exit 0 with a silent
 stderr (graceful pool shutdown, no resource-tracker noise).
@@ -21,8 +25,10 @@ import json
 import signal
 import subprocess
 import sys
+import tempfile
 import threading
 import urllib.request
+from pathlib import Path
 
 CONCURRENT_DUPLICATES = 8
 
@@ -45,10 +51,36 @@ def get(port: int, path: str):
         return json.load(response)
 
 
+def scrape_metrics(port: int) -> dict[str, str]:
+    """GET /metrics; validate the exposition; return name -> kind."""
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/metrics", timeout=30
+    ) as response:
+        content_type = response.headers.get("Content-Type", "")
+        request_id = response.headers.get("X-Repro-Request-Id", "")
+        body = response.read().decode("utf-8")
+    assert content_type.startswith("text/plain; version=0.0.4"), content_type
+    assert len(request_id) == 16, f"bad request id {request_id!r}"
+    kinds: dict[str, str] = {}
+    for line in body.splitlines():
+        if line.startswith("# TYPE"):
+            _, _, name, kind = line.split()
+            kinds[name] = kind
+        elif line.startswith("# HELP") or not line.strip():
+            continue
+        else:  # every sample line must be "name[{labels}] number"
+            sample, _, value = line.rpartition(" ")
+            assert sample, f"malformed sample line {line!r}"
+            float(value)
+    return kinds
+
+
 def main() -> int:
+    access_log = Path(tempfile.mkstemp(suffix=".access.jsonl")[1])
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0",
-         "--workers", "0", "--concurrency", "4", "--queue-depth", "8"],
+         "--workers", "0", "--concurrency", "4", "--queue-depth", "8",
+         "--access-log", str(access_log)],
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
     )
     try:
@@ -57,7 +89,10 @@ def main() -> int:
         port = int(banner.rsplit(":", 1)[-1])
         print(f"[serve-smoke] {banner}")
 
-        assert get(port, "/healthz") == {"ok": True}
+        health = get(port, "/healthz")
+        assert health["ok"] is True, health
+        assert health["uptime_seconds"] >= 0, health
+        assert isinstance(health["version"], str) and health["version"]
 
         # 1. concurrent duplicates -> exactly one execution
         sweep = {"spec": "sk(2,2,2)", "trials": 500, "seed": 42,
@@ -100,6 +135,30 @@ def main() -> int:
             ), f"shards={shards} diverged from single-host"
         print("[serve-smoke] sharding OK: shards 2 and 3 == single-host")
 
+        # 3. observability: /metrics exposition + access log
+        kinds = scrape_metrics(port)
+        for family, kind in {
+            "repro_http_requests_total": "counter",
+            "repro_http_request_seconds": "histogram",
+            "repro_admission_active": "gauge",
+            "repro_coalescer_followers_total": "counter",
+            "repro_build_info": "gauge",
+        }.items():
+            assert kinds.get(family) == kind, (family, kinds.get(family))
+        log_lines = [
+            json.loads(line)
+            for line in access_log.read_text().splitlines()
+        ]
+        assert log_lines, "access log is empty"
+        assert all(
+            rec["status"] == 200 and len(rec["request_id"]) == 16
+            for rec in log_lines
+        ), log_lines[:3]
+        print(
+            f"[serve-smoke] observability OK: {len(kinds)} metric "
+            f"families, {len(log_lines)} access-log lines"
+        )
+
         proc.send_signal(signal.SIGTERM)
         code = proc.wait(timeout=60)
         stderr = proc.stderr.read()
@@ -111,6 +170,7 @@ def main() -> int:
         if proc.poll() is None:
             proc.kill()
             proc.wait(timeout=30)
+        access_log.unlink(missing_ok=True)
 
 
 if __name__ == "__main__":

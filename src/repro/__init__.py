@@ -68,6 +68,10 @@ Subpackages
     so ``repro.design_search(max_processors=48, ...)`` runs the
     search while ``repro.design_search.CostModel`` (and every import
     form) still reaches the namespace.
+:mod:`repro.obs`
+    Observability: process-wide metrics registry (Prometheus text
+    exposition), span tracing (Chrome trace-event export), structured
+    access logs -- all stdlib-only timing side channels.
 """
 
 from . import (
@@ -78,6 +82,7 @@ from . import (
     graphs,
     hypergraphs,
     networks,
+    obs,
     optical,
     resilience,
     routing,
@@ -237,6 +242,7 @@ __all__ = [
     "kautz_route",
     "make_fault_model",
     "networks",
+    "obs",
     "optical",
     "otis_for_kautz",
     "pooled_survivability_sweeps",

@@ -42,8 +42,33 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 
 from .core.spec import NetworkSpec, SpecError, _is_intlike as _is_int
+
+
+@contextmanager
+def _trace_to(path):
+    """Span-trace the wrapped command into a Chrome trace-event file.
+
+    ``path`` falsy: no-op (tracing stays disabled, zero overhead).
+    Otherwise every span the command emits -- sweep phases, chunk
+    dispatch, cache builds, design-search candidates -- lands in one
+    JSON file loadable by Perfetto / ``chrome://tracing``.
+    """
+    if not path:
+        yield
+        return
+    from .obs.trace import Tracer, disable_tracing, enable_tracing
+
+    tracer = Tracer()
+    enable_tracing(tracer)
+    try:
+        yield
+    finally:
+        disable_tracing()
+        tracer.export_chrome(path)
+        print(f"trace: {len(tracer)} events -> {path}", file=sys.stderr)
 
 
 def _bom_as_dict(bom) -> dict:
@@ -243,27 +268,28 @@ def _cmd_design_search(args: argparse.Namespace) -> int:
     from .core import design_search
 
     try:
-        result = design_search(
-            max_processors=args.max_processors,
-            min_processors=args.min_processors,
-            families=args.families,
-            model=args.model,
-            faults=args.faults,
-            trials=args.trials,
-            seed=args.seed,
-            workers=args.workers,
-            metrics=args.metrics,
-            workload=args.workload,
-            messages=args.messages,
-            max_coupler_degree=args.max_coupler_degree,
-            min_groups=args.min_groups,
-            max_groups=args.max_groups,
-            max_diameter=args.max_diameter,
-            min_margin_db=args.min_margin_db,
-            top=args.top,
-            parallelism=args.parallelism,
-            backend=args.backend,
-        )
+        with _trace_to(args.trace):
+            result = design_search(
+                max_processors=args.max_processors,
+                min_processors=args.min_processors,
+                families=args.families,
+                model=args.model,
+                faults=args.faults,
+                trials=args.trials,
+                seed=args.seed,
+                workers=args.workers,
+                metrics=args.metrics,
+                workload=args.workload,
+                messages=args.messages,
+                max_coupler_degree=args.max_coupler_degree,
+                min_groups=args.min_groups,
+                max_groups=args.max_groups,
+                max_diameter=args.max_diameter,
+                min_margin_db=args.min_margin_db,
+                top=args.top,
+                parallelism=args.parallelism,
+                backend=args.backend,
+            )
     except (SpecError, ValueError) as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -279,18 +305,19 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
 
     try:
         spec = NetworkSpec.from_argv(args.spec)
-        summary = resilience_sweep(
-            spec,
-            model=args.model,
-            faults=args.faults,
-            trials=args.trials,
-            seed=args.seed,
-            workers=args.workers,
-            workload=args.workload,
-            messages=args.messages,
-            metrics=args.metrics,
-            backend=args.backend,
-        )
+        with _trace_to(args.trace):
+            summary = resilience_sweep(
+                spec,
+                model=args.model,
+                faults=args.faults,
+                trials=args.trials,
+                seed=args.seed,
+                workers=args.workers,
+                workload=args.workload,
+                messages=args.messages,
+                metrics=args.metrics,
+                backend=args.backend,
+            )
     except (SpecError, ValueError) as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -306,17 +333,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
     try:
         specs = [NetworkSpec.parse(s) for s in args.specs]
-        result = experiment(
-            specs,
-            models=args.models,
-            metrics=args.metrics,
-            trials=args.trials,
-            seed=args.seed,
-            workers=args.workers,
-            backend=args.backend,
-            workload=args.workload,
-            messages=args.messages,
-        )
+        with _trace_to(args.trace):
+            result = experiment(
+                specs,
+                models=args.models,
+                metrics=args.metrics,
+                trials=args.trials,
+                seed=args.seed,
+                workers=args.workers,
+                backend=args.backend,
+                workload=args.workload,
+                messages=args.messages,
+            )
     except (SpecError, ValueError) as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -381,6 +409,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             concurrency=args.concurrency,
             queue_depth=args.queue_depth,
             shards=args.shards,
+            access_log=args.access_log,
             ready=lambda port: print(
                 f"serving on http://{args.host}:{port}", flush=True
             ),
@@ -425,9 +454,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     try:
         specs = [NetworkSpec.parse(s) for s in args.specs]
-        result = sweep(
-            specs, args.workloads, messages=args.messages, seed=args.seed
-        )
+        with _trace_to(args.trace):
+            result = sweep(
+                specs, args.workloads, messages=args.messages, seed=args.seed
+            )
     except (SpecError, ValueError) as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -444,6 +474,10 @@ def build_parser() -> argparse.ArgumentParser:
     from .resilience import METRICS_MODES, SWEEP_BACKENDS
 
     metrics_modes = tuple(METRICS_MODES)
+    trace_help = (
+        "write a Chrome trace-event JSON of the run's spans to PATH "
+        "(open in Perfetto or chrome://tracing; results are unchanged)"
+    )
     parser = argparse.ArgumentParser(
         prog="repro",
         description="OTIS-based multi-OPS lightwave network toolkit",
@@ -588,6 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="batched",
         help="trial executor for the per-candidate sweeps",
     )
+    p.add_argument("--trace", default=None, metavar="PATH", help=trace_help)
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_design_search)
 
@@ -640,6 +675,7 @@ def build_parser() -> argparse.ArgumentParser:
             "reference path)"
         ),
     )
+    p.add_argument("--trace", default=None, metavar="PATH", help=trace_help)
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_resilience)
 
@@ -699,6 +735,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=60,
         help="messages per trial (metrics=full cells only)",
     )
+    p.add_argument("--trace", default=None, metavar="PATH", help=trace_help)
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_experiment)
 
@@ -760,6 +797,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="default subprocess count for experiment requests "
         "(0: run on the shared session in-process)",
     )
+    p.add_argument(
+        "--access-log",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="structured JSON access log, one line per request "
+        "(append to PATH; bare --access-log writes to stderr)",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("compare", help="equal-N design comparison table")
@@ -783,6 +829,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--messages", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", default=None, metavar="PATH", help=trace_help)
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_sweep)
 

@@ -39,7 +39,11 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from ..obs.metrics import REGISTRY
+from ..obs.trace import span
 from .spec import NetworkSpec
+
+_CACHE_OPS_HELP = "Spec-cache lookups by outcome"
 
 __all__ = ["CacheEntry", "CacheStats", "SpecCache"]
 
@@ -202,12 +206,25 @@ class SpecCache:
             if cached is not None:
                 self.stats.hits += 1
                 self._entries.move_to_end(key)
+                REGISTRY.counter(
+                    "repro_cache_ops_total", _CACHE_OPS_HELP,
+                    {"outcome": "hit"},
+                ).inc()
                 return cached
             self.stats.misses += 1
-            fresh = CacheEntry(parsed)
+            REGISTRY.counter(
+                "repro_cache_ops_total", _CACHE_OPS_HELP,
+                {"outcome": "miss"},
+            ).inc()
+            with span("cache.build", spec=key):
+                fresh = CacheEntry(parsed)
             while len(self._entries) >= self.maxsize:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+                REGISTRY.counter(
+                    "repro_cache_ops_total", _CACHE_OPS_HELP,
+                    {"outcome": "eviction"},
+                ).inc()
             self._entries[key] = fresh
             return fresh
 

@@ -343,6 +343,7 @@ class Session:
         :func:`~repro.resilience.sweep.survivability_sweep`.
         """
         self._check_open()
+        from ..obs.trace import span
         from ..resilience.sweep import _prepare_sweep, _summarize
 
         entry = self._cache.entry(spec)
@@ -356,28 +357,34 @@ class Session:
                 max_slots=max_slots,
             )
         ) if metrics == "full" else None
-        prepared = _prepare_sweep(
-            entry.spec,
-            model,
-            faults=faults,
-            trials=trials,
-            seed=seed,
-            workload=workload,
-            messages=messages,
-            bound=bound,
-            max_slots=max_slots,
-            metrics=metrics,
-            backend=backend,
-            _net=entry.network,
-            _baseline=baseline,
-        )
+        with span("sweep.prepare", spec=entry.canonical, trials=trials,
+                  backend=backend):
+            prepared = _prepare_sweep(
+                entry.spec,
+                model,
+                faults=faults,
+                trials=trials,
+                seed=seed,
+                workload=workload,
+                messages=messages,
+                bound=bound,
+                max_slots=max_slots,
+                metrics=metrics,
+                backend=backend,
+                _net=entry.network,
+                _baseline=baseline,
+            )
         executor = self._executor_for(self._effective_workers(workers))
         arrays = (
             entry.arrays()
             if backend == "vectorized" and not executor.parallel
             else None
         )
-        return _summarize(prepared, executor.run(prepared, arrays=arrays))
+        with span("sweep.execute", spec=entry.canonical, trials=trials,
+                  backend=backend):
+            rows = executor.run(prepared, arrays=arrays)
+        with span("sweep.summarize", spec=entry.canonical, trials=trials):
+            return _summarize(prepared, rows)
 
     def pooled_survivability_sweeps(self, requests, *, workers=_UNSET):
         """Many sweeps on one persistent pool (request-order summaries).
@@ -461,6 +468,7 @@ class Session:
         self._check_open()
         from dataclasses import replace
 
+        from ..obs.trace import span
         from ..resilience.sweep import _prepare_sweep, _summarize
         from .experiment import ExperimentCell, ExperimentResult
 
@@ -468,50 +476,56 @@ class Session:
         executor = self._executor_for(self._effective_workers(workers))
         prepared_list = []
         arrays_list = []
-        for request in cells_meta:
-            entry = self._cache.entry(request["spec"])
-            baseline = (
-                lambda entry=entry, request=request: entry.baseline(
+        with span("experiment.prepare", cells=len(cells_meta)):
+            for request in cells_meta:
+                entry = self._cache.entry(request["spec"])
+                baseline = (
+                    lambda entry=entry, request=request: entry.baseline(
+                        workload=request["workload"],
+                        messages=request["messages"],
+                        seed=request["seed"],
+                        max_slots=request["max_slots"],
+                    )
+                ) if request["metrics"] == "full" else None
+                prepared = _prepare_sweep(
+                    entry.spec,
+                    request["model"],
+                    trials=request["trials"],
+                    seed=request["seed"],
                     workload=request["workload"],
                     messages=request["messages"],
-                    seed=request["seed"],
+                    bound=request["bound"],
                     max_slots=request["max_slots"],
+                    metrics=request["metrics"],
+                    backend=request["backend"],
+                    _net=entry.network,
+                    _baseline=baseline,
                 )
-            ) if request["metrics"] == "full" else None
-            prepared = _prepare_sweep(
-                entry.spec,
-                request["model"],
-                trials=request["trials"],
-                seed=request["seed"],
-                workload=request["workload"],
-                messages=request["messages"],
-                bound=request["bound"],
-                max_slots=request["max_slots"],
-                metrics=request["metrics"],
-                backend=request["backend"],
-                _net=entry.network,
-                _baseline=baseline,
+                if executor.parallel:
+                    prepared = replace(prepared, net=None)
+                prepared_list.append(prepared)
+                arrays_list.append(
+                    entry.arrays()
+                    if request["backend"] == "vectorized"
+                    and not executor.parallel
+                    else None
+                )
+        with span("experiment.execute", cells=len(prepared_list)):
+            rows_lists = executor.run_many(
+                prepared_list, arrays_list=arrays_list
             )
-            if executor.parallel:
-                prepared = replace(prepared, net=None)
-            prepared_list.append(prepared)
-            arrays_list.append(
-                entry.arrays()
-                if request["backend"] == "vectorized" and not executor.parallel
-                else None
+        with span("experiment.summarize", cells=len(prepared_list)):
+            cells = tuple(
+                ExperimentCell(
+                    spec=prepared.plan.canonical,
+                    model=prepared.plan.model.key,
+                    faults=prepared.plan.model.faults,
+                    metrics=prepared.plan.metrics,
+                    backend=prepared.plan.backend,
+                    summary=_summarize(prepared, rows),
+                )
+                for prepared, rows in zip(prepared_list, rows_lists)
             )
-        rows_lists = executor.run_many(prepared_list, arrays_list=arrays_list)
-        cells = tuple(
-            ExperimentCell(
-                spec=prepared.plan.canonical,
-                model=prepared.plan.model.key,
-                faults=prepared.plan.model.faults,
-                metrics=prepared.plan.metrics,
-                backend=prepared.plan.backend,
-                summary=_summarize(prepared, rows),
-            )
-            for prepared, rows in zip(prepared_list, rows_lists)
-        )
         return ExperimentResult(experiment=experiment, cells=cells)
 
 

@@ -29,6 +29,8 @@ from dataclasses import dataclass, field, fields, replace
 
 from ..core.registry import family_keys, get_family
 from ..core.spec import NetworkSpec
+from ..obs.metrics import REGISTRY
+from ..obs.trace import span
 from ..resilience.sweep import (
     METRICS_MODES,
     SWEEP_BACKENDS,
@@ -362,71 +364,90 @@ def design_search(
     requests: list[dict] = []
     summaries = []
     skipped_underfaulted: list[str] = []
+    def _count(outcome: str) -> None:
+        REGISTRY.counter(
+            "repro_design_candidates_total",
+            "Design-search candidates by outcome",
+            {"outcome": outcome},
+        ).inc()
+
     enumerator = enumerate_candidates if _enumerator is None else _enumerator
-    for spec in enumerator(
-        max_processors=max_processors,
-        min_processors=min_processors,
-        families=keys,
-    ):
-        net = spec.build()
-        if max_coupler_degree is not None and net.coupler_degree > max_coupler_degree:
-            continue
-        if min_groups is not None and net.num_groups < min_groups:
-            continue
-        if max_groups is not None and net.num_groups > max_groups:
-            continue
-        if max_diameter is not None and net.diameter > max_diameter:
-            continue
-        # a machine too small to absorb the requested intensity would be
-        # swept with silently capped (even zero) faults and score as
-        # immune -- skip it instead of letting it dominate the front
-        capacity = fault_model.max_faults(net)
-        if capacity is not None and capacity < fault_model.faults:
-            skipped_underfaulted.append(spec.canonical())
-            continue
-        dsg = spec.design()
-        margin = round(dsg.worst_case_power_budget().margin_db(), 4)
-        if min_margin_db is not None and margin < min_margin_db:
-            continue
-        cost = pricing.price(dsg.bill_of_materials())
-        if cost <= 0:
-            raise ValueError(
-                f"cost model prices {spec} at {cost}; survivability-per-"
-                f"cost ranking needs every candidate priced > 0"
-            )
-        shape = (
-            net.num_processors,
-            net.num_groups,
-            net.coupler_degree,
-            net.diameter,
+    with span("design_search.enumerate", max_processors=max_processors,
+              families=",".join(keys)):
+        window = enumerator(
+            max_processors=max_processors,
+            min_processors=min_processors,
+            families=keys,
         )
-        records.append((spec, shape, cost, margin))
-        if pooled:
-            # no _net here: the pooled executor rebuilds (and, for the
-            # vectorized backend, exports + releases) each candidate's
-            # network one at a time, so no side retains the window's
-            # built networks (vectorized shm arrays, far smaller, live
-            # for the pool run)
-            requests.append(dict(spec=spec, model=fault_model, **sweep_kw))
-        else:
-            summaries.append(
-                survivability_sweep(
-                    spec,
-                    fault_model,
-                    workers=workers,
-                    _net=net,
-                    _executor=_executor,
-                    **sweep_kw,
+    for spec in window:
+        with span("design_search.candidate", spec=spec.canonical()):
+            net = spec.build()
+            if (
+                max_coupler_degree is not None
+                and net.coupler_degree > max_coupler_degree
+                or min_groups is not None and net.num_groups < min_groups
+                or max_groups is not None and net.num_groups > max_groups
+                or max_diameter is not None and net.diameter > max_diameter
+            ):
+                _count("filtered")
+                continue
+            # a machine too small to absorb the requested intensity
+            # would be swept with silently capped (even zero) faults
+            # and score as immune -- skip it instead of letting it
+            # dominate the front
+            capacity = fault_model.max_faults(net)
+            if capacity is not None and capacity < fault_model.faults:
+                skipped_underfaulted.append(spec.canonical())
+                _count("underfaulted")
+                continue
+            dsg = spec.design()
+            margin = round(dsg.worst_case_power_budget().margin_db(), 4)
+            if min_margin_db is not None and margin < min_margin_db:
+                _count("filtered")
+                continue
+            cost = pricing.price(dsg.bill_of_materials())
+            if cost <= 0:
+                raise ValueError(
+                    f"cost model prices {spec} at {cost}; survivability-"
+                    f"per-cost ranking needs every candidate priced > 0"
                 )
+            shape = (
+                net.num_processors,
+                net.num_groups,
+                net.coupler_degree,
+                net.diameter,
             )
+            records.append((spec, shape, cost, margin))
+            _count("evaluated")
+            if pooled:
+                # no _net here: the pooled executor rebuilds (and, for
+                # the vectorized backend, exports + releases) each
+                # candidate's network one at a time, so no side retains
+                # the window's built networks (vectorized shm arrays,
+                # far smaller, live for the pool run)
+                requests.append(
+                    dict(spec=spec, model=fault_model, **sweep_kw)
+                )
+            else:
+                summaries.append(
+                    survivability_sweep(
+                        spec,
+                        fault_model,
+                        workers=workers,
+                        _net=net,
+                        _executor=_executor,
+                        **sweep_kw,
+                    )
+                )
 
     if pooled:
         # one shared pool over every candidate's trial batches: the
         # summaries are byte-identical to per-sweep execution, only
         # the scheduling changes
-        summaries = pooled_survivability_sweeps(
-            requests, workers=workers, executor=_executor
-        )
+        with span("design_search.pooled_sweeps", candidates=len(requests)):
+            summaries = pooled_survivability_sweeps(
+                requests, workers=workers, executor=_executor
+            )
 
     evaluated: list[DesignCandidate] = []
     for (spec, shape, cost, margin), summary in zip(records, summaries):
@@ -450,11 +471,12 @@ def design_search(
                 ),
             )
         )
-    front = _pareto_front(evaluated)
-    ranked = sorted(
-        (replace(c, pareto=c.spec in front) for c in evaluated),
-        key=lambda c: (-c.survivability_per_kilocost, c.cost, c.spec),
-    )
+    with span("design_search.rank", candidates=len(evaluated)):
+        front = _pareto_front(evaluated)
+        ranked = sorted(
+            (replace(c, pareto=c.spec in front) for c in evaluated),
+            key=lambda c: (-c.survivability_per_kilocost, c.cost, c.spec),
+        )
     # the front is reported over the FULL evaluated set; `top` only
     # trims the candidate table
     pareto = tuple(c.spec for c in ranked if c.pareto)

@@ -1,0 +1,58 @@
+"""Structured JSON access logs and request-id generation for serving.
+
+One :class:`AccessLogger` per server writes one JSON object per line
+(sorted keys, flushed) so the log is greppable, ``jq``-able, and safe
+under concurrent writers.  :func:`new_request_id` mints the short hex
+ids the server echoes as ``X-Repro-Request-Id`` and attaches to spans,
+tying a log line, a trace span, and a client-visible header to the
+same request.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import uuid
+
+__all__ = ["AccessLogger", "new_request_id"]
+
+
+def new_request_id() -> str:
+    """A 16-hex-char unique request id."""
+    return uuid.uuid4().hex[:16]
+
+
+class AccessLogger:
+    """Writes one sorted-key JSON object per line to a sink.
+
+    ``target`` is ``"-"`` for stderr, a path (opened for append), or
+    any file-like object with ``write``.  Lines are emitted under a
+    lock and flushed immediately, so entries from concurrent
+    connections never interleave and are visible as they happen.
+    """
+
+    def __init__(self, target="-") -> None:
+        self._lock = threading.Lock()
+        self._owns_handle = False
+        if target == "-" or target is None:
+            self._handle = sys.stderr
+        elif hasattr(target, "write"):
+            self._handle = target
+        else:
+            self._handle = open(target, "a", encoding="utf-8")
+            self._owns_handle = True
+
+    def log(self, **fields) -> None:
+        """Emit one JSON log line with the given fields."""
+        line = json.dumps(fields, sort_keys=True, default=str)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying handle if this logger opened it."""
+        if self._owns_handle:
+            with self._lock:
+                self._handle.close()
+                self._owns_handle = False

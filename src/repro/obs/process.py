@@ -1,0 +1,53 @@
+"""Process-level facts for health probes: uptime, RSS, version.
+
+``/healthz`` and ``/stats`` report these so probes can detect restarts
+(uptime reset), leaks (RSS growth), and mixed deployments (version
+skew).  RSS is read from ``/proc/self/statm`` where available, falling
+back to ``resource.getrusage`` peak RSS elsewhere.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+__all__ = ["uptime_seconds", "rss_bytes", "process_info"]
+
+_START_TIME = time.time()
+
+try:
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (AttributeError, ValueError, OSError):  # pragma: no cover
+    _PAGE_SIZE = 4096
+
+
+def uptime_seconds() -> float:
+    """Seconds since this module was first imported in this process."""
+    return time.time() - _START_TIME
+
+
+def rss_bytes() -> int:
+    """Resident set size in bytes (0 if unknowable on this platform)."""
+    try:
+        with open("/proc/self/statm", encoding="ascii") as handle:
+            return int(handle.read().split()[1]) * _PAGE_SIZE
+    except (OSError, ValueError, IndexError):
+        pass
+    try:  # pragma: no cover - non-Linux fallback
+        import resource
+
+        peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return int(peak_kb) * 1024
+    except Exception:  # pragma: no cover
+        return 0
+
+
+def process_info() -> dict:
+    """``{uptime_seconds, rss_bytes, version}`` for probes."""
+    from repro import __version__
+
+    return {
+        "uptime_seconds": round(uptime_seconds(), 3),
+        "rss_bytes": rss_bytes(),
+        "version": __version__,
+    }

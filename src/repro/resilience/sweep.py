@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 import random
 import threading
 from collections import OrderedDict
@@ -63,6 +64,8 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..obs.metrics import REGISTRY, reset_worker_registry, worker_registry
+from ..obs.trace import add_complete_event, now_us, span
 from .degrade import DegradedNetwork
 from .faults import FaultModel, make_fault_model, trial_seed
 from .metrics import connectivity_metrics, measure, path_survival
@@ -686,6 +689,90 @@ def _make_context(plan: _SweepPlan, net=None, arrays=None):
     return _TrialContext(plan, net=net)
 
 
+# -- chunk observation (fork-aware metrics + shipped timings) ---------
+#: Help strings of the sweep metric families, parent- and worker-side.
+_CHUNKS_HELP = "Sweep trial chunks executed"
+_TRIALS_HELP = "Monte-Carlo trials executed"
+_RUN_HELP = "Wall time of one sweep trial chunk"
+_WAIT_HELP = "Queue wait between chunk dispatch and worker pickup"
+
+
+def _observed_range(ctx, start: int, stop: int):
+    """``(rows, meta)`` of a trial range, with the worker's obs delta.
+
+    Workers always measure (two clock reads per multi-trial chunk --
+    noise) and record into the per-process worker registry; ``meta``
+    ships the drained registry delta plus the chunk's wall window home
+    with the rows.  The parent merges the delta into the global
+    registry and decides whether a tracer turns the timings into
+    events -- the tracing flag never propagates to workers, and the
+    rows themselves are untouched either way.
+    """
+    labels = {"backend": ctx.plan.backend}
+    registry = worker_registry()
+    start_us = now_us()
+    rows = ctx.run_range(start, stop)
+    duration_us = now_us() - start_us
+    registry.counter("repro_sweep_chunks_total", _CHUNKS_HELP, labels).inc()
+    registry.counter("repro_sweep_trials_total", _TRIALS_HELP, labels).inc(
+        stop - start
+    )
+    registry.histogram(
+        "repro_sweep_chunk_run_seconds", _RUN_HELP, labels
+    ).observe(duration_us / 1e6)
+    meta = {
+        "metrics": registry.drain(),
+        "start_us": start_us,
+        "dur_us": duration_us,
+        "pid": os.getpid(),
+        "trials": stop - start,
+        "backend": ctx.plan.backend,
+    }
+    return rows, meta
+
+
+def _absorb_chunk_metas(metas, dispatched_us: int | None = None) -> None:
+    """Merge shipped worker deltas into the parent's global registry.
+
+    Every merge operation is commutative, so the totals are identical
+    for any worker count and chunk completion order.  With a dispatch
+    timestamp the parent also derives per-chunk queue wait (dispatch
+    -> worker pickup); with a tracer active each chunk becomes a
+    ``sweep.chunk`` event on the worker's own pid row of the timeline.
+    """
+    for meta in metas:
+        if not meta:
+            continue
+        REGISTRY.merge(meta["metrics"])
+        if dispatched_us is not None:
+            wait = max(meta["start_us"] - dispatched_us, 0) / 1e6
+            REGISTRY.histogram(
+                "repro_sweep_queue_wait_seconds",
+                _WAIT_HELP,
+                {"backend": meta["backend"]},
+            ).observe(wait)
+        add_complete_event(
+            "sweep.chunk",
+            meta["start_us"],
+            meta["dur_us"],
+            args={"trials": meta["trials"], "backend": meta["backend"]},
+            pid=meta["pid"],
+            tid=0,
+        )
+
+
+def _observe_inline_run(plan: _SweepPlan, trials: int, seconds: float) -> None:
+    """Record one inline (in-parent) run as a single chunk observation."""
+    labels = {"backend": plan.backend}
+    REGISTRY.counter("repro_sweep_chunks_total", _CHUNKS_HELP, labels).inc()
+    REGISTRY.counter("repro_sweep_trials_total", _TRIALS_HELP, labels).inc(
+        trials
+    )
+    REGISTRY.histogram(
+        "repro_sweep_chunk_run_seconds", _RUN_HELP, labels
+    ).observe(seconds)
+
+
 _WORKER_CTX = None
 _WORKER_SHM: list[shared_memory.SharedMemory] = []
 
@@ -693,6 +780,7 @@ _WORKER_SHM: list[shared_memory.SharedMemory] = []
 def _init_sweep_worker(plan: _SweepPlan, shared_meta=None) -> None:
     """Pool initializer: build the shared trial context once per process."""
     global _WORKER_CTX, _WORKER_SHM
+    reset_worker_registry()  # drop fork-inherited parent state
     if shared_meta is not None:
         arrays, _WORKER_SHM = _attach_shared(shared_meta)
         _WORKER_CTX = _VectorContext(plan, arrays)
@@ -700,10 +788,14 @@ def _init_sweep_worker(plan: _SweepPlan, shared_meta=None) -> None:
         _WORKER_CTX = _make_context(plan)
 
 
-def _run_sweep_chunk(index_range: tuple[int, int]) -> list[dict[str, object]]:
-    """Run a contiguous range of trials on the process-local context."""
+def _run_sweep_chunk(index_range: tuple[int, int]):
+    """Run a contiguous range of trials on the process-local context.
+
+    Returns ``(rows, meta)`` -- the trial rows plus the worker's
+    observation delta (see :func:`_observed_range`).
+    """
     assert _WORKER_CTX is not None, "sweep worker used before initialization"
-    return _WORKER_CTX.run_range(*index_range)
+    return _observed_range(_WORKER_CTX, *index_range)
 
 
 _POOL_PLANS: tuple[_SweepPlan, ...] | None = None
@@ -725,6 +817,7 @@ _POOL_CTX_CACHE = 8
 def _init_pool_worker(plans: tuple[_SweepPlan, ...], shared_metas) -> None:
     """Pool initializer for the many-sweeps-one-pool executor."""
     global _POOL_PLANS, _POOL_METAS, _POOL_CTXS, _POOL_SHM
+    reset_worker_registry()  # drop fork-inherited parent state
     _POOL_PLANS = plans
     _POOL_METAS = shared_metas
     _POOL_CTXS = {}
@@ -736,7 +829,8 @@ def _run_pool_chunk(task: tuple[int, int, int]):
 
     Vectorized plans come with a shared-memory meta: the worker
     attaches the parent's topology arrays (views, not copies) instead
-    of rebuilding the candidate's network.
+    of rebuilding the candidate's network.  Returns
+    ``(plan_index, start, rows, obs_meta)``.
     """
     assert _POOL_PLANS is not None, "pool worker used before initialization"
     plan_index, start, stop = task
@@ -753,7 +847,8 @@ def _run_pool_chunk(task: tuple[int, int, int]):
         while len(_POOL_CTXS) >= _POOL_CTX_CACHE:
             _POOL_CTXS.pop(next(iter(_POOL_CTXS)))
         _POOL_CTXS[plan_index] = ctx
-    return plan_index, start, ctx.run_range(start, stop)
+    rows, obs_meta = _observed_range(ctx, start, stop)
+    return plan_index, start, rows, obs_meta
 
 
 def _index_chunks(trials: int, workers: int) -> list[tuple[int, int]]:
@@ -776,6 +871,7 @@ _PERSIST_LIMIT = _PERSIST_CTX_CACHE
 def _init_persistent_worker(context_cache: int) -> None:
     """Pool initializer: an empty per-process plan-keyed context cache."""
     global _PERSIST_CTXS, _PERSIST_LIMIT
+    reset_worker_registry()  # drop fork-inherited parent state
     _PERSIST_CTXS = OrderedDict()
     _PERSIST_LIMIT = context_cache
 
@@ -811,7 +907,8 @@ def _run_persistent_chunk(task: tuple[int, _SweepPlan, int, int]):
     """
     index, plan, start, stop = task
     ctx = _cached_context(_PERSIST_CTXS, _PERSIST_LIMIT, plan)
-    return index, start, ctx.run_range(start, stop)
+    rows, obs_meta = _observed_range(ctx, start, stop)
+    return index, start, rows, obs_meta
 
 
 class PersistentSweepExecutor:
@@ -923,12 +1020,17 @@ class PersistentSweepExecutor:
                     net=prepared.net,
                     arrays=arrays,
                 )
-            return ctx.run_range(0, trials)
+            start_us = now_us()
+            rows = ctx.run_range(0, trials)
+            _observe_inline_run(plan, trials, (now_us() - start_us) / 1e6)
+            return rows
         tasks = [
             (0, plan, lo, hi) for lo, hi in _index_chunks(trials, self.workers)
         ]
+        dispatched_us = now_us()
         chunks = self._pool_map(_run_persistent_chunk, tasks)
-        return [row for _, _, rows in chunks for row in rows]
+        _absorb_chunk_metas((meta for _, _, _, meta in chunks), dispatched_us)
+        return [row for _, _, rows, _ in chunks for row in rows]
 
     def run_many(
         self, prepared_list: list[_PreparedSweep], *, arrays_list=None
@@ -951,9 +1053,11 @@ class PersistentSweepExecutor:
             for i, p in enumerate(prepared_list)
             for lo, hi in _index_chunks(p.trials, self.workers)
         ]
+        dispatched_us = now_us()
         results = self._pool_map(_run_persistent_chunk, tasks)
+        _absorb_chunk_metas((meta for _, _, _, meta in results), dispatched_us)
         by_sweep: list[dict[int, list[dict]]] = [{} for _ in prepared_list]
-        for index, start, rows in results:
+        for index, start, rows, _meta in results:
             by_sweep[index][start] = rows
         return [
             [row for start in sorted(g) for row in g[start]] for g in by_sweep
@@ -1222,7 +1326,11 @@ def _execute(
         return [_run_trial(t) for t in tasks]
     if not parallel:
         ctx = _make_context(plan, net=prepared.net)
-        return ctx.run_range(0, trials)
+        start_us = now_us()
+        rows = ctx.run_range(0, trials)
+        _observe_inline_run(plan, trials, (now_us() - start_us) / 1e6)
+        return rows
+    dispatched_us = now_us()
     if plan.backend == "vectorized":
         # topology arrays go into shared memory once; workers attach
         meta, handles = _export_shared(
@@ -1244,7 +1352,8 @@ def _execute(
             initargs=(plan,),
         ) as pool:
             chunks = pool.map(_run_sweep_chunk, _index_chunks(trials, workers))
-    return [row for chunk in chunks for row in chunk]
+    _absorb_chunk_metas((meta for _, meta in chunks), dispatched_us)
+    return [row for rows, _ in chunks for row in rows]
 
 
 def survivability_sweep(
@@ -1305,21 +1414,27 @@ def survivability_sweep(
     >>> v.to_json() == c.to_json()
     True
     """
-    prepared = _prepare_sweep(
-        spec,
-        model,
-        faults=faults,
-        trials=trials,
-        seed=seed,
-        workload=workload,
-        messages=messages,
-        bound=bound,
-        max_slots=max_slots,
-        metrics=metrics,
-        backend=backend,
-        _net=_net,
-    )
-    return _summarize(prepared, _execute(prepared, workers, _executor))
+    with span("sweep.prepare", spec=str(spec), trials=trials,
+              backend=backend):
+        prepared = _prepare_sweep(
+            spec,
+            model,
+            faults=faults,
+            trials=trials,
+            seed=seed,
+            workload=workload,
+            messages=messages,
+            bound=bound,
+            max_slots=max_slots,
+            metrics=metrics,
+            backend=backend,
+            _net=_net,
+        )
+    with span("sweep.execute", spec=prepared.plan.canonical, trials=trials,
+              backend=prepared.plan.backend):
+        rows = _execute(prepared, workers, _executor)
+    with span("sweep.summarize", spec=prepared.plan.canonical, trials=trials):
+        return _summarize(prepared, rows)
 
 
 def _reject_legacy_pooled(prepared: _PreparedSweep) -> None:
@@ -1429,6 +1544,7 @@ def pooled_survivability_sweeps(
             for start, stop in _index_chunks(p.trials, workers)
         ]
         plans = tuple(p.plan for p in prepared)
+        dispatched_us = now_us()
         with multiprocessing.Pool(
             processes=workers,
             initializer=_init_pool_worker,
@@ -1437,8 +1553,9 @@ def pooled_survivability_sweeps(
             results = pool.map(_run_pool_chunk, tasks)
     finally:
         _release_shared(handles)
+    _absorb_chunk_metas((meta for _, _, _, meta in results), dispatched_us)
     rows_by_sweep: list[dict[int, list[dict]]] = [{} for _ in prepared]
-    for plan_index, start, rows in results:
+    for plan_index, start, rows, _meta in results:
         rows_by_sweep[plan_index][start] = rows
     summaries = []
     for index, p in enumerate(prepared):

@@ -24,10 +24,18 @@ framework dependency), one process, three layers:
    worker subprocesses instead (:mod:`repro.serve.shard`) and can
    stream cells as NDJSON.
 
+Every request carries a generated id (echoed as ``X-Repro-Request-Id``
+and attached to spans and access-log lines), is timed into per-endpoint
+latency histograms, and -- with ``--access-log`` -- emits one
+structured JSON log line.  ``GET /metrics`` exposes the server's and
+the process's instruments in Prometheus text exposition format.
+
 Endpoints::
 
-    GET  /healthz      liveness probe
+    GET  /healthz      liveness probe (+ uptime / RSS / version)
     GET  /stats        admission / coalescing / cache / pool counters
+                       + per-endpoint latency summaries
+    GET  /metrics      Prometheus text exposition
     POST /v1/describe  POST /v1/sweep  POST /v1/design-search
     POST /v1/experiment   (``"stream": true`` -> NDJSON cell stream)
 """
@@ -37,8 +45,14 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
+from ..obs.logging import AccessLogger, new_request_id
+from ..obs.metrics import REGISTRY, MetricsRegistry
+from ..obs.process import process_info
+from ..obs.trace import add_complete_event, now_us, span
 from .protocol import (
     ServeError,
     request_key,
@@ -57,6 +71,24 @@ MAX_BODY = 4 * 1024 * 1024
 MAX_HEAD = 64 * 1024
 
 _JSON_HEADERS = {"Content-Type": "application/json"}
+#: ``Content-Type`` of the Prometheus text exposition format.
+_METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+#: The endpoints that get their own metric label; anything else
+#: (typos, scanners) collapses into ``other`` so label cardinality
+#: stays bounded no matter what clients throw at the socket.
+_KNOWN_ENDPOINTS = frozenset(
+    {
+        "/healthz",
+        "/stats",
+        "/metrics",
+        "/v1/describe",
+        "/v1/sweep",
+        "/v1/design-search",
+        "/v1/experiment",
+    }
+)
+_REQUESTS_HELP = "HTTP requests by endpoint and status"
+_LATENCY_HELP = "HTTP request wall time by endpoint"
 _STATUS_TEXT = {
     200: "OK",
     400: "Bad Request",
@@ -75,9 +107,12 @@ def _dumps(payload) -> bytes:
 class _Admission:
     """Slot counter: ``concurrency + queue_depth`` admitted at most.
 
-    Pure event-loop object (no locks needed): ``try_acquire`` /
-    ``release`` only run on the loop thread.  Rejections are counted,
-    never queued -- the bounded queue is the executor's own.
+    Mutations happen on the event loop, but counters are *read* from
+    other threads too (``/stats`` snapshots in tests and benchmarks,
+    the metrics renderer), so every access goes through one lock --
+    :meth:`stats` is an atomic snapshot, never a torn mid-update view.
+    Rejections are counted, never queued -- the bounded queue is the
+    executor's own.
     """
 
     def __init__(self, concurrency: int, queue_depth: int) -> None:
@@ -85,25 +120,29 @@ class _Admission:
         self.active = 0
         self.admitted = 0
         self.rejected = 0
+        self._lock = threading.Lock()
 
     def try_acquire(self) -> bool:
-        if self.active >= self.capacity:
-            self.rejected += 1
-            return False
-        self.active += 1
-        self.admitted += 1
-        return True
+        with self._lock:
+            if self.active >= self.capacity:
+                self.rejected += 1
+                return False
+            self.active += 1
+            self.admitted += 1
+            return True
 
     def release(self) -> None:
-        self.active -= 1
+        with self._lock:
+            self.active -= 1
 
     def stats(self) -> dict[str, int]:
-        return {
-            "capacity": self.capacity,
-            "active": self.active,
-            "admitted": self.admitted,
-            "rejected": self.rejected,
-        }
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "active": self.active,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+            }
 
 
 class ReproServer:
@@ -113,7 +152,9 @@ class ReproServer:
     size); ``queue_depth`` bounds how many more may wait; ``workers``
     is the Session's sweep-pool size (``None``: its auto default);
     ``shards`` the default subprocess count for sharded experiments
-    (0: run experiments on the shared session in-process).
+    (0: run experiments on the shared session in-process);
+    ``access_log`` enables structured JSON access logging (``"-"`` for
+    stderr, a path, or a file-like object).
     """
 
     def __init__(
@@ -126,6 +167,7 @@ class ReproServer:
         concurrency: int = 4,
         queue_depth: int = 8,
         shards: int = 0,
+        access_log=None,
     ) -> None:
         from ..core.session import Session
 
@@ -140,6 +182,18 @@ class ReproServer:
         self.session = Session(workers=workers) if session is None else session
         self.coalescer = RequestCoalescer()
         self.admission = _Admission(concurrency, queue_depth)
+        #: the server's own HTTP instruments (``repro_http_*``); sweep
+        #: and cache families live in the process-wide global registry,
+        #: and ``/metrics`` renders the union of both
+        self.metrics = MetricsRegistry()
+        self.access_log = (
+            access_log
+            if isinstance(access_log, AccessLogger)
+            else AccessLogger(access_log)
+            if access_log is not None
+            else None
+        )
+        self._started_at = time.time()
         self._executor = ThreadPoolExecutor(
             max_workers=concurrency, thread_name_prefix="repro-serve"
         )
@@ -186,8 +240,26 @@ class ReproServer:
         await self._stopping.wait()
         await self.stop()
 
+    def _process_payload(self) -> dict:
+        """Uptime / RSS / version -- the restart-and-leak probe fields."""
+        info = process_info()
+        info["uptime_seconds"] = round(time.time() - self._started_at, 3)
+        return info
+
     def stats(self) -> dict[str, object]:
-        """The ``GET /stats`` payload: every tier's counters."""
+        """The ``GET /stats`` payload: every tier's counters.
+
+        Each tier's counters are snapshotted under that tier's own
+        lock (admission, coalescer, cache), so the payload never shows
+        torn mid-update values.  ``latency`` summarizes the
+        per-endpoint request histograms (count/sum/mean/p50/p95/p99).
+        """
+        latency = {
+            dict(labels).get("endpoint", ""): histogram.summary()
+            for labels, histogram in sorted(
+                self.metrics.series("repro_http_request_seconds").items()
+            )
+        }
         return {
             "admission": self.admission.stats(),
             "coalescer": self.coalescer.stats(),
@@ -195,21 +267,148 @@ class ReproServer:
             "pools_started": self.session.pools_started,
             "requests_served": self._requests_served,
             "shards": self.shards,
+            "latency": latency,
+            **self._process_payload(),
         }
+
+    def render_metrics(self) -> str:
+        """The ``GET /metrics`` body: Prometheus text exposition.
+
+        The union of the server's HTTP instruments and the process-wide
+        registry (sweep chunks, cache ops, design-search counters),
+        plus synthetic gauges for the admission/coalescer/cache tiers
+        and process facts -- one scrape sees the whole server.
+        """
+        merged = MetricsRegistry()
+        merged.merge(REGISTRY.snapshot())
+        merged.merge(self.metrics.snapshot())
+        admission = self.admission.stats()
+        merged.gauge(
+            "repro_admission_active", "Requests currently holding a slot"
+        ).set(admission["active"])
+        merged.gauge(
+            "repro_admission_capacity", "Admission slot capacity"
+        ).set(admission["capacity"])
+        merged.counter(
+            "repro_admission_admitted_total", "Requests granted a slot"
+        ).inc(admission["admitted"])
+        merged.counter(
+            "repro_admission_rejected_total", "Requests rejected with 429"
+        ).inc(admission["rejected"])
+        coalescer = self.coalescer.stats()
+        merged.counter(
+            "repro_coalescer_leaders_total", "Flights led (work executed)"
+        ).inc(coalescer["leaders"])
+        merged.counter(
+            "repro_coalescer_followers_total", "Duplicate requests absorbed"
+        ).inc(coalescer["followers"])
+        merged.gauge(
+            "repro_coalescer_in_flight", "Coalesced flights currently open"
+        ).set(coalescer["in_flight"])
+        cache = self.session.cache_stats()
+        for key in ("hits", "misses", "evictions"):
+            merged.counter(
+                f"repro_session_cache_{key}_total",
+                f"Session spec-cache {key}",
+            ).inc(cache[key])
+        merged.gauge(
+            "repro_session_cache_size", "Cached built networks"
+        ).set(cache["size"])
+        merged.gauge(
+            "repro_pools_started", "Persistent worker pools alive"
+        ).set(self.session.pools_started)
+        merged.counter(
+            "repro_requests_served_total", "Requests answered successfully"
+        ).inc(self._requests_served)
+        info = self._process_payload()
+        merged.gauge(
+            "repro_server_uptime_seconds", "Seconds since server start"
+        ).set(info["uptime_seconds"])
+        merged.gauge(
+            "repro_process_rss_bytes", "Resident set size"
+        ).set(info["rss_bytes"])
+        merged.gauge(
+            "repro_build_info",
+            "Constant 1; the version label carries the package version",
+            {"version": info["version"]},
+        ).set(1)
+        return merged.render_prometheus()
 
     # ------------------------------------------------------------------
     # HTTP plumbing.
     # ------------------------------------------------------------------
+    def _new_ctx(self, writer) -> dict:
+        """Per-request context: id, clocks, and what the response was."""
+        peer = writer.get_extra_info("peername")
+        return {
+            "id": new_request_id(),
+            "start_us": now_us(),
+            "t0": time.perf_counter(),
+            "method": "",
+            "target": "",
+            "status": 0,
+            "bytes": 0,
+            "coalesced": "",
+            "peer": f"{peer[0]}:{peer[1]}" if peer else "",
+        }
+
+    def _finish_request(self, ctx: dict) -> None:
+        """Record one finished request: metrics, access log, trace event.
+
+        ``status`` 0 means the connection died before any response was
+        attempted (client hang-up mid-head) -- nothing to record.
+        """
+        if not ctx["status"]:
+            return
+        endpoint = (
+            ctx["target"] if ctx["target"] in _KNOWN_ENDPOINTS else "other"
+        )
+        seconds = time.perf_counter() - ctx["t0"]
+        self.metrics.counter(
+            "repro_http_requests_total",
+            _REQUESTS_HELP,
+            {"endpoint": endpoint, "status": str(ctx["status"])},
+        ).inc()
+        self.metrics.histogram(
+            "repro_http_request_seconds", _LATENCY_HELP,
+            {"endpoint": endpoint},
+        ).observe(seconds)
+        if self.access_log is not None:
+            self.access_log.log(
+                request_id=ctx["id"],
+                peer=ctx["peer"],
+                method=ctx["method"],
+                target=ctx["target"],
+                status=ctx["status"],
+                duration_ms=round(seconds * 1e3, 3),
+                bytes=ctx["bytes"],
+                coalesced=ctx["coalesced"] or None,
+            )
+        add_complete_event(
+            "serve.request",
+            ctx["start_us"],
+            now_us() - ctx["start_us"],
+            args={
+                "request_id": ctx["id"],
+                "method": ctx["method"],
+                "target": ctx["target"],
+                "status": ctx["status"],
+                "coalesced": ctx["coalesced"],
+            },
+        )
+
     async def _handle_connection(self, reader, writer) -> None:
+        ctx = self._new_ctx(writer)
         try:
             try:
-                head = await reader.readuntil(b"\r\n\r\n")
+                with span("serve.parse", request_id=ctx["id"]):
+                    head = await reader.readuntil(b"\r\n\r\n")
             except asyncio.LimitOverrunError:
                 await self._respond(
                     writer, 413, ServeError(
                         "request head too large", code="bad_request",
                         status=413,
-                    ).payload(),
+                    ).payload(), ctx=ctx,
                 )
                 return
             except (asyncio.IncompleteReadError, ConnectionError):
@@ -219,10 +418,11 @@ class ReproServer:
                     writer, 413, ServeError(
                         "request head too large", code="bad_request",
                         status=413,
-                    ).payload(),
+                    ).payload(), ctx=ctx,
                 )
                 return
             method, target, headers = self._parse_head(head)
+            ctx["method"], ctx["target"] = method, target
             body = b""
             length = int(headers.get("content-length", "0") or "0")
             if length > MAX_BODY:
@@ -230,14 +430,14 @@ class ReproServer:
                     writer, 413, ServeError(
                         f"request body over {MAX_BODY} bytes",
                         code="bad_request", status=413,
-                    ).payload(),
+                    ).payload(), ctx=ctx,
                 )
                 return
             if length:
                 body = await reader.readexactly(length)
-            await self._dispatch(writer, method, target, body)
+            await self._dispatch(writer, method, target, body, ctx)
         except ServeError as exc:
-            await self._respond(writer, exc.status, exc.payload())
+            await self._respond(writer, exc.status, exc.payload(), ctx=ctx)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except Exception as exc:  # never leak a traceback as raw bytes
@@ -245,9 +445,10 @@ class ReproServer:
                 writer, 500, ServeError(
                     f"{type(exc).__name__}: {exc}",
                     code="internal", status=500,
-                ).payload(),
+                ).payload(), ctx=ctx,
             )
         finally:
+            self._finish_request(ctx)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -271,10 +472,28 @@ class ReproServer:
         return method, target, headers
 
     async def _respond(
-        self, writer, status: int, payload, *, extra=None
+        self, writer, status: int, payload, *, extra=None, ctx=None
     ) -> None:
-        body = _dumps(payload)
-        headers = {**_JSON_HEADERS, **(extra or {})}
+        await self._write_response(
+            writer, status, _dumps(payload), {**_JSON_HEADERS, **(extra or {})},
+            ctx=ctx,
+        )
+
+    async def _respond_text(
+        self, writer, status: int, text: str, content_type: str, *, ctx=None
+    ) -> None:
+        await self._write_response(
+            writer, status, text.encode("utf-8"),
+            {"Content-Type": content_type}, ctx=ctx,
+        )
+
+    async def _write_response(
+        self, writer, status: int, body: bytes, headers: dict, *, ctx=None
+    ) -> None:
+        if ctx is not None:
+            headers = {**headers, "X-Repro-Request-Id": ctx["id"]}
+            ctx["status"] = status
+            ctx["bytes"] = len(body)
         head = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}"]
         head += [f"{k}: {v}" for k, v in headers.items()]
         head += [f"Content-Length: {len(body)}", "Connection: close", "", ""]
@@ -284,16 +503,24 @@ class ReproServer:
     # ------------------------------------------------------------------
     # Routing and verb execution.
     # ------------------------------------------------------------------
-    async def _dispatch(self, writer, method, target, body) -> None:
-        if target in ("/healthz", "/stats") and method != "GET":
+    async def _dispatch(self, writer, method, target, body, ctx) -> None:
+        if target in ("/healthz", "/stats", "/metrics") and method != "GET":
             raise ServeError(
                 f"{target} is GET-only", code="bad_request", status=405
             )
         if target == "/healthz":
-            await self._respond(writer, 200, {"ok": True})
+            await self._respond(
+                writer, 200, {"ok": True, **self._process_payload()}, ctx=ctx
+            )
             return
         if target == "/stats":
-            await self._respond(writer, 200, self.stats())
+            await self._respond(writer, 200, self.stats(), ctx=ctx)
+            return
+        if target == "/metrics":
+            await self._respond_text(
+                writer, 200, self.render_metrics(), _METRICS_CONTENT_TYPE,
+                ctx=ctx,
+            )
             return
         if not target.startswith("/v1/"):
             raise ServeError(
@@ -315,9 +542,9 @@ class ReproServer:
                 f"request body is not valid JSON: {exc}"
             ) from None
         if verb == "experiment":
-            await self._handle_experiment(writer, payload)
+            await self._handle_experiment(writer, payload, ctx)
         else:
-            await self._handle_simple(writer, verb, payload)
+            await self._handle_simple(writer, verb, payload, ctx)
 
     def _run_verb(self, verb: str, normalized: dict):
         """Blocking execution of one normalized request (pool thread)."""
@@ -332,23 +559,25 @@ class ReproServer:
             return self.session.design_search(**normalized).as_dict()
         raise ServeError(f"no such verb {verb!r}", status=404)
 
-    async def _handle_simple(self, writer, verb, payload) -> None:
+    async def _handle_simple(self, writer, verb, payload, ctx) -> None:
         validator = {
             "describe": validate_describe,
             "sweep": validate_sweep,
             "design-search": validate_design_search,
         }[verb]
-        normalized = validator(payload)
+        with span("serve.validate", request_id=ctx["id"], verb=verb):
+            normalized = validator(payload)
         key = request_key(verb, normalized)
         result, role = await self._coalesced(
-            key, lambda: self._run_verb(verb, normalized)
+            key, lambda: self._run_verb(verb, normalized), ctx
         )
         self._requests_served += 1
+        ctx["coalesced"] = role
         await self._respond(
-            writer, 200, result, extra={"X-Repro-Coalesced": role}
+            writer, 200, result, extra={"X-Repro-Coalesced": role}, ctx=ctx
         )
 
-    async def _coalesced(self, key: str, work):
+    async def _coalesced(self, key: str, work, ctx=None):
         """Single-flight + admission: the heart of the serving tier.
 
         Followers join the in-flight future without taking an
@@ -357,10 +586,15 @@ class ReproServer:
         not become a flight that followers pile onto.  No await
         between ``join`` and ``lead``, so flights never duplicate.
         """
+        request_id = ctx["id"] if ctx else ""
         existing = self.coalescer.join(key)
         if existing is not None:
-            return await existing, "follower"
-        if not self.admission.try_acquire():
+            with span("serve.coalesce", request_id=request_id,
+                      role="follower"):
+                return await existing, "follower"
+        with span("serve.admission", request_id=request_id):
+            admitted = self.admission.try_acquire()
+        if not admitted:
             raise ServeError(
                 "server at capacity, retry later",
                 code="overloaded",
@@ -370,7 +604,8 @@ class ReproServer:
         future = self.coalescer.lead(key)
         loop = asyncio.get_running_loop()
         try:
-            result = await loop.run_in_executor(self._executor, work)
+            with span("serve.execute", request_id=request_id):
+                result = await loop.run_in_executor(self._executor, work)
         except ServeError as exc:
             self.coalescer.resolve(key, future, error=exc)
             raise
@@ -388,16 +623,17 @@ class ReproServer:
     # ------------------------------------------------------------------
     # Experiments: in-process, sharded, or streamed.
     # ------------------------------------------------------------------
-    async def _handle_experiment(self, writer, payload) -> None:
+    async def _handle_experiment(self, writer, payload, ctx) -> None:
         from .shard import run_sharded_experiment
 
         stream = bool(payload.get("stream", False)) if isinstance(
             payload, dict
         ) else False
-        experiment, normalized = validate_experiment(payload)
+        with span("serve.validate", request_id=ctx["id"], verb="experiment"):
+            experiment, normalized = validate_experiment(payload)
         shards = normalized["shards"] or self.shards
         if stream:
-            await self._stream_experiment(writer, experiment, shards)
+            await self._stream_experiment(writer, experiment, shards, ctx)
             return
         if shards >= 1:
             def work():
@@ -406,13 +642,14 @@ class ReproServer:
             def work():
                 return self.session.run_experiment(experiment).as_dict()
         key = request_key("experiment", {**normalized, "shards": shards})
-        result, role = await self._coalesced(key, work)
+        result, role = await self._coalesced(key, work, ctx)
         self._requests_served += 1
+        ctx["coalesced"] = role
         await self._respond(
-            writer, 200, result, extra={"X-Repro-Coalesced": role}
+            writer, 200, result, extra={"X-Repro-Coalesced": role}, ctx=ctx
         )
 
-    async def _stream_experiment(self, writer, experiment, shards) -> None:
+    async def _stream_experiment(self, writer, experiment, shards, ctx) -> None:
         """NDJSON: header line, one line per cell in index order, footer.
 
         A worker thread drives :func:`iter_sharded_cells` and feeds an
@@ -445,9 +682,11 @@ class ReproServer:
             except BaseException as exc:
                 loop.call_soon_threadsafe(feed.put_nowait, ("error", None, exc))
 
+        ctx["status"] = 200
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
             b"Content-Type: application/x-ndjson\r\n"
+            b"X-Repro-Request-Id: " + ctx["id"].encode("latin-1") + b"\r\n"
             b"Connection: close\r\n\r\n"
         )
         writer.write(_dumps({"experiment": experiment.as_dict()}))
@@ -489,6 +728,7 @@ def run_server(
     queue_depth: int = 8,
     shards: int = 0,
     ready=None,
+    access_log=None,
 ) -> None:
     """Blocking entry point (the CLI's ``repro serve``).
 
@@ -496,6 +736,8 @@ def run_server(
     accepting, drain the thread pool, close the Session's worker
     pools.  ``ready`` (optional callable) fires with the bound port
     once the socket is listening -- the test/bench harness hook.
+    ``access_log`` (path, ``"-"`` for stderr, or ``None`` to disable)
+    enables one structured JSON line per request.
     """
 
     async def main() -> None:
@@ -506,6 +748,7 @@ def run_server(
             concurrency=concurrency,
             queue_depth=queue_depth,
             shards=shards,
+            access_log=access_log,
         )
         await server.start()
         if ready is not None:

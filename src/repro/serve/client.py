@@ -75,6 +75,23 @@ class ServeClient:
         payload, _ = self._request("GET", path)
         return payload
 
+    def get_text(self, path: str):
+        """GET a non-JSON endpoint; returns ``(text, headers)``."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            data = response.read()
+            if response.status >= 400:
+                raise ServeHTTPError(
+                    response.status, json.loads(data or b"null")
+                )
+            return data.decode("utf-8"), dict(response.getheaders())
+        finally:
+            conn.close()
+
     def post(self, verb: str, payload):
         """POST ``/v1/<verb>``; returns ``(result, coalesced_role)``."""
         result, headers = self._request("POST", f"/v1/{verb}", payload)
@@ -86,6 +103,10 @@ class ServeClient:
 
     def stats(self):
         return self.get("/stats")
+
+    def metrics(self):
+        """The ``GET /metrics`` Prometheus exposition body (text)."""
+        return self.get_text("/metrics")[0]
 
     def describe(self, spec):
         return self.post("describe", {"spec": spec})[0]

@@ -94,11 +94,13 @@ def _shard_worker(shard, payload, indices, workers, out) -> None:
     """Subprocess body: rebuild the plan, run assigned cells, report.
 
     Message protocol on ``out``: ``("cell", index, cell_dict)`` per
-    finished cell, then ``("done", shard)``; any failure short-circuits
-    to ``("error", shard, traceback_text)``.
+    finished cell, then ``("metrics", shard, snapshot)`` with the
+    worker's drained metrics registry, then ``("done", shard)``; any
+    failure short-circuits to ``("error", shard, traceback_text)``.
     """
     from ..core.experiment import Experiment
     from ..core.session import Session
+    from ..obs.metrics import REGISTRY
 
     try:
         # Fork-inherited signal plumbing must go FIRST.  When the front
@@ -114,11 +116,16 @@ def _shard_worker(shard, payload, indices, workers, out) -> None:
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
     try:
+        # The worker's global registry starts as a fork-copy of the
+        # front's -- reset it so the drained snapshot shipped back
+        # carries only THIS shard's activity.
+        REGISTRY.reset()
         experiment = Experiment.from_payload(payload)
         requests = experiment.compile()
         with Session(workers=workers) as session:
             for i, cell in _run_cells(session, requests, indices):
                 out.put(("cell", i, cell))
+        out.put(("metrics", shard, REGISTRY.drain()))
         out.put(("done", shard))
     except BaseException:
         out.put(("error", shard, traceback.format_exc()))
@@ -177,6 +184,10 @@ def iter_sharded_cells(experiment, *, shards: int, workers: int = 0):
             tag = message[0]
             if tag == "cell":
                 held[message[1]] = message[2]
+            elif tag == "metrics":
+                from ..obs.metrics import REGISTRY
+
+                REGISTRY.merge(message[2])
             elif tag == "done":
                 done += 1
             else:

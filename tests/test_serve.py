@@ -222,7 +222,11 @@ def server():
 
 class TestHTTP:
     def test_healthz(self, server):
-        assert server.healthz() == {"ok": True}
+        payload = server.healthz()
+        assert payload["ok"] is True
+        assert payload["uptime_seconds"] >= 0
+        assert payload["rss_bytes"] >= 0
+        assert isinstance(payload["version"], str) and payload["version"]
 
     def test_describe(self, server):
         info = server.describe("pops 2 2")
@@ -330,10 +334,95 @@ class TestHTTP:
         stats = server.stats()
         assert set(stats) >= {
             "admission", "coalescer", "cache", "pools_started",
-            "requests_served",
+            "requests_served", "latency", "uptime_seconds", "rss_bytes",
+            "version",
         }
         assert stats["admission"]["capacity"] == 12
         assert "candidate_hits" in stats["cache"]
+
+
+class TestObservability:
+    """``/metrics``, request ids, access logs, latency summaries."""
+
+    def test_metrics_exposition_schema(self, server):
+        server.healthz()  # at least one finished request to count
+        body, headers = server.get_text("/metrics")
+        assert headers["Content-Type"].startswith(
+            "text/plain; version=0.0.4"
+        )
+        typed: dict[str, str] = {}
+        for line in body.splitlines():
+            if line.startswith("# TYPE"):
+                _, _, name, kind = line.split()
+                typed[name] = kind
+            elif line and not line.startswith("#"):
+                float(line.rsplit(" ", 1)[1])  # lines end in a number
+        assert typed["repro_http_requests_total"] == "counter"
+        assert typed["repro_http_request_seconds"] == "histogram"
+        assert typed["repro_admission_active"] == "gauge"
+        assert typed["repro_build_info"] == "gauge"
+        # histogram expansion: cumulative buckets ending at +Inf
+        buckets = [
+            ln for ln in body.splitlines()
+            if ln.startswith("repro_http_request_seconds_bucket")
+        ]
+        assert buckets and 'le="+Inf"' in buckets[-1]
+
+    def test_metrics_count_requests_by_endpoint(self, server):
+        before = server.metrics()
+        server.healthz()
+        server.healthz()
+        after = server.metrics()
+
+        def count(text):
+            for line in text.splitlines():
+                if line.startswith("repro_http_requests_total") and (
+                    'endpoint="/healthz"' in line
+                ):
+                    return float(line.rsplit(" ", 1)[1])
+            return 0.0
+
+        assert count(after) >= count(before) + 2
+
+    def test_unknown_target_collapses_to_other(self, server):
+        with pytest.raises(ServeHTTPError):
+            server.get("/no/such/path")
+        body = server.metrics()
+        assert 'endpoint="other"' in body
+
+    def test_request_id_header_on_every_response(self, server):
+        _, headers = server.get_text("/metrics")
+        rid = headers["X-Repro-Request-Id"]
+        assert len(rid) == 16 and int(rid, 16) >= 0
+        _, headers2 = server.get_text("/metrics")
+        assert headers2["X-Repro-Request-Id"] != rid
+
+    def test_latency_summary_appears_in_stats(self, server):
+        server.healthz()
+        latency = server.stats()["latency"]
+        assert "/healthz" in latency
+        summary = latency["/healthz"]
+        assert summary["count"] >= 1
+        assert set(summary) == {"count", "sum", "mean", "p50", "p95", "p99"}
+
+    def test_access_log_lines(self):
+        import io
+
+        sink = io.StringIO()
+        with run_in_thread(workers=0, access_log=sink) as client:
+            client.healthz()
+            client.describe("pops(2,2)")
+        lines = [
+            json.loads(ln) for ln in sink.getvalue().strip().splitlines()
+        ]
+        assert [rec["target"] for rec in lines] == [
+            "/healthz", "/v1/describe",
+        ]
+        for rec in lines:
+            assert rec["status"] == 200
+            assert rec["duration_ms"] >= 0
+            assert len(rec["request_id"]) == 16
+        assert lines[1]["coalesced"] == "leader"
 
 
 class TestAdmissionControl:
