@@ -289,6 +289,7 @@ def _cmd_design_search(args: argparse.Namespace) -> int:
                 top=args.top,
                 parallelism=args.parallelism,
                 backend=args.backend,
+                rank_by=args.rank_by,
             )
     except (SpecError, ValueError) as exc:
         print(exc, file=sys.stderr)
@@ -470,7 +471,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
-    from .design_search import PARALLELISM_MODES
+    from .design_search import PARALLELISM_MODES, RANKINGS
     from .resilience import METRICS_MODES, SWEEP_BACKENDS
 
     metrics_modes = tuple(METRICS_MODES)
@@ -622,6 +623,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="batched",
         help="trial executor for the per-candidate sweeps",
     )
+    p.add_argument(
+        "--rank-by",
+        choices=RANKINGS,
+        default="survivability-per-cost",
+        help=(
+            "ranking criterion; the path-metric rankings need "
+            "--metrics paths or full"
+        ),
+    )
     p.add_argument("--trace", default=None, metavar="PATH", help=trace_help)
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_design_search)
@@ -671,7 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="batched",
         help=(
             "trial executor (vectorized = shared-memory numpy batches, "
-            "connectivity metrics only; legacy = rebuild-per-trial "
+            "connectivity/paths metrics; legacy = rebuild-per-trial "
             "reference path)"
         ),
     )

@@ -103,8 +103,11 @@ class Experiment:
 
     ``backend`` is the *preferred* trial executor; grid cells whose
     metrics mode the backend cannot score fall back automatically
-    (``vectorized`` scores only ``connectivity``; ``legacy`` only
-    ``full``), so one plan can mix scoring depths.
+    (``vectorized`` scores ``connectivity`` and ``paths`` but not
+    ``full``; ``legacy`` only ``full``), so one plan can mix scoring
+    depths.  ``paths`` cells for families with structured
+    ``fault_route`` hooks are further downgraded per spec inside the
+    sweep preparation; each cell records the backend that actually ran.
 
     >>> e = Experiment(specs=("pops(2,2)", "sk(2,2,2)"),
     ...                models=("coupler", "processor:2"), trials=8)
@@ -157,8 +160,16 @@ class Experiment:
         object.__setattr__(self, "trials", trials)
 
     def _cell_backend(self, metrics_mode: str) -> str:
-        """The preferred backend, downgraded where it cannot score."""
-        if self.backend == "vectorized" and metrics_mode != "connectivity":
+        """The preferred backend, downgraded where it cannot score.
+
+        ``vectorized`` covers ``connectivity`` and ``paths`` cells;
+        only ``full`` (slotted simulation) falls back to ``batched``
+        here.  A further per-spec downgrade can still happen inside
+        ``_prepare_sweep`` -- ``paths`` cells for families with
+        structured ``fault_route`` hooks run batched, and the executed
+        backend is what each :class:`ExperimentCell` records.
+        """
+        if self.backend == "vectorized" and metrics_mode == "full":
             return "batched"
         if self.backend == "legacy" and metrics_mode != "full":
             return "batched"

@@ -394,6 +394,7 @@ def design_search(
     top: int | None = None,
     parallelism: str = "sweeps",
     backend: str = "batched",
+    rank_by: str = "survivability-per-cost",
 ):
     """Resilience-aware design search over every registered family.
 
@@ -444,6 +445,9 @@ def design_search(
         onto one shared pool.  The ranked table is identical.
     backend : {"batched", "vectorized", "legacy"}, optional
         Trial executor for the per-candidate sweeps.
+    rank_by : {"survivability-per-cost", "within-bound", "mean-stretch"}, optional
+        Ranking criterion for the candidate table.  The path-metric
+        rankings need ``metrics="paths"`` or ``"full"``.
 
     Returns
     -------
@@ -483,6 +487,7 @@ def design_search(
         top=top,
         parallelism=parallelism,
         backend=backend,
+        rank_by=rank_by,
     )
 
 

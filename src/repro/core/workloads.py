@@ -16,7 +16,7 @@ defaults (processor count, group size) from the network itself.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 from ..simulation.traffic import (
     bernoulli_stream,
@@ -75,17 +75,35 @@ def resolve_workload(workload, net, *, messages: int, seed: int, **options) -> T
     ``workload`` may be a registered name, a callable with the workload
     signature, or an explicit list of ``(src, dst, slot)`` triples
     (passed through unchanged).
+
+    A callable (or registered) workload may return any iterable of
+    triples, including a one-shot generator; the result is materialized
+    to a concrete list *here* so downstream consumers that iterate the
+    traffic more than once -- ``measure()`` runs it degraded, then again
+    on the intact baseline -- never see an exhausted iterator.
     """
     if isinstance(workload, str):
         fn = get_workload(workload)
-        return fn(net, messages=messages, seed=seed, **options)
+        return _as_triples(fn(net, messages=messages, seed=seed, **options))
     if callable(workload):
-        return workload(net, messages=messages, seed=seed, **options)
+        return _as_triples(workload(net, messages=messages, seed=seed, **options))
     if isinstance(workload, Sequence):
         return [(int(s), int(d), int(t)) for s, d, t in workload]
     raise TypeError(
         f"workload must be a name, callable or triple list, "
         f"got {type(workload).__name__}"
+    )
+
+
+def _as_triples(result) -> Traffic:
+    """A workload's return value as a concrete triple list."""
+    if isinstance(result, list):
+        return result
+    if isinstance(result, Iterable):
+        return [(int(s), int(d), int(t)) for s, d, t in result]
+    raise TypeError(
+        f"workload returned {type(result).__name__}; expected an "
+        "iterable of (src, dst, slot) triples"
     )
 
 

@@ -25,6 +25,7 @@ from . import prices
 from .costing import DEFAULT_COST_MODEL, CostModel, price_spec
 from .search import (
     PARALLELISM_MODES,
+    RANKINGS,
     DesignCandidate,
     DesignSearchResult,
     design_search,
@@ -34,6 +35,7 @@ from .search import (
 __all__ = [
     "DEFAULT_COST_MODEL",
     "PARALLELISM_MODES",
+    "RANKINGS",
     "CostModel",
     "DesignCandidate",
     "DesignSearchResult",

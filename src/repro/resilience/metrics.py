@@ -18,6 +18,7 @@ aggregates.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, fields
 
 from .degrade import DegradedNetwork
@@ -202,6 +203,11 @@ def path_survival(
     with length <= ``bound`` (default ``diameter + 2``, the paper's
     ``k + 2`` on stack-Kautz).  Machines with fewer than two live
     groups report ``(1.0, 0, 1.0, 1.0)``.
+
+    Routed pairs whose *intact* distance is undefined (BFS ``-1``,
+    possible for degenerate/partial specs) have no meaningful stretch:
+    they stay in ``reachable_groups``/``within_bound`` but are left
+    out of the ``mean_stretch`` average instead of counting as 1.0.
     """
     net = degraded.net
     if bound is None:
@@ -217,7 +223,7 @@ def path_survival(
     routed = 0
     within = 0
     max_len = -1
-    stretch_sum = 0.0
+    stretch_terms: list[float] = []
     pairs = 0
     for gu in live:
         intact_dist = intact.bfs_distances(gu) if intact is not None else None
@@ -234,11 +240,18 @@ def path_survival(
             if length <= bound:
                 within += 1
             d0 = int(intact_dist[gv]) if intact_dist is not None else 1
-            stretch_sum += length / d0 if d0 > 0 else 1.0
+            if d0 > 0:
+                stretch_terms.append(length / d0)
     if routed == 0:
         # nothing routed: the bound is *not* vacuously confirmed
         return 0.0, max_len, 0.0, 0.0
-    return routed / pairs, max_len, stretch_sum / routed, within / routed
+    # fsum is exact and order-independent, so the vectorized paths
+    # kernel can sum the same multiset of ratios in any order and land
+    # on the identical float
+    stretch = (
+        math.fsum(stretch_terms) / len(stretch_terms) if stretch_terms else 1.0
+    )
+    return routed / pairs, max_len, stretch, within / routed
 
 
 def measure(

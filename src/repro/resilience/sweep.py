@@ -20,15 +20,24 @@ Three executors share that contract:
   ``fault_route`` scan and the slotted simulation (the design-search
   fast path), ``"paths"`` keeps route quality but skips simulation,
   ``"full"`` computes everything;
-* the **vectorized** backend (``metrics="connectivity"`` only) never
-  instantiates a :class:`~repro.resilience.degrade.DegradedNetwork` at
+* the **vectorized** backend (``metrics="connectivity"`` and
+  ``"paths"``) never instantiates a
+  :class:`~repro.resilience.degrade.DegradedNetwork` at
   all: the built network's topology is exported once into flat numpy
   arrays (CSR coupler->processor incidence, coupler endpoint pairs,
   processor->group map), fault masks for whole trial *batches* are
   drawn as boolean arrays -- seeded by the same SHA-256 per-trial
   scheme, so every draw matches the batched backend bit for bit -- and
   connectivity metrics come from a batched reachability closure over
-  the masked group adjacency instead of per-trial Python BFS.  With
+  the masked group adjacency instead of per-trial Python BFS.
+  ``"paths"`` mode swaps the closure for a level-synchronous
+  boolean-matmul BFS whose frontier expansions yield per-pair
+  *distances*, scoring route quality (``max_path_length`` /
+  ``mean_stretch`` / ``within_bound``) for whole batches; it is
+  byte-identical to the batched ``fault_route`` scan for every family
+  whose hook is the generic BFS fallback, and families with structured
+  hooks are downgraded to ``batched`` with a recorded reason (see
+  :func:`_prepare_sweep`) rather than ever silently diverging.  With
   ``workers`` the topology arrays live in
   :mod:`multiprocessing.shared_memory`, attached (not copied) by every
   worker.  This is the 10^5-10^6-trial path;
@@ -54,6 +63,7 @@ for the same plan and worker count.
 from __future__ import annotations
 
 import json
+import math
 import multiprocessing
 import os
 import random
@@ -148,6 +158,15 @@ class SweepSummary:
     within_bound_fraction: float | None = 1.0
     #: fraction of trials in which some surviving pair was severed
     partitioned_fraction: float = 0.0
+    #: the backend that actually executed the trials.  Deliberately NOT
+    #: part of :meth:`as_dict`/:meth:`to_json`: the byte-identity
+    #: contract says equal requests produce equal JSON across backends.
+    backend: str = "batched"
+    #: why the executed backend differs from the requested one
+    #: (``None`` when it does not) -- the visible record of a
+    #: vectorized->batched ``paths`` downgrade for structured-routing
+    #: families.  Also excluded from the JSON.
+    downgrade_reason: str | None = None
 
     def as_dict(self) -> dict[str, object]:
         """JSON-ready view (stable key order via ``to_json``)."""
@@ -197,6 +216,8 @@ class SweepSummary:
                 f"  {key:<18} {q['mean']:>9.4f} {q['p05']:>9.4f} "
                 f"{q['p50']:>9.4f} {q['p95']:>9.4f}"
             )
+        if self.downgrade_reason is not None:
+            lines.append(f"  note: {self.downgrade_reason}")
         return "\n".join(lines)
 
 
@@ -437,16 +458,48 @@ class _ArrayNetworkProxy:
         return self._arrays.endpoints
 
 
+def _proxy_surface_error(exc: Exception, proxy: _ArrayNetworkProxy) -> bool:
+    """Whether ``exc`` stems from the array proxy's *missing* surface.
+
+    Custom ``sample_faults`` implementations may touch network surface
+    :class:`_ArrayNetworkProxy` does not carry -- those failures are a
+    backend limitation worth naming.  But an ``AttributeError`` /
+    ``IndexError`` / ``TypeError`` raised by the fault model's own code
+    is a genuine bug that must propagate untranslated.  An
+    ``AttributeError`` qualifies only when it was raised *on the proxy
+    itself* (``exc.obj``); other lookup errors only when the innermost
+    traceback frame is one of the proxy's own methods.
+    """
+    if isinstance(exc, AttributeError):
+        return getattr(exc, "obj", None) is proxy
+    proxy_codes = {
+        _ArrayNetworkProxy.label_of.__code__,
+        _ArrayNetworkProxy.base_graph.__code__,
+        _ArrayNetworkProxy.arc_array.__code__,
+    }
+    tb = exc.__traceback__
+    innermost = None
+    while tb is not None:
+        innermost = tb
+        tb = tb.tb_next
+    return (
+        innermost is not None
+        and innermost.tb_frame.f_code in proxy_codes
+    )
+
+
 class _VectorContext:
     """Per-process vectorized trial scorer over shared topology arrays.
 
-    Scores ``connectivity``-mode metrics for whole trial batches: the
-    per-trial fault draws reuse the exact sampler + SHA-256 seed
-    stream of the batched backend (so the two backends agree bit for
-    bit), but everything downstream -- the dead-coupler closure, the
-    surviving group adjacency, reachability, and the three metric
-    ratios -- is batched numpy over all trials of a chunk at once, with
-    no per-trial ``DegradedNetwork`` or Python BFS.
+    Scores ``connectivity``- and ``paths``-mode metrics for whole
+    trial batches: the per-trial fault draws reuse the exact sampler +
+    SHA-256 seed stream of the batched backend (so the two backends
+    agree bit for bit), but everything downstream -- the dead-coupler
+    closure, the surviving group adjacency, reachability (and, in
+    ``paths`` mode, all-pairs distances from level-synchronous
+    frontier expansion), and the metric ratios -- is batched numpy
+    over all trials of a chunk at once, with no per-trial
+    ``DegradedNetwork`` or Python BFS.
     """
 
     def __init__(self, plan: _SweepPlan, arrays: _TopologyArrays) -> None:
@@ -468,6 +521,41 @@ class _VectorContext:
                 np.arange(arrays.num_processors), arrays.proc_group
             ] = 1
         self._group_sizes = self._group_onehot.sum(axis=0)
+        #: (g, g) intact group distances, the stretch denominators
+        #: (``paths`` mode only; computed once per sweep context)
+        self._intact_dist = (
+            self._intact_group_distances() if plan.metrics == "paths" else None
+        )
+
+    def _intact_group_distances(self) -> np.ndarray:
+        """``(g, g)`` BFS distances over the intact loopless group digraph.
+
+        The ``mean_stretch`` denominators of
+        :func:`~repro.resilience.metrics.path_survival`: ``endpoints``
+        is exactly ``base_graph().arc_array()`` for every family the
+        kernel accepts (``_prepare_sweep`` downgrades the rest), so
+        this equals ``base_graph().without_loops().bfs_distances(u)[v]``
+        for every pair.  ``-1`` marks pairs unreachable intact.
+        """
+        g = self.arrays.num_groups
+        endpoints = self.arrays.endpoints
+        adj = np.zeros((g, g), dtype=np.int16)
+        if len(endpoints):
+            off_diag = endpoints[:, 0] != endpoints[:, 1]
+            adj[endpoints[off_diag, 0], endpoints[off_diag, 1]] = 1
+        dist = np.full((g, g), -1, dtype=np.int64)
+        np.fill_diagonal(dist, 0)
+        reach = np.eye(g, dtype=bool)
+        hops = 0
+        while True:
+            grown = (np.matmul(reach.astype(np.int16), adj) > 0) | reach
+            frontier = grown & ~reach
+            if not frontier.any():
+                break
+            hops += 1
+            dist[frontier] = hops
+            reach = grown
+        return dist
 
     def run_range(self, start: int, stop: int) -> list[dict[str, object]]:
         """Rows of trials ``start .. stop - 1``, in index order."""
@@ -505,7 +593,12 @@ class _VectorContext:
             except (AttributeError, IndexError, TypeError) as exc:
                 # custom models may sample from network surface the
                 # array proxy does not carry -- name the restriction
-                # instead of leaking a deep (possibly pickled) error
+                # instead of leaking a deep (possibly pickled) error.
+                # Only errors that actually originate from the proxy's
+                # missing surface are translated: a bug inside the
+                # model's own sample_faults propagates untouched.
+                if not _proxy_surface_error(exc, self._proxy):
+                    raise
                 raise ValueError(
                     f"fault model {type(plan.model).__name__} needs "
                     f"network surface the vectorized backend's array "
@@ -524,15 +617,18 @@ class _VectorContext:
         arrays = self.arrays
         n, g, m = arrays.num_processors, arrays.num_groups, arrays.num_couplers
         batch = hi - lo
+        paths_mode = self.plan.metrics == "paths"
         if n <= 1:  # the connectivity_metrics() degenerate short-circuit
-            return [
-                {
-                    "connectivity": 1.0,
-                    "alive_connectivity": 1.0,
-                    "reachable_groups": 1.0,
-                }
-                for _ in range(batch)
-            ]
+            degenerate: dict[str, object] = {
+                "connectivity": 1.0,
+                "alive_connectivity": 1.0,
+                "reachable_groups": 1.0,
+            }
+            if paths_mode:  # path_survival's < 2 live groups answer
+                degenerate.update(
+                    max_path_length=0, mean_stretch=1.0, within_bound=1.0
+                )
+            return [dict(degenerate) for _ in range(batch)]
         dead_proc, direct = self._sample_masks(lo, hi)
         dead_i = dead_proc.astype(np.int64)
         # effective dead couplers (the DegradedNetwork closure): hit
@@ -557,19 +653,44 @@ class _VectorContext:
             ti * (g * g) + self._pair_id[ci], minlength=batch * g * g
         )
         adj = counts.reshape(batch, g, g) > 0
-        # reachability closure by repeated squaring: R holds "reaches
-        # in <= 2^k hops" (identity included, loops kept -- the same
-        # booleans as bfs_distances(u)[v] >= 0 on the surviving base)
-        reach = adj.copy()
         diag = np.arange(g)
-        reach[:, diag, diag] = True
-        while True:
-            grown = (
-                np.matmul(reach.astype(np.int16), reach.astype(np.int16)) > 0
-            )
-            if np.array_equal(grown, reach):
-                break
-            reach = grown
+        dist = None
+        hops = 0
+        if paths_mode:
+            # level-synchronous frontier expansion: one boolean matmul
+            # per hop, so per-pair *distances* fall out of the frontier
+            # masks.  dist[b, u, v] equals bfs_distances(u)[v] on the
+            # surviving base (loops never shorten a distinct-pair
+            # route), i.e. exactly the length the generic fault_route
+            # hook reports; the final `reach` is the same closure the
+            # squaring loop below produces.
+            reach = np.broadcast_to(np.eye(g, dtype=bool), adj.shape).copy()
+            dist = np.full((batch, g, g), -1, dtype=np.int64)
+            dist[:, diag, diag] = 0
+            adj_i = adj.astype(np.int16)
+            while True:
+                grown = (np.matmul(reach.astype(np.int16), adj_i) > 0) | reach
+                frontier = grown & ~reach
+                if not frontier.any():
+                    break
+                hops += 1
+                dist[frontier] = hops
+                reach = grown
+        else:
+            # reachability closure by repeated squaring: R holds
+            # "reaches in <= 2^k hops" (identity included, loops kept --
+            # the same booleans as bfs_distances(u)[v] >= 0 on the
+            # surviving base)
+            reach = adj.copy()
+            reach[:, diag, diag] = True
+            while True:
+                grown = (
+                    np.matmul(reach.astype(np.int16), reach.astype(np.int16))
+                    > 0
+                )
+                if np.array_equal(grown, reach):
+                    break
+                reach = grown
         # a same-group pair needs a surviving closed walk at its group:
         # some surviving out-arc (u, v) that is a loop or can get back
         sibling_ok = np.any(adj & np.swapaxes(reach, 1, 2), axis=2)
@@ -599,14 +720,105 @@ class _VectorContext:
         reachable = np.where(
             num_live >= 2, routed / np.maximum(live_pairs, 1), 1.0
         )
-        return [
-            {
+        if not paths_mode:
+            return [
+                {
+                    "connectivity": float(connectivity[j]),
+                    "alive_connectivity": float(alive_conn[j]),
+                    "reachable_groups": float(reachable[j]),
+                }
+                for j in range(batch)
+            ]
+        return self._paths_rows(
+            batch,
+            dist,
+            hops,
+            alive_per_group,
+            num_live,
+            live_pairs,
+            connectivity,
+            alive_conn,
+        )
+
+    def _paths_rows(
+        self,
+        batch: int,
+        dist: np.ndarray,
+        hops: int,
+        alive_per_group: np.ndarray,
+        num_live: np.ndarray,
+        live_pairs: np.ndarray,
+        connectivity: np.ndarray,
+        alive_conn: np.ndarray,
+    ) -> list[dict[str, object]]:
+        """``paths``-mode rows from the batched distance tensor.
+
+        Reproduces :func:`~repro.resilience.metrics.path_survival`
+        value for value: same live-pair set, same ``routed`` /
+        ``within`` / ``max_path_length`` counts, and the identical
+        ``mean_stretch`` float -- both sides feed the same multiset of
+        exact ``length / intact_distance`` ratios through
+        :func:`math.fsum`, which is order-independent.
+        """
+        bound = self.plan.bound
+        diag = np.arange(self.arrays.num_groups)
+        live = alive_per_group > 0
+        pair_mask = live[:, :, None] & live[:, None, :]
+        pair_mask[:, diag, diag] = False
+        routed_mask = pair_mask & (dist > 0)
+        routed_counts = routed_mask.sum(axis=(1, 2))
+        within_counts = (routed_mask & (dist <= bound)).sum(axis=(1, 2))
+        max_len = np.where(routed_mask, dist, -1).max(axis=(1, 2), initial=-1)
+        # stretch denominators: pairs unreachable *intact* (d0 == -1)
+        # have no defined stretch and stay out of the mean (they still
+        # count in reachable/within, mirroring path_survival)
+        stretch_mask = routed_mask & (self._intact_dist > 0)[None, :, :]
+        ratios = np.where(
+            stretch_mask,
+            dist / np.maximum(self._intact_dist, 1)[None, :, :],
+            0.0,
+        )
+        registry = worker_registry()
+        labels = {"backend": self.plan.backend}
+        registry.counter(
+            "repro_sweep_paths_kernel_trials_total", _PATHS_TRIALS_HELP, labels
+        ).inc(batch)
+        registry.histogram(
+            "repro_sweep_paths_kernel_hops", _PATHS_HOPS_HELP, labels
+        ).observe(hops)
+        rows: list[dict[str, object]] = []
+        for j in range(batch):
+            row: dict[str, object] = {
                 "connectivity": float(connectivity[j]),
                 "alive_connectivity": float(alive_conn[j]),
-                "reachable_groups": float(reachable[j]),
             }
-            for j in range(batch)
-        ]
+            if num_live[j] < 2:
+                row.update(
+                    reachable_groups=1.0,
+                    max_path_length=0,
+                    mean_stretch=1.0,
+                    within_bound=1.0,
+                )
+            elif routed_counts[j] == 0:
+                # nothing routed: the bound is *not* vacuously confirmed
+                row.update(
+                    reachable_groups=0.0,
+                    max_path_length=-1,
+                    mean_stretch=0.0,
+                    within_bound=0.0,
+                )
+            else:
+                terms = ratios[j][stretch_mask[j]]
+                row.update(
+                    reachable_groups=int(routed_counts[j]) / int(live_pairs[j]),
+                    max_path_length=int(max_len[j]),
+                    mean_stretch=(
+                        math.fsum(terms) / terms.size if terms.size else 1.0
+                    ),
+                    within_bound=int(within_counts[j]) / int(routed_counts[j]),
+                )
+            rows.append(row)
+        return rows
 
 
 def _export_shared(
@@ -695,6 +907,9 @@ _CHUNKS_HELP = "Sweep trial chunks executed"
 _TRIALS_HELP = "Monte-Carlo trials executed"
 _RUN_HELP = "Wall time of one sweep trial chunk"
 _WAIT_HELP = "Queue wait between chunk dispatch and worker pickup"
+_PATHS_TRIALS_HELP = "Trials scored by the vectorized all-pairs paths kernel"
+_PATHS_HOPS_HELP = "BFS frontier expansions per vectorized paths batch"
+_DOWNGRADE_HELP = "Sweeps downgraded from their requested backend"
 
 
 def _observed_range(ctx, start: int, stop: int):
@@ -771,6 +986,11 @@ def _observe_inline_run(plan: _SweepPlan, trials: int, seconds: float) -> None:
     REGISTRY.histogram(
         "repro_sweep_chunk_run_seconds", _RUN_HELP, labels
     ).observe(seconds)
+    # contexts record kernel-level series (e.g. the vectorized paths
+    # kernel counters) into the worker registry regardless of where
+    # they run; inline runs drain that delta into the global registry
+    # here, exactly as _absorb_chunk_metas does for pool chunks
+    REGISTRY.merge(worker_registry().drain())
 
 
 _WORKER_CTX = None
@@ -1124,6 +1344,9 @@ class _PreparedSweep:
     trials: int
     simulate: bool
     net: object  # the built network (parent-side only; never pickled)
+    #: why ``plan.backend`` differs from the requested backend
+    #: (``None`` when it does not); surfaced on the summary
+    downgrade: str | None = None
 
 
 def _intact_baseline(
@@ -1200,14 +1423,50 @@ def _prepare_sweep(
         raise ValueError(
             "the legacy backend only supports metrics='full'; use "
             "backend='batched' for connectivity/paths short-circuits "
-            "(or 'vectorized' for connectivity at scale)"
+            "(or 'vectorized' for connectivity/paths at scale)"
         )
-    if backend == "vectorized" and metrics != "connectivity":
+    if backend == "vectorized" and metrics == "full":
         raise ValueError(
-            "the vectorized backend only scores metrics='connectivity'; "
-            "paths/full need backend='batched'"
+            "the vectorized backend scores metrics='connectivity' and "
+            "'paths'; 'full' (slotted simulation) needs backend='batched'"
         )
+    downgrade = None
+    if backend == "vectorized" and metrics == "paths":
+        from ..core.registry import NetworkFamily, get_family
+
+        family = get_family(parsed.family)
+        if type(family).fault_route is not NetworkFamily.fault_route:
+            # the kernel's distances equal the generic BFS fallback's
+            # route lengths; a structured hook (stack-Kautz word-level
+            # routing) can return longer routes, so run those specs on
+            # the batched fault_route scan -- recorded, never silent
+            downgrade = (
+                f"family {parsed.family!r} overrides fault_route with "
+                "structured routing the vectorized paths kernel cannot "
+                "reproduce byte-for-byte; executed on backend='batched'"
+            )
+            backend = "batched"
     net = parsed.build() if _net is None else _net
+    if (
+        downgrade is None
+        and backend == "vectorized"
+        and metrics == "paths"
+        and net.num_groups > 1
+        and not hasattr(net, "base_graph")
+    ):
+        # defensive: stretch denominators come from the base graph;
+        # no registered multi-group family lacks one today
+        downgrade = (
+            f"family {parsed.family!r} exposes no base_graph() for "
+            "intact distances; executed on backend='batched'"
+        )
+        backend = "batched"
+    if downgrade is not None:
+        REGISTRY.counter(
+            "repro_sweep_backend_downgrades_total",
+            _DOWNGRADE_HELP,
+            {"from": "vectorized", "to": backend},
+        ).inc()
     resolved_bound = net.diameter + 2 if bound is None else bound
     simulate = metrics == "full"
     if simulate:
@@ -1240,7 +1499,13 @@ def _prepare_sweep(
         metrics=metrics,
         backend=backend,
     )
-    return _PreparedSweep(plan=plan, trials=trials, simulate=simulate, net=net)
+    return _PreparedSweep(
+        plan=plan,
+        trials=trials,
+        simulate=simulate,
+        net=net,
+        downgrade=downgrade,
+    )
 
 
 def _summarize(prepared: _PreparedSweep, rows: list[dict]) -> SweepSummary:
@@ -1280,6 +1545,8 @@ def _summarize(prepared: _PreparedSweep, rows: list[dict]) -> SweepSummary:
         quantiles=quantiles,
         within_bound_fraction=within_bound_fraction,
         partitioned_fraction=round(partitioned / trials, 6),
+        backend=plan.backend,
+        downgrade_reason=prepared.downgrade,
     )
 
 
@@ -1390,11 +1657,15 @@ def survivability_sweep(
     design-search fast path).  ``backend`` selects the executor:
     ``"batched"`` (default; shared built network per process),
     ``"vectorized"`` (shared-memory topology arrays + batched numpy
-    scoring; ``connectivity`` metrics only, byte-identical to
+    scoring; ``connectivity`` and ``paths`` metrics, byte-identical to
     ``batched`` -- the 10^5-10^6-trial path) or ``"legacy"`` (the
     original rebuild-per-trial path, ``full`` metrics only).  All
     backends produce byte-identical JSON for the same seed wherever
-    their metrics modes overlap.  ``_net`` is internal: callers that
+    their metrics modes overlap.  Vectorized ``paths`` requests for
+    families with structured ``fault_route`` hooks (stack-Kautz) run
+    on ``batched`` instead, with the reason recorded on the summary's
+    ``downgrade_reason``/``backend`` attributes -- identical numbers,
+    never a silent divergence.  ``_net`` is internal: callers that
     already built the spec's network (the design search evaluates
     shape filters on it first) pass it to skip the rebuild; it MUST
     be the machine ``spec`` names.  ``_executor`` (internal, session
@@ -1431,7 +1702,7 @@ def survivability_sweep(
             _net=_net,
         )
     with span("sweep.execute", spec=prepared.plan.canonical, trials=trials,
-              backend=prepared.plan.backend):
+              backend=prepared.plan.backend, metrics=prepared.plan.metrics):
         rows = _execute(prepared, workers, _executor)
     with span("sweep.summarize", spec=prepared.plan.canonical, trials=trials):
         return _summarize(prepared, rows)

@@ -173,9 +173,10 @@ def _metrics_backend(payload, *, default_metrics: str) -> tuple[str, str]:
         raise ServeError(
             "the legacy backend only supports metrics='full'"
         )
-    if backend == "vectorized" and metrics != "connectivity":
+    if backend == "vectorized" and metrics == "full":
         raise ServeError(
-            "the vectorized backend only scores metrics='connectivity'"
+            "the vectorized backend scores metrics='connectivity' and "
+            "'paths'; 'full' needs backend='batched'"
         )
     return metrics, backend
 
@@ -256,13 +257,14 @@ _DESIGN_SEARCH_FIELDS = (
     "top",
     "parallelism",
     "backend",
+    "rank_by",
 )
 
 
 def validate_design_search(payload) -> dict:
     """``design-search`` request -> normalized search arguments."""
     from ..core.registry import get_family
-    from ..design_search.search import PARALLELISM_MODES
+    from ..design_search.search import PARALLELISM_MODES, RANKINGS
 
     payload = _require_object(payload, "design-search")
     _reject_unknown(payload, _DESIGN_SEARCH_FIELDS, "design-search")
@@ -289,6 +291,17 @@ def validate_design_search(payload) -> dict:
         raise ServeError(
             f"unknown parallelism mode {parallelism!r}",
             details={"known": list(PARALLELISM_MODES)},
+        )
+    rank_by = _str_field(payload, "rank_by", "survivability-per-cost")
+    if rank_by not in RANKINGS:
+        raise ServeError(
+            f"unknown ranking {rank_by!r}",
+            details={"known": list(RANKINGS)},
+        )
+    if rank_by != "survivability-per-cost" and metrics == "connectivity":
+        raise ServeError(
+            f"rank_by={rank_by!r} ranks on path metrics; request "
+            "metrics='paths' or 'full'"
         )
     margin = payload.get("min_margin_db")
     if margin is not None and not isinstance(margin, (int, float)):
@@ -326,6 +339,7 @@ def validate_design_search(payload) -> dict:
         "top": _int_field(payload, "top", None, minimum=0, optional=True),
         "parallelism": parallelism,
         "backend": backend,
+        "rank_by": rank_by,
     }
 
 

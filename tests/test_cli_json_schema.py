@@ -87,6 +87,7 @@ DESIGN_SEARCH_SCHEMA = {
     "trials": int,
     "seed": int,
     "metrics": str,
+    "rank_by": str,
     "cost_model": dict,
     "pareto": list,
     "skipped_underfaulted": list,
@@ -126,6 +127,7 @@ CANDIDATE_SCHEMA = {
     "survivability": (int, float),
     "partitioned_fraction": (int, float),
     "within_bound_fraction": (int, float, type(None)),
+    "mean_stretch": (int, float, type(None)),
     "survivability_per_kilocost": (int, float),
     "pareto": bool,
 }
