@@ -290,6 +290,8 @@ def _cmd_design_search(args: argparse.Namespace) -> int:
                 parallelism=args.parallelism,
                 backend=args.backend,
                 rank_by=args.rank_by,
+                ci_target=args.ci_target,
+                sampling=args.sampling,
             )
     except (SpecError, ValueError) as exc:
         print(exc, file=sys.stderr)
@@ -318,6 +320,8 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
                 messages=args.messages,
                 metrics=args.metrics,
                 backend=args.backend,
+                ci_target=args.ci_target,
+                sampling=args.sampling,
             )
     except (SpecError, ValueError) as exc:
         print(exc, file=sys.stderr)
@@ -345,6 +349,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 backend=args.backend,
                 workload=args.workload,
                 messages=args.messages,
+                samplings=args.samplings,
+                ci_target=args.ci_target,
             )
     except (SpecError, ValueError) as exc:
         print(exc, file=sys.stderr)
@@ -472,7 +478,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     from .design_search import PARALLELISM_MODES, RANKINGS
-    from .resilience import METRICS_MODES, SWEEP_BACKENDS
+    from .resilience import METRICS_MODES, SAMPLING_MODES, SWEEP_BACKENDS
 
     metrics_modes = tuple(METRICS_MODES)
     trace_help = (
@@ -632,6 +638,22 @@ def build_parser() -> argparse.ArgumentParser:
             "--metrics paths or full"
         ),
     )
+    p.add_argument(
+        "--ci-target",
+        type=float,
+        default=None,
+        help=(
+            "stop each candidate sweep once its survival CI half-width "
+            "is at most this (arms early discard vs the leader); "
+            "--trials caps the spend"
+        ),
+    )
+    p.add_argument(
+        "--sampling",
+        choices=SAMPLING_MODES,
+        default="uniform",
+        help="trial allocation per candidate sweep (stratified/importance)",
+    )
     p.add_argument("--trace", default=None, metavar="PATH", help=trace_help)
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_design_search)
@@ -683,6 +705,24 @@ def build_parser() -> argparse.ArgumentParser:
             "trial executor (vectorized = shared-memory numpy batches, "
             "connectivity/paths metrics; legacy = rebuild-per-trial "
             "reference path)"
+        ),
+    )
+    p.add_argument(
+        "--ci-target",
+        type=float,
+        default=None,
+        help=(
+            "sequential stopping: run trial waves until the survival "
+            "CI half-width is at most this (--trials is the cap)"
+        ),
+    )
+    p.add_argument(
+        "--sampling",
+        choices=SAMPLING_MODES,
+        default="uniform",
+        help=(
+            "trial allocation: stratified (by fault cardinality) or "
+            "importance (rare-event tail, likelihood-ratio reweighted)"
         ),
     )
     p.add_argument("--trace", default=None, metavar="PATH", help=trace_help)
@@ -744,6 +784,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=60,
         help="messages per trial (metrics=full cells only)",
+    )
+    p.add_argument(
+        "--samplings",
+        nargs="+",
+        choices=SAMPLING_MODES,
+        default=["uniform"],
+        help="trial-allocation grid entries (a grid axis)",
+    )
+    p.add_argument(
+        "--ci-target",
+        type=float,
+        default=None,
+        help=(
+            "sequential-stopping CI half-width target applied to "
+            "every cell (--trials entries cap the spend)"
+        ),
     )
     p.add_argument("--trace", default=None, metavar="PATH", help=trace_help)
     p.add_argument("--json", action="store_true", help="machine-readable output")

@@ -7,7 +7,7 @@ over :func:`repro.resilience_sweep` (or :func:`repro.sweep`, or
 :class:`Experiment` is the declarative form of that loop: a frozen
 plan object over the grid
 
-    ``specs x fault models x metrics modes x trial counts``
+    ``specs x fault models x metrics modes x trial counts x samplings``
 
 that **compiles** into one
 :func:`~repro.resilience.sweep.pooled_survivability_sweeps`-shaped
@@ -17,7 +17,8 @@ structured :class:`ExperimentResult` with ``as_dicts()`` /
 ``to_json()``.
 
 Determinism: cells are ordered spec-major (specs, then models, then
-metrics, then trials), every cell reuses the experiment seed, and each
+metrics, then trials, then samplings), every cell reuses the
+experiment seed, and each
 cell's summary is **byte-identical** to calling
 :func:`repro.resilience_sweep` with that cell's parameters.
 
@@ -125,9 +126,11 @@ class Experiment:
     messages: int = 60
     bound: int | None = None
     max_slots: int = 100_000
+    samplings: tuple = ("uniform",)
+    ci_target: float | None = None
 
     def __post_init__(self) -> None:
-        from ..resilience.sweep import METRICS_MODES, SWEEP_BACKENDS
+        from ..resilience.sweep import METRICS_MODES, SAMPLING_MODES, SWEEP_BACKENDS
 
         specs = tuple(
             NetworkSpec.parse(s) for s in _normalize_tuple(self.specs)
@@ -154,10 +157,29 @@ class Experiment:
             raise ValueError(
                 f"unknown sweep backend {self.backend!r}; known: {known}"
             )
+        samplings = tuple(_normalize_tuple(self.samplings))
+        for mode in samplings:
+            if mode not in SAMPLING_MODES:
+                known = ", ".join(SAMPLING_MODES)
+                raise ValueError(
+                    f"unknown sampling mode {mode!r}; known: {known}"
+                )
+        if not samplings:
+            raise ValueError("an experiment needs at least one sampling mode")
+        if self.ci_target is not None and not (
+            isinstance(self.ci_target, (int, float))
+            and not isinstance(self.ci_target, bool)
+            and self.ci_target > 0
+        ):
+            raise ValueError(
+                f"ci_target must be a number > 0 or None, "
+                f"got {self.ci_target!r}"
+            )
         object.__setattr__(self, "specs", specs)
         object.__setattr__(self, "models", models)
         object.__setattr__(self, "metrics", metrics)
         object.__setattr__(self, "trials", trials)
+        object.__setattr__(self, "samplings", samplings)
 
     def _cell_backend(self, metrics_mode: str) -> str:
         """The preferred backend, downgraded where it cannot score.
@@ -196,11 +218,14 @@ class Experiment:
                 max_slots=self.max_slots,
                 metrics=metrics_mode,
                 backend=self._cell_backend(metrics_mode),
+                ci_target=self.ci_target,
+                sampling=sampling,
             )
             for spec in self.specs
             for model in self.models
             for metrics_mode in self.metrics
             for trials in self.trials
+            for sampling in self.samplings
         ]
 
     def run(self, *, workers=_UNSET_WORKERS, session=None) -> "ExperimentResult":
@@ -229,6 +254,8 @@ class Experiment:
             "backend": self.backend,
             "workload": self.workload,
             "messages": self.messages,
+            "samplings": list(self.samplings),
+            "ci_target": self.ci_target,
         }
 
     def to_payload(self) -> dict[str, object]:
@@ -274,6 +301,7 @@ class ExperimentCell:
     faults: int
     metrics: str
     backend: str
+    sampling: str
     summary: object  # the cell's SweepSummary
 
     def as_dict(self) -> dict[str, object]:
@@ -284,6 +312,7 @@ class ExperimentCell:
             "faults": self.faults,
             "metrics": self.metrics,
             "backend": self.backend,
+            "sampling": self.sampling,
             "summary": self.summary.as_dict(),
         }
 

@@ -292,6 +292,8 @@ def resilience_sweep(
     max_slots: int = 100_000,
     metrics: str = "full",
     backend: str = "batched",
+    ci_target: float | None = None,
+    sampling: str = "uniform",
 ):
     """Monte-Carlo survivability sweep of ``spec`` under ``model``.
 
@@ -338,6 +340,21 @@ def resilience_sweep(
         numpy trial batches; ``connectivity`` metrics only,
         byte-identical to ``batched``) or ``"legacy"`` (the
         rebuild-per-trial reference path, ``full`` metrics only).
+    ci_target : float, optional
+        Sequential-stopping target: run deterministic trial waves
+        until the 95% confidence interval on the survival probability
+        has half-width at most ``ci_target`` (or ``trials`` -- the cap
+        -- is exhausted).  The summary's ``adaptive`` block then
+        reports ``trials_spent`` vs ``trials_requested`` and the final
+        CI.  Must be > 0; default ``None`` runs the fixed trial count.
+    sampling : {"uniform", "stratified", "importance"}, optional
+        Trial-allocation strategy.  ``"stratified"`` splits trials
+        across fault-cardinality strata with a mass-reweighted
+        unbiased estimator; ``"importance"`` biases draws toward the
+        rare high-fault tail and reweights by exact likelihood ratio.
+        Both need a fault model with a known cardinality distribution
+        (``coupler``, ``processor`` or ``bernoulli``) and keep results
+        byte-identical at any worker count.
 
     Returns
     -------
@@ -369,6 +386,8 @@ def resilience_sweep(
         max_slots=max_slots,
         metrics=metrics,
         backend=backend,
+        ci_target=ci_target,
+        sampling=sampling,
     )
 
 
@@ -395,6 +414,8 @@ def design_search(
     parallelism: str = "sweeps",
     backend: str = "batched",
     rank_by: str = "survivability-per-cost",
+    ci_target: float | None = None,
+    sampling: str = "uniform",
 ):
     """Resilience-aware design search over every registered family.
 
@@ -448,6 +469,15 @@ def design_search(
     rank_by : {"survivability-per-cost", "within-bound", "mean-stretch"}, optional
         Ranking criterion for the candidate table.  The path-metric
         rankings need ``metrics="paths"`` or ``"full"``.
+    ci_target : float, optional
+        Sequential stopping per candidate sweep (see
+        :func:`resilience_sweep`); under the default ranking it also
+        arms early discard -- a candidate's sweep ends as soon as its
+        confidence interval can no longer overlap the current
+        leader's.  Needs ``parallelism="sweeps"``.
+    sampling : {"uniform", "stratified", "importance"}, optional
+        Trial-allocation strategy for every candidate sweep (see
+        :func:`resilience_sweep`).
 
     Returns
     -------
@@ -488,6 +518,8 @@ def design_search(
         parallelism=parallelism,
         backend=backend,
         rank_by=rank_by,
+        ci_target=ci_target,
+        sampling=sampling,
     )
 
 
@@ -504,6 +536,8 @@ def experiment(
     messages: int = 60,
     bound: int | None = None,
     max_slots: int = 100_000,
+    samplings=("uniform",),
+    ci_target: float | None = None,
 ):
     """Run a declarative specs x models x metrics x trials experiment.
 
@@ -537,6 +571,13 @@ def experiment(
         score fall back to ``"batched"``.
     workload, messages, bound, max_slots : optional
         Per-cell sweep parameters (see :func:`resilience_sweep`).
+    samplings : str or iterable of str, optional
+        Trial-allocation strategies (a grid axis; default
+        ``("uniform",)``; see :func:`resilience_sweep`).
+    ci_target : float, optional
+        Sequential-stopping half-width target applied to every cell
+        (see :func:`resilience_sweep`); default ``None`` runs fixed
+        trial counts.
 
     Returns
     -------
@@ -566,6 +607,8 @@ def experiment(
         messages=messages,
         bound=bound,
         max_slots=max_slots,
+        samplings=samplings,
+        ci_target=ci_target,
     )
 
 

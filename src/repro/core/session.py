@@ -334,6 +334,8 @@ class Session:
         max_slots: int = 100_000,
         metrics: str = "full",
         backend: str = "batched",
+        ci_target: float | None = None,
+        sampling: str = "uniform",
     ):
         """Monte-Carlo survivability sweep (see :func:`repro.resilience_sweep`).
 
@@ -344,6 +346,7 @@ class Session:
         """
         self._check_open()
         from ..obs.trace import span
+        from ..resilience.adaptive import run_adaptive
         from ..resilience.sweep import _prepare_sweep, _summarize
 
         entry = self._cache.entry(spec)
@@ -371,6 +374,8 @@ class Session:
                 max_slots=max_slots,
                 metrics=metrics,
                 backend=backend,
+                ci_target=ci_target,
+                sampling=sampling,
                 _net=entry.network,
                 _baseline=baseline,
             )
@@ -382,7 +387,10 @@ class Session:
         )
         with span("sweep.execute", spec=entry.canonical, trials=trials,
                   backend=backend):
-            rows = executor.run(prepared, arrays=arrays)
+            if prepared.ci_target is not None:
+                rows = run_adaptive(prepared, executor, arrays=arrays)
+            else:
+                rows = executor.run(prepared, arrays=arrays)
         with span("sweep.summarize", spec=entry.canonical, trials=trials):
             return _summarize(prepared, rows)
 
@@ -437,6 +445,8 @@ class Session:
         messages: int = 60,
         bound: int | None = None,
         max_slots: int = 100_000,
+        samplings=("uniform",),
+        ci_target: float | None = None,
     ):
         """Declare and run an :class:`~repro.core.experiment.Experiment`.
 
@@ -456,6 +466,8 @@ class Session:
             messages=messages,
             bound=bound,
             max_slots=max_slots,
+            samplings=samplings,
+            ci_target=ci_target,
         )
         return self.run_experiment(plan, workers=workers)
 
@@ -469,6 +481,7 @@ class Session:
         from dataclasses import replace
 
         from ..obs.trace import span
+        from ..resilience.adaptive import run_adaptive
         from ..resilience.sweep import _prepare_sweep, _summarize
         from .experiment import ExperimentCell, ExperimentResult
 
@@ -498,6 +511,8 @@ class Session:
                     max_slots=request["max_slots"],
                     metrics=request["metrics"],
                     backend=request["backend"],
+                    ci_target=request.get("ci_target"),
+                    sampling=request.get("sampling", "uniform"),
                     _net=entry.network,
                     _baseline=baseline,
                 )
@@ -511,9 +526,20 @@ class Session:
                     else None
                 )
         with span("experiment.execute", cells=len(prepared_list)):
-            rows_lists = executor.run_many(
-                prepared_list, arrays_list=arrays_list
-            )
+            if any(p.ci_target is not None for p in prepared_list):
+                # adaptive cells need per-wave stop decisions, so a
+                # grid with ci_target runs cell-by-cell on the shared
+                # pool (same bytes, no cross-cell chunk interleaving)
+                rows_lists = [
+                    run_adaptive(prepared, executor, arrays=arrays)
+                    if prepared.ci_target is not None
+                    else executor.run(prepared, arrays=arrays)
+                    for prepared, arrays in zip(prepared_list, arrays_list)
+                ]
+            else:
+                rows_lists = executor.run_many(
+                    prepared_list, arrays_list=arrays_list
+                )
         with span("experiment.summarize", cells=len(prepared_list)):
             cells = tuple(
                 ExperimentCell(
@@ -522,6 +548,7 @@ class Session:
                     faults=prepared.plan.model.faults,
                     metrics=prepared.plan.metrics,
                     backend=prepared.plan.backend,
+                    sampling=prepared.sampling,
                     summary=_summarize(prepared, rows),
                 )
                 for prepared, rows in zip(prepared_list, rows_lists)

@@ -115,6 +115,12 @@ class DesignCandidate:
     survivability_per_kilocost: float
     #: on the (cost, survivability, diameter) Pareto front?
     pareto: bool = False
+    #: trials actually run for this candidate (equals the requested
+    #: count unless sequential stopping / early discard ended early)
+    trials_spent: int = 0
+    #: stopped early because its CI could no longer overlap the
+    #: leader's score (only under ci_target with the default ranking)
+    early_discarded: bool = False
 
     def as_dict(self) -> dict[str, object]:
         """Field name -> value mapping (JSON-ready)."""
@@ -174,6 +180,10 @@ class DesignSearchResult:
     #: that were never actually faulted)
     skipped_underfaulted: tuple[str, ...] = ()
     cost_model: dict[str, float] = field(default_factory=dict)
+    #: sequential-stopping half-width target of the candidate sweeps
+    ci_target: float | None = None
+    #: trial-allocation strategy of the candidate sweeps
+    sampling: str = "uniform"
 
     def __iter__(self):
         return iter(self.candidates)
@@ -207,6 +217,8 @@ class DesignSearchResult:
             "seed": self.seed,
             "metrics": self.metrics,
             "rank_by": self.rank_by,
+            "ci_target": self.ci_target,
+            "sampling": self.sampling,
             "cost_model": self.cost_model,
             "pareto": list(self.pareto),
             "skipped_underfaulted": list(self.skipped_underfaulted),
@@ -317,6 +329,8 @@ def design_search(
     parallelism: str = "sweeps",
     backend: str = "batched",
     rank_by: str = "survivability-per-cost",
+    ci_target: float | None = None,
+    sampling: str = "uniform",
     _executor=None,
     _enumerator=None,
 ) -> DesignSearchResult:
@@ -357,7 +371,18 @@ def design_search(
     -- with ``backend="vectorized"`` those rank at 10^5-trial
     precision in seconds.
     The ranked table is byte-identical across all parallelism modes,
-    backends and worker counts.  ``_executor`` (internal, session
+    backends and worker counts.  ``ci_target`` arms sequential
+    stopping per candidate sweep and -- under the default ranking --
+    early discard: a candidate whose score confidence interval
+    ``(1000 / cost) * survival CI`` can no longer overlap the current
+    leader's lower bound stops sweeping immediately (it stays in the
+    table, marked ``early_discarded``, with whatever trials it spent).
+    Needs ``parallelism="sweeps"`` (candidates must run in order for
+    the leader bound to exist); deterministic because candidate order,
+    wave schedules and estimates all are.  ``sampling`` selects the
+    trial-allocation strategy of every candidate sweep (see
+    :func:`~repro.resilience.sweep.survivability_sweep`).
+    ``_executor`` (internal, session
     plumbing) reuses an injected
     :class:`~repro.resilience.sweep.PersistentSweepExecutor` for every
     candidate sweep instead of spawning pools per call; ``_enumerator``
@@ -389,6 +414,13 @@ def design_search(
             f"rank_by={rank_by!r} ranks on path metrics; run with "
             "metrics='paths' (vectorized-backend fast) or 'full'"
         )
+    if ci_target is not None and parallelism == "candidates":
+        raise ValueError(
+            "ci_target needs parallelism='sweeps': early discard "
+            "compares each candidate's CI against the leader's as the "
+            "candidates run in order, which the shared-pool candidate "
+            "scheduling cannot do"
+        )
     from ..resilience.faults import FaultModel, make_fault_model
 
     # same contract as repro.degrade / resilience_sweep: a string key
@@ -414,6 +446,8 @@ def design_search(
         messages=messages,
         metrics=metrics,
         backend=backend,
+        ci_target=ci_target,
+        sampling=sampling,
     )
     pooled = parallelism == "candidates"
     #: (spec, (N, groups, degree, diameter), cost, margin) per eligible
@@ -422,6 +456,13 @@ def design_search(
     records: list[tuple[NetworkSpec, tuple[int, int, int, int], float, float]] = []
     requests: list[dict] = []
     summaries = []
+    discarded_specs: set[str] = set()
+    #: best score-CI lower bound seen so far: (1000 / cost) * survival
+    #: CI low of the leading candidate (default ranking only)
+    leader_low = float("-inf")
+    discard_armed = (
+        ci_target is not None and rank_by == "survivability-per-cost"
+    )
     skipped_underfaulted: list[str] = []
     def _count(outcome: str) -> None:
         REGISTRY.counter(
@@ -488,16 +529,34 @@ def design_search(
                     dict(spec=spec, model=fault_model, **sweep_kw)
                 )
             else:
-                summaries.append(
-                    survivability_sweep(
-                        spec,
-                        fault_model,
-                        workers=workers,
-                        _net=net,
-                        _executor=_executor,
-                        **sweep_kw,
-                    )
+                extra_stop = None
+                if discard_armed:
+                    # candidates run in deterministic order, so the
+                    # leader bound -- and therefore every discard --
+                    # replays identically at any worker count
+                    def extra_stop(
+                        estimate, _cost=cost, _spec=spec.canonical()
+                    ):
+                        if 1000.0 * estimate["ci_high"] / _cost < leader_low:
+                            discarded_specs.add(_spec)
+                            _count("early_discarded")
+                            return True
+                        return False
+                summary = survivability_sweep(
+                    spec,
+                    fault_model,
+                    workers=workers,
+                    _net=net,
+                    _executor=_executor,
+                    _extra_stop=extra_stop,
+                    **sweep_kw,
                 )
+                if discard_armed and summary.adaptive is not None:
+                    leader_low = max(
+                        leader_low,
+                        1000.0 * summary.adaptive["ci_low"] / cost,
+                    )
+                summaries.append(summary)
 
     if pooled:
         # one shared pool over every candidate's trial batches: the
@@ -533,6 +592,8 @@ def design_search(
                 survivability_per_kilocost=round(
                     1000.0 * survivability / cost, 6
                 ),
+                trials_spent=summary.trials,
+                early_discarded=spec.canonical() in discarded_specs,
             )
         )
     with span("design_search.rank", candidates=len(evaluated)):
@@ -560,4 +621,6 @@ def design_search(
         pareto=pareto,
         skipped_underfaulted=tuple(skipped_underfaulted),
         cost_model=pricing.as_dict(),
+        ci_target=ci_target,
+        sampling=sampling,
     )

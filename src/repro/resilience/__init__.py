@@ -27,10 +27,17 @@ Facade: :func:`repro.degrade` and :func:`repro.resilience_sweep`; CLI:
 ``python -m repro resilience "sk(6,3,2)" --faults 2 --trials 1000``.
 """
 
+from .adaptive import (
+    ImportanceSampler,
+    StratifiedSampler,
+    survival_estimate,
+    wilson_interval,
+)
 from .degrade import DegradedNetwork, degrade_network
 from .faults import (
     FAULT_MODELS,
     AdversarialFirstHopFaults,
+    BernoulliCouplerFaults,
     FaultModel,
     FaultScenario,
     GroupBlockOutage,
@@ -53,6 +60,7 @@ from .metrics import (
 )
 from .sweep import (
     METRICS_MODES,
+    SAMPLING_MODES,
     SWEEP_BACKENDS,
     PersistentSweepExecutor,
     SweepSummary,
@@ -63,14 +71,18 @@ from .sweep import (
 __all__ = [
     "FAULT_MODELS",
     "METRICS_MODES",
+    "SAMPLING_MODES",
     "SWEEP_BACKENDS",
     "AdversarialFirstHopFaults",
+    "BernoulliCouplerFaults",
     "DegradedNetwork",
     "FaultModel",
     "FaultScenario",
     "GroupBlockOutage",
+    "ImportanceSampler",
     "PersistentSweepExecutor",
     "ResilienceMetrics",
+    "StratifiedSampler",
     "SweepSummary",
     "UniformCouplerFaults",
     "UniformLinkFaults",
@@ -87,5 +99,7 @@ __all__ = [
     "pooled_survivability_sweeps",
     "scenarios",
     "survivability_sweep",
+    "survival_estimate",
     "trial_seed",
+    "wilson_interval",
 ]

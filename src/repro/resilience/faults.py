@@ -30,6 +30,7 @@ from typing import ClassVar
 __all__ = [
     "FaultScenario",
     "FaultModel",
+    "BernoulliCouplerFaults",
     "UniformCouplerFaults",
     "UniformProcessorFaults",
     "UniformLinkFaults",
@@ -165,6 +166,52 @@ class UniformCouplerFaults(FaultModel):
 
 
 @dataclass(frozen=True)
+class BernoulliCouplerFaults(FaultModel):
+    """Every coupler fails independently with one per-coupler probability.
+
+    The rare-event workhorse: unlike the fixed-count models its fault
+    *cardinality* is a full Binomial distribution, which is what the
+    stratified/importance estimators in
+    :mod:`~repro.resilience.adaptive` redistribute trials over.  The
+    per-coupler probability is ``rate`` when given, else
+    ``faults / num_couplers`` (so ``faults`` keeps its meaning as the
+    *expected* fault count for string-keyed construction).  Draws are
+    deliberately uncapped -- a scenario may kill every coupler -- so
+    the cardinality law is exactly ``Binomial(m, p)`` and, conditioned
+    on ``k`` deaths, the dead set is exactly uniform over
+    ``k``-subsets.  That exchangeability is what makes the reweighted
+    estimators unbiased rather than approximate.
+    """
+
+    key: ClassVar[str] = "bernoulli"
+
+    rate: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate is not None and not 0.0 <= self.rate <= 1.0:
+            raise ValueError(
+                f"rate must be a probability in [0, 1], got {self.rate}"
+            )
+
+    def probability(self, net) -> float:
+        """The per-coupler failure probability on ``net``."""
+        if self.rate is not None:
+            return self.rate
+        m = net.num_couplers
+        return min(self.faults / m, 1.0) if m else 0.0
+
+    def sample_faults(self, net, rng: random.Random):
+        p = self.probability(net)
+        return (
+            {c for c in range(net.num_couplers) if rng.random() < p},
+            set(),
+        )
+
+    def max_faults(self, net) -> int:
+        return net.num_couplers
+
+
+@dataclass(frozen=True)
 class UniformProcessorFaults(FaultModel):
     """``faults`` processors chosen uniformly (at least two survive)."""
 
@@ -285,6 +332,7 @@ FAULT_MODELS: dict[str, type[FaultModel]] = {
     cls.key: cls
     for cls in (
         UniformCouplerFaults,
+        BernoulliCouplerFaults,
         UniformProcessorFaults,
         UniformLinkFaults,
         AdversarialFirstHopFaults,

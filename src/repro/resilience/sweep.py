@@ -76,6 +76,12 @@ import numpy as np
 
 from ..obs.metrics import REGISTRY, reset_worker_registry, worker_registry
 from ..obs.trace import add_complete_event, now_us, span
+from .adaptive import (
+    SAMPLING_MODES,
+    adaptive_summary_block,
+    make_sampler,
+    run_adaptive,
+)
 from .degrade import DegradedNetwork
 from .faults import FaultModel, make_fault_model, trial_seed
 from .metrics import connectivity_metrics, measure, path_survival
@@ -86,6 +92,7 @@ __all__ = [
     "survivability_sweep",
     "pooled_survivability_sweeps",
     "METRICS_MODES",
+    "SAMPLING_MODES",
     "SWEEP_BACKENDS",
 ]
 
@@ -167,10 +174,16 @@ class SweepSummary:
     #: vectorized->batched ``paths`` downgrade for structured-routing
     #: families.  Also excluded from the JSON.
     downgrade_reason: str | None = None
+    #: the adaptive/estimator record (sampling mode, trials spent vs
+    #: requested, survival estimate with its confidence interval) --
+    #: present exactly when the request opted in via ``ci_target=`` or
+    #: a non-uniform ``sampling=``, and absent from the JSON otherwise
+    #: so plain fixed-trial sweeps keep their pre-adaptive bytes.
+    adaptive: dict | None = None
 
     def as_dict(self) -> dict[str, object]:
         """JSON-ready view (stable key order via ``to_json``)."""
-        return {
+        payload: dict[str, object] = {
             "spec": self.spec,
             "model": self.model,
             "faults": self.faults,
@@ -183,6 +196,9 @@ class SweepSummary:
             "within_bound_fraction": self.within_bound_fraction,
             "partitioned_fraction": self.partitioned_fraction,
         }
+        if self.adaptive is not None:
+            payload["adaptive"] = self.adaptive
+        return payload
 
     def to_json(self) -> str:
         """Canonical JSON: sorted keys, 2-space indent, rounded floats.
@@ -215,6 +231,19 @@ class SweepSummary:
             lines.append(
                 f"  {key:<18} {q['mean']:>9.4f} {q['p05']:>9.4f} "
                 f"{q['p50']:>9.4f} {q['p95']:>9.4f}"
+            )
+        if self.adaptive is not None:
+            a = self.adaptive
+            target = (
+                "no CI target"
+                if a["ci_target"] is None
+                else f"CI target +/-{a['ci_target']}"
+            )
+            lines.append(
+                f"  {a['sampling']} sampling, {target}: survival "
+                f"{a['survival']:.6f} in [{a['ci_low']:.6f}, "
+                f"{a['ci_high']:.6f}], {a['trials_spent']}/"
+                f"{a['trials_requested']} trials over {a['rounds']} round(s)"
             )
         if self.downgrade_reason is not None:
             lines.append(f"  note: {self.downgrade_reason}")
@@ -307,9 +336,17 @@ class _TrialContext:
     def run_trial(self, index: int) -> dict[str, object]:
         """The metrics row of trial ``index`` (scored per the plan's mode)."""
         plan = self.plan
-        scenario = plan.model.scenario(
-            plan.canonical, self.net, trial_seed(plan.seed, index)
-        )
+        # index-aware samplers (stratified/importance wrappers) need the
+        # trial *index*, not just its seed: the index picks the stratum
+        # or replays the proposal draw.  Duck-typed so custom models can
+        # opt in without importing the adaptive machinery.
+        scenario_at = getattr(plan.model, "scenario_at", None)
+        if scenario_at is not None:
+            scenario = scenario_at(plan.canonical, self.net, plan.seed, index)
+        else:
+            scenario = plan.model.scenario(
+                plan.canonical, self.net, trial_seed(plan.seed, index)
+            )
         degraded = DegradedNetwork(self.net, scenario, family=self.family)
         if plan.metrics == "full":
             return measure(
@@ -584,12 +621,16 @@ class _VectorContext:
         n, m = arrays.num_processors, arrays.num_couplers
         dead_proc = np.zeros((hi - lo, n), dtype=bool)
         direct = np.zeros((hi - lo, m), dtype=bool)
+        sample_at = getattr(plan.model, "sample_faults_at", None)
         for j in range(hi - lo):
             rng = random.Random(trial_seed(plan.seed, lo + j))
             try:
-                couplers, processors = plan.model.sample_faults(
-                    self._proxy, rng
-                )
+                if sample_at is not None:
+                    couplers, processors = sample_at(self._proxy, rng, lo + j)
+                else:
+                    couplers, processors = plan.model.sample_faults(
+                        self._proxy, rng
+                    )
             except (AttributeError, IndexError, TypeError) as exc:
                 # custom models may sample from network surface the
                 # array proxy does not carry -- name the restriction
@@ -1229,6 +1270,30 @@ class PersistentSweepExecutor:
                 tasks,
                 chunksize=max(1, trials // (self.workers * 4)),
             )
+        return self.run_range(prepared, 0, trials, arrays=arrays)
+
+    def run_range(
+        self, prepared: _PreparedSweep, start: int, stop: int, *, arrays=None
+    ) -> list[dict]:
+        """Rows of trials ``start .. stop - 1`` of one prepared sweep.
+
+        The adaptive engine's wave primitive: each wave is one
+        contiguous index range, so per-trial seeds -- and therefore
+        the rows -- are exactly what a fixed run of ``stop`` trials
+        would produce for that slice, at any worker count.  Legacy
+        plans have no range form (they are excluded from adaptive
+        sweeps at validation).
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        plan = prepared.plan
+        if plan.backend == "legacy":
+            raise ValueError(
+                "trial ranges support the batched and vectorized "
+                "backends; the legacy reference path runs whole sweeps"
+            )
+        if start >= stop:
+            return []
         if not self.parallel:
             # lock covers only the cache lookup/insert; trial compute
             # runs unlocked (contexts are read-only once built)
@@ -1241,11 +1306,14 @@ class PersistentSweepExecutor:
                     arrays=arrays,
                 )
             start_us = now_us()
-            rows = ctx.run_range(0, trials)
-            _observe_inline_run(plan, trials, (now_us() - start_us) / 1e6)
+            rows = ctx.run_range(start, stop)
+            _observe_inline_run(
+                plan, stop - start, (now_us() - start_us) / 1e6
+            )
             return rows
         tasks = [
-            (0, plan, lo, hi) for lo, hi in _index_chunks(trials, self.workers)
+            (0, plan, start + lo, start + hi)
+            for lo, hi in _index_chunks(stop - start, self.workers)
         ]
         dispatched_us = now_us()
         chunks = self._pool_map(_run_persistent_chunk, tasks)
@@ -1347,6 +1415,12 @@ class _PreparedSweep:
     #: why ``plan.backend`` differs from the requested backend
     #: (``None`` when it does not); surfaced on the summary
     downgrade: str | None = None
+    #: sequential-stopping half-width target (``None`` = fixed trials)
+    ci_target: float | None = None
+    #: the requested trial-allocation strategy (``"uniform"``,
+    #: ``"stratified"`` or ``"importance"``); the index-aware sampler
+    #: itself rides inside ``plan.model``
+    sampling: str = "uniform"
 
 
 def _intact_baseline(
@@ -1388,6 +1462,8 @@ def _prepare_sweep(
     max_slots: int = 100_000,
     metrics: str = "full",
     backend: str = "batched",
+    ci_target: float | None = None,
+    sampling: str = "uniform",
     _net=None,
     _baseline=None,
 ) -> _PreparedSweep:
@@ -1413,6 +1489,25 @@ def _prepare_sweep(
         )
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
+    if ci_target is not None:
+        if not isinstance(ci_target, (int, float)) or isinstance(
+            ci_target, bool
+        ):
+            raise ValueError(
+                f"ci_target must be a number > 0 or None, got {ci_target!r}"
+            )
+        if not ci_target > 0:
+            raise ValueError(f"ci_target must be > 0, got {ci_target}")
+        ci_target = float(ci_target)
+    if sampling not in SAMPLING_MODES:
+        known = ", ".join(SAMPLING_MODES)
+        raise ValueError(f"unknown sampling mode {sampling!r}; known: {known}")
+    if backend == "legacy" and (ci_target is not None or sampling != "uniform"):
+        raise ValueError(
+            "adaptive sweeps (ci_target=/sampling=) support the batched "
+            "and vectorized backends; the legacy reference path runs "
+            "fixed uniform sweeps only"
+        )
     if metrics not in METRICS_MODES:
         known = ", ".join(sorted(METRICS_MODES))
         raise ValueError(f"unknown metrics mode {metrics!r}; known: {known}")
@@ -1447,6 +1542,13 @@ def _prepare_sweep(
             )
             backend = "batched"
     net = parsed.build() if _net is None else _net
+    if sampling != "uniform":
+        # the index-aware sampler wrapper rides in the plan's model
+        # slot: same key/faults surface, but trial contexts detect
+        # scenario_at/sample_faults_at and pass the trial index through
+        model = make_sampler(
+            model, net, sampling=sampling, trials=trials, ci_target=ci_target
+        )
     if (
         downgrade is None
         and backend == "vectorized"
@@ -1505,12 +1607,20 @@ def _prepare_sweep(
         simulate=simulate,
         net=net,
         downgrade=downgrade,
+        ci_target=ci_target,
+        sampling=sampling,
     )
 
 
 def _summarize(prepared: _PreparedSweep, rows: list[dict]) -> SweepSummary:
-    """Aggregate per-trial rows into the deterministic quantile summary."""
-    plan, trials = prepared.plan, prepared.trials
+    """Aggregate per-trial rows into the deterministic quantile summary.
+
+    Denominators come from ``len(rows)``, not the requested trial
+    count: an adaptive sweep may stop before spending its cap, and the
+    summary's ``trials`` then reports what actually ran (the cap
+    survives in the ``adaptive`` block's ``trials_requested``).
+    """
+    plan, trials = prepared.plan, len(rows)
     summarized = METRICS_MODES[plan.metrics]
     quantiles: dict[str, dict[str, float]] = {}
     for key in summarized:
@@ -1547,6 +1657,7 @@ def _summarize(prepared: _PreparedSweep, rows: list[dict]) -> SweepSummary:
         partitioned_fraction=round(partitioned / trials, 6),
         backend=plan.backend,
         downgrade_reason=prepared.downgrade,
+        adaptive=adaptive_summary_block(prepared, rows),
     )
 
 
@@ -1572,14 +1683,23 @@ def _execute(
     prepared: _PreparedSweep,
     workers: int | None,
     executor: "PersistentSweepExecutor | None" = None,
+    extra_stop=None,
 ) -> list[dict]:
     """Run one prepared sweep's trials on the plan's backend.
 
     With ``executor`` the trials run on its (persistent) pool; without
     one, this is the one-shot path that spawns and tears down a pool
-    per call.  Row lists are byte-identical either way.
+    per call.  Row lists are byte-identical either way.  A sweep with
+    ``ci_target`` set runs the sequential-stopping wave loop instead
+    of one fixed batch (``extra_stop`` is its optional second stopping
+    rule -- the design search's early discard).
     """
     plan, trials = prepared.plan, prepared.trials
+    if prepared.ci_target is not None:
+        if executor is not None:
+            return run_adaptive(prepared, executor, extra_stop=extra_stop)
+        with PersistentSweepExecutor(workers) as owned:
+            return run_adaptive(prepared, owned, extra_stop=extra_stop)
     if executor is not None:
         return executor.run(prepared)
     parallel = workers is not None and workers > 1
@@ -1637,8 +1757,11 @@ def survivability_sweep(
     max_slots: int = 100_000,
     metrics: str = "full",
     backend: str = "batched",
+    ci_target: float | None = None,
+    sampling: str = "uniform",
     _net=None,
     _executor: PersistentSweepExecutor | None = None,
+    _extra_stop=None,
 ) -> SweepSummary:
     """Monte-Carlo survivability of ``spec`` under ``model`` faults.
 
@@ -1672,6 +1795,22 @@ def survivability_sweep(
     plumbing) runs the trials on an injected
     :class:`PersistentSweepExecutor` instead of a one-shot pool.
 
+    ``ci_target`` switches the sweep to sequential stopping: trials
+    run in deterministic waves until the 95% confidence interval on
+    the survival probability has half-width at most ``ci_target`` (or
+    the ``trials`` cap is hit); the summary's ``adaptive`` block then
+    reports ``trials_spent`` vs ``trials_requested`` and the final CI.
+    ``sampling`` picks the trial-allocation strategy: ``"uniform"``
+    (default, the plain sampler), ``"stratified"`` (trials allocated
+    across fault-cardinality strata, mass-reweighted estimator) or
+    ``"importance"`` (cardinality draws biased toward the rare
+    high-fault tail, likelihood-ratio reweighted).  Both knobs
+    preserve byte-identity at any worker count; non-uniform sampling
+    needs a fault model with a known cardinality distribution
+    (``coupler``, ``processor`` or ``bernoulli``).  ``_extra_stop``
+    (internal, design-search plumbing) is a second stopping predicate
+    evaluated per wave.
+
     >>> s = survivability_sweep("pops(2,2)", "coupler", trials=4, seed=1,
     ...                         messages=8)
     >>> s.trials
@@ -1699,11 +1838,13 @@ def survivability_sweep(
             max_slots=max_slots,
             metrics=metrics,
             backend=backend,
+            ci_target=ci_target,
+            sampling=sampling,
             _net=_net,
         )
     with span("sweep.execute", spec=prepared.plan.canonical, trials=trials,
               backend=prepared.plan.backend, metrics=prepared.plan.metrics):
-        rows = _execute(prepared, workers, _executor)
+        rows = _execute(prepared, workers, _executor, extra_stop=_extra_stop)
     with span("sweep.summarize", spec=prepared.plan.canonical, trials=trials):
         return _summarize(prepared, rows)
 
@@ -1766,18 +1907,40 @@ def pooled_survivability_sweeps(
             for request in requests:
                 p = _prepare_sweep(**request)
                 _reject_legacy_pooled(p)
-                summaries.append(_summarize(p, executor.run(p)))
+                if p.ci_target is not None:
+                    rows = run_adaptive(p, executor)
+                else:
+                    rows = executor.run(p)
+                summaries.append(_summarize(p, rows))
             return summaries
         prepared_list: list[_PreparedSweep] = []
         for request in requests:
             p = _prepare_sweep(**request)
             _reject_legacy_pooled(p)
             prepared_list.append(replace(p, net=None))
+        if any(p.ci_target is not None for p in prepared_list):
+            # adaptive requests need their per-wave stop decisions, so
+            # a mixed batch runs request-by-request on the shared pool
+            # (losing cross-sweep chunk interleaving, never bytes)
+            return [
+                _summarize(
+                    p,
+                    run_adaptive(p, executor)
+                    if p.ci_target is not None
+                    else executor.run(p),
+                )
+                for p in prepared_list
+            ]
         rows_lists = executor.run_many(prepared_list)
         return [
             _summarize(p, rows)
             for p, rows in zip(prepared_list, rows_lists)
         ]
+    if any(r.get("ci_target") is not None for r in requests):
+        # one-shot adaptive batches borrow a temporary persistent pool:
+        # wave scheduling needs an executor that survives across waves
+        with PersistentSweepExecutor(workers) as owned:
+            return pooled_survivability_sweeps(requests, executor=owned)
     if workers is None or workers <= 1:
         # prepare-and-execute one request at a time so each built
         # network is released before the next candidate's is built

@@ -140,6 +140,33 @@ def _str_field(payload, name, default):
     return value
 
 
+def _ci_target_field(payload) -> float | None:
+    """Optional ``ci_target``: a number > 0, or ``None``/absent."""
+    value = payload.get("ci_target")
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ServeError(
+            f"'ci_target' must be a number > 0, got {value!r}"
+        )
+    if not value > 0:
+        raise ServeError(f"'ci_target' must be > 0, got {value}")
+    return float(value)
+
+
+def _sampling_field(payload) -> str:
+    """``sampling``: one of the registered trial-allocation modes."""
+    from ..resilience.sweep import SAMPLING_MODES
+
+    sampling = _str_field(payload, "sampling", "uniform")
+    if sampling not in SAMPLING_MODES:
+        raise ServeError(
+            f"unknown sampling mode {sampling!r}",
+            details={"known": list(SAMPLING_MODES)},
+        )
+    return sampling
+
+
 def _fault_model(payload) -> tuple[str, int]:
     """Normalize ``model``/``faults`` to the registered ``(key, n)``."""
     from ..resilience.faults import make_fault_model
@@ -204,6 +231,8 @@ _SWEEP_FIELDS = (
     "max_slots",
     "metrics",
     "backend",
+    "ci_target",
+    "sampling",
 )
 
 
@@ -234,6 +263,8 @@ def validate_sweep(payload) -> dict:
         "max_slots": _int_field(payload, "max_slots", 100_000, minimum=1),
         "metrics": metrics,
         "backend": backend,
+        "ci_target": _ci_target_field(payload),
+        "sampling": _sampling_field(payload),
     }
 
 
@@ -258,6 +289,8 @@ _DESIGN_SEARCH_FIELDS = (
     "parallelism",
     "backend",
     "rank_by",
+    "ci_target",
+    "sampling",
 )
 
 
@@ -308,6 +341,12 @@ def validate_design_search(payload) -> dict:
         raise ServeError(
             f"'min_margin_db' must be a number, got {margin!r}"
         )
+    ci_target = _ci_target_field(payload)
+    if ci_target is not None and parallelism == "candidates":
+        raise ServeError(
+            "ci_target needs parallelism='sweeps' (early discard runs "
+            "candidates in order)"
+        )
     return {
         "max_processors": _int_field(
             payload, "max_processors", None, minimum=1
@@ -340,6 +379,8 @@ def validate_design_search(payload) -> dict:
         "parallelism": parallelism,
         "backend": backend,
         "rank_by": rank_by,
+        "ci_target": ci_target,
+        "sampling": _sampling_field(payload),
     }
 
 

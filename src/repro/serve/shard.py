@@ -79,6 +79,8 @@ def _run_cells(session, requests, indices):
             max_slots=request["max_slots"],
             metrics=request["metrics"],
             backend=request["backend"],
+            ci_target=request.get("ci_target"),
+            sampling=request.get("sampling", "uniform"),
         )
         yield i, {
             "spec": request["spec"],
@@ -86,6 +88,7 @@ def _run_cells(session, requests, indices):
             "faults": model.faults,
             "metrics": request["metrics"],
             "backend": request["backend"],
+            "sampling": request.get("sampling", "uniform"),
             "summary": summary.as_dict(),
         }
 

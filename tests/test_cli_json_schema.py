@@ -89,6 +89,8 @@ DESIGN_SEARCH_SCHEMA = {
     "metrics": str,
     "rank_by": str,
     "cost_model": dict,
+    "ci_target": (int, float, type(None)),
+    "sampling": str,
     "pareto": list,
     "skipped_underfaulted": list,
     "candidates": list,
@@ -103,6 +105,8 @@ EXPERIMENT_SCHEMA = {
     "backend": str,
     "workload": str,
     "messages": int,
+    "samplings": list,
+    "ci_target": (int, float, type(None)),
     "cells": list,
 }
 
@@ -112,6 +116,7 @@ EXPERIMENT_CELL_SCHEMA = {
     "faults": int,
     "metrics": str,
     "backend": str,
+    "sampling": str,
     "summary": dict,
 }
 
@@ -130,6 +135,21 @@ CANDIDATE_SCHEMA = {
     "mean_stretch": (int, float, type(None)),
     "survivability_per_kilocost": (int, float),
     "pareto": bool,
+    "trials_spent": int,
+    "early_discarded": bool,
+}
+
+#: adaptive sweeps add exactly one key to the resilience summary
+ADAPTIVE_BLOCK_SCHEMA = {
+    "sampling": str,
+    "ci_target": (int, float, type(None)),
+    "trials_requested": int,
+    "trials_spent": int,
+    "rounds": int,
+    "survival": (int, float),
+    "ci_low": (int, float),
+    "ci_high": (int, float),
+    "ci_half_width": (int, float),
 }
 
 
@@ -241,6 +261,26 @@ class TestResilienceSchema:
         }
         assert data["within_bound_fraction"] is None
         assert data["messages"] == 0
+
+    def test_adaptive_summary_adds_exactly_one_key(self, capsys):
+        data = cli_json(
+            capsys,
+            [
+                "resilience",
+                "pops(2,3)",
+                "--trials",
+                "512",
+                "--metrics",
+                "connectivity",
+                "--ci-target",
+                "0.05",
+                "--json",
+            ],
+        )
+        assert_schema(data, {**RESILIENCE_SCHEMA, "adaptive": dict})
+        assert_schema(data["adaptive"], ADAPTIVE_BLOCK_SCHEMA)
+        assert data["adaptive"]["trials_spent"] == data["trials"]
+        assert data["adaptive"]["trials_requested"] == 512
 
 
 class TestExperimentSchema:
