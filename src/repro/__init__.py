@@ -72,6 +72,11 @@ Subpackages
     Observability: process-wide metrics registry (Prometheus text
     exposition), span tracing (Chrome trace-event export), structured
     access logs -- all stdlib-only timing side channels.
+:mod:`repro.temporal`
+    Temporal dynamics: seeded MTBF/MTTR failure/repair processes,
+    availability-over-time replay against the kernels and the slotted
+    simulator, and traffic-matrix engineering (utilization,
+    dimensioning, overload-driven degraded routing).
 """
 
 from . import (
@@ -87,6 +92,7 @@ from . import (
     resilience,
     routing,
     simulation,
+    temporal,
 )
 from .core import (
     Experiment,
@@ -114,6 +120,7 @@ from .core import (
     route,
     simulate,
     sweep,
+    temporal_sweep,
 )
 from .design_search import (
     DEFAULT_COST_MODEL,
@@ -171,6 +178,13 @@ from .simulation import (
     simulator_for,
     stack_kautz_simulator,
 )
+from .temporal import (
+    FaultProcess,
+    FaultTrace,
+    TemporalSummary,
+    TrafficMatrix,
+    make_fault_process,
+)
 
 __version__ = "1.0.0"
 
@@ -190,8 +204,10 @@ __all__ = [
     "ExperimentCell",
     "ExperimentResult",
     "FaultModel",
+    "FaultProcess",
     "FaultScenario",
     "FaultSet",
+    "FaultTrace",
     "Hyperarc",
     "Network",
     "NetworkFamily",
@@ -217,6 +233,8 @@ __all__ = [
     "SweepCell",
     "SweepResult",
     "SweepSummary",
+    "TemporalSummary",
+    "TrafficMatrix",
     "analysis",
     "build",
     "core",
@@ -241,6 +259,7 @@ __all__ = [
     "kautz_num_nodes",
     "kautz_route",
     "make_fault_model",
+    "make_fault_process",
     "networks",
     "obs",
     "optical",
@@ -262,4 +281,6 @@ __all__ = [
     "stack_kautz_route",
     "stack_kautz_simulator",
     "sweep",
+    "temporal",
+    "temporal_sweep",
 ]

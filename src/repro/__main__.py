@@ -20,6 +20,7 @@ Usage::
     python -m repro compare 48                 # equal-N design table
     python -m repro sweep "sk(2,2,2)" "pops(4,2)" --workloads uniform permutation
     python -m repro resilience "sk(6,3,2)" --faults 2 --trials 1000 --json
+    python -m repro temporal "sk(6,3,2)" --mtbf 400 --mttr 100 --horizon 2000 --json
     python -m repro design-search --max-processors 48 --faults 2 --trials 200 --json
     python -m repro experiment "sk(2,2,2)" "pops(4,2)" --models coupler:1 link:2 --trials 200 --json
     python -m repro batch commands.txt --reuse-session
@@ -333,6 +334,39 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_temporal(args: argparse.Namespace) -> int:
+    from .core import temporal_sweep
+
+    try:
+        spec = NetworkSpec.from_argv(args.spec)
+        with _trace_to(args.trace):
+            summary = temporal_sweep(
+                spec,
+                process=args.process,
+                faults=args.faults,
+                mtbf=args.mtbf,
+                mttr=args.mttr,
+                law=args.law,
+                horizon=args.horizon,
+                trials=args.trials,
+                seed=args.seed,
+                workers=args.workers,
+                workload=args.workload,
+                messages=args.messages,
+                bound=args.bound,
+                metrics=args.metrics,
+                curve_points=args.curve_points,
+            )
+    except (SpecError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(summary.to_json())
+        return 0
+    print(summary.formatted())
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .core import experiment
 
@@ -479,6 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     from .design_search import PARALLELISM_MODES, RANKINGS
     from .resilience import METRICS_MODES, SAMPLING_MODES, SWEEP_BACKENDS
+    from .temporal import TEMPORAL_METRICS_MODES
 
     metrics_modes = tuple(METRICS_MODES)
     trace_help = (
@@ -730,6 +765,98 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_resilience)
 
     p = sub.add_parser(
+        "temporal",
+        help="replay seeded failure/repair processes: availability over time",
+    )
+    p.add_argument(
+        "spec",
+        nargs="+",
+        help='network spec ("sk(6,3,2)") or positional (sk 6 3 2)',
+    )
+    p.add_argument(
+        "--process",
+        default="coupler-renewal",
+        help=(
+            "fault process: coupler-renewal, processor-renewal, cascade"
+        ),
+    )
+    p.add_argument(
+        "--faults",
+        type=int,
+        default=None,
+        help="components churning through failure/repair cycles (default 1)",
+    )
+    p.add_argument(
+        "--mtbf",
+        type=float,
+        default=None,
+        help="mean slots between failures per component (default 400)",
+    )
+    p.add_argument(
+        "--mttr",
+        type=float,
+        default=None,
+        help="mean slots to repair per failure (default 100)",
+    )
+    p.add_argument(
+        "--law",
+        choices=("exponential", "deterministic"),
+        default=None,
+        help="inter-event law (default exponential, the Markov process)",
+    )
+    p.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        help="replay length in slots (default 1000)",
+    )
+    p.add_argument(
+        "--trials", type=int, default=20, help="independent trace replays"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="multiprocessing workers (results are worker-count independent)",
+    )
+    p.add_argument(
+        "--workload",
+        default="uniform",
+        help="workload injected under churn (metrics=full only)",
+    )
+    p.add_argument(
+        "--messages",
+        type=int,
+        default=60,
+        help="messages per trial (metrics=full only)",
+    )
+    p.add_argument(
+        "--bound",
+        type=int,
+        default=None,
+        help="path-length bound for paths/full metrics (default diameter+2)",
+    )
+    p.add_argument(
+        "--metrics",
+        choices=tuple(TEMPORAL_METRICS_MODES),
+        default="connectivity",
+        help=(
+            "scoring depth per trace segment (full adds the slotted "
+            "simulation under churn)"
+        ),
+    )
+    p.add_argument(
+        "--curve-points",
+        type=int,
+        default=16,
+        help="bins of the availability-over-time curve",
+    )
+    p.add_argument("--trace", default=None, metavar="PATH", help=trace_help)
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_temporal)
+
+    p = sub.add_parser(
         "experiment",
         help="declarative specs x models x metrics x trials sweep grid",
     )
@@ -742,7 +869,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--models",
         nargs="+",
         default=["coupler"],
-        help="fault-model grid entries: key or key:faults (e.g. coupler:2 link)",
+        help=(
+            "fault-model or fault-process grid entries: key or "
+            "key:faults (e.g. coupler:2 link coupler-renewal:2)"
+        ),
     )
     p.add_argument(
         "--metrics",

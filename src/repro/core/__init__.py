@@ -28,6 +28,7 @@ from .facade import (
     route,
     simulate,
     sweep,
+    temporal_sweep,
 )
 from .protocols import Network
 from .session import Session, default_session, reset_default_session
@@ -76,5 +77,6 @@ __all__ = [
     "route",
     "simulate",
     "sweep",
+    "temporal_sweep",
     "workload_names",
 ]

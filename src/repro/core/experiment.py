@@ -62,16 +62,39 @@ def _normalize_tuple(value) -> tuple:
         return (value,)
 
 
-def _parse_model(entry):
-    """One model grid entry -> a FaultModel instance.
+def _make_model_or_process(key: str, intensity: int):
+    """Resolve ``key`` in the fault-model registry, then the processes.
 
-    Accepts a :class:`~repro.resilience.faults.FaultModel`, a key
-    string (``"coupler"``), a ``"key:faults"`` string
+    The models axis accepts *fault processes* alongside frozen fault
+    models: a process-keyed cell (``"coupler-renewal:2"``) replays
+    through the temporal engine instead of the one-shot sweep.
+    """
+    from ..resilience.faults import FAULT_MODELS, make_fault_model
+    from ..temporal.processes import FAULT_PROCESSES, make_fault_process
+
+    normalized = key.strip().lower()
+    if normalized in FAULT_MODELS:
+        return make_fault_model(normalized, intensity)
+    if normalized in FAULT_PROCESSES:
+        return make_fault_process(normalized, intensity)
+    known = ", ".join(sorted({*FAULT_MODELS, *FAULT_PROCESSES}))
+    raise ValueError(
+        f"unknown fault model or process {key!r}; known: {known}"
+    )
+
+
+def _parse_model(entry):
+    """One model grid entry -> a FaultModel or FaultProcess instance.
+
+    Accepts a :class:`~repro.resilience.faults.FaultModel`, a
+    :class:`~repro.temporal.processes.FaultProcess`, a key string
+    (``"coupler"``, ``"coupler-renewal"``), a ``"key:faults"`` string
     (``"coupler:2"``) or a ``(key, faults)`` pair.
     """
-    from ..resilience.faults import FaultModel, make_fault_model
+    from ..resilience.faults import FaultModel
+    from ..temporal.processes import FaultProcess
 
-    if isinstance(entry, FaultModel):
+    if isinstance(entry, (FaultModel, FaultProcess)):
         return entry
     if isinstance(entry, str):
         key, sep, faults = entry.partition(":")
@@ -83,13 +106,13 @@ def _parse_model(entry):
                     f"malformed fault-model entry {entry!r}: expected "
                     f"'key' or 'key:faults' with integer faults"
                 ) from None
-            return make_fault_model(key, intensity)
-        return make_fault_model(key, 1)
+            return _make_model_or_process(key, intensity)
+        return _make_model_or_process(key, 1)
     if isinstance(entry, (tuple, list)) and len(entry) == 2:
-        return make_fault_model(str(entry[0]), int(entry[1]))
+        return _make_model_or_process(str(entry[0]), int(entry[1]))
     raise ValueError(
         f"cannot parse a fault model from {entry!r}; pass a FaultModel, "
-        f"'key', 'key:faults' or a (key, faults) pair"
+        f"a FaultProcess, 'key', 'key:faults' or a (key, faults) pair"
     )
 
 

@@ -394,6 +394,84 @@ class Session:
         with span("sweep.summarize", spec=entry.canonical, trials=trials):
             return _summarize(prepared, rows)
 
+    def temporal_sweep(
+        self,
+        spec,
+        *,
+        process="coupler-renewal",
+        faults: int | None = None,
+        mtbf: float | None = None,
+        mttr: float | None = None,
+        law: str | None = None,
+        horizon: int | None = None,
+        trials: int = 20,
+        seed: int = 0,
+        workers=_UNSET,
+        workload="uniform",
+        messages: int = 60,
+        bound: int | None = None,
+        metrics: str = "connectivity",
+        curve_points: int = 16,
+        traffic=None,
+    ):
+        """Replay a fault process over time (see :func:`repro.temporal_sweep`).
+
+        Each trial compiles one deterministic trace from the per-trial
+        SHA-256 seed stream and replays it against the connectivity /
+        paths kernels (and, in ``full`` mode, the slotted simulator);
+        the summary is byte-identical at any worker count.
+        """
+        self._check_open()
+        from ..obs.metrics import REGISTRY
+        from ..obs.trace import span
+        from ..temporal.replay import (
+            DEFAULT_HORIZON,
+            execute_temporal,
+            prepare_temporal_sweep,
+            summarize_temporal,
+        )
+
+        entry = self._cache.entry(spec)
+        resolved_horizon = DEFAULT_HORIZON if horizon is None else horizon
+        with span("temporal.prepare", spec=entry.canonical, trials=trials,
+                  horizon=resolved_horizon):
+            prepared = prepare_temporal_sweep(
+                entry.spec,
+                process,
+                faults=faults,
+                mtbf=mtbf,
+                mttr=mttr,
+                law=law,
+                horizon=resolved_horizon,
+                trials=trials,
+                seed=seed,
+                workload=workload,
+                messages=messages,
+                bound=bound,
+                metrics=metrics,
+                curve_points=curve_points,
+                traffic=traffic,
+                _net=entry.network,
+            )
+        effective = self._effective_workers(workers)
+        worker_count = effective if isinstance(effective, int) else 1
+        with span("temporal.execute", spec=entry.canonical, trials=trials,
+                  workers=worker_count):
+            rows = execute_temporal(prepared, workers=worker_count)
+        REGISTRY.counter(
+            "repro_temporal_trials_total",
+            "Temporal replay trials executed.",
+            {"metrics": metrics},
+        ).inc(len(rows))
+        if prepared.skipped:
+            REGISTRY.counter(
+                "repro_temporal_skips_total",
+                "Temporal sweeps skipped by max_faults capacity accounting.",
+                {"process": prepared.plan.process.key},
+            ).inc()
+        with span("temporal.summarize", spec=entry.canonical, trials=trials):
+            return summarize_temporal(prepared, rows)
+
     def pooled_survivability_sweeps(self, requests, *, workers=_UNSET):
         """Many sweeps on one persistent pool (request-order summaries).
 
@@ -483,15 +561,42 @@ class Session:
         from ..obs.trace import span
         from ..resilience.adaptive import run_adaptive
         from ..resilience.sweep import _prepare_sweep, _summarize
+        from ..temporal.processes import FaultProcess
+        from ..temporal.replay import (
+            DEFAULT_HORIZON,
+            execute_temporal,
+            prepare_temporal_sweep,
+            summarize_temporal,
+        )
         from .experiment import ExperimentCell, ExperimentResult
 
         cells_meta = experiment.compile()
-        executor = self._executor_for(self._effective_workers(workers))
+        effective = self._effective_workers(workers)
+        executor = self._executor_for(effective)
+        # a grid axis may mix frozen fault models and fault *processes*:
+        # process cells replay through the temporal engine while the
+        # frozen cells share the persistent pool, and the results are
+        # reassembled in compile() order
         prepared_list = []
         arrays_list = []
+        temporal_prepared: dict[int, object] = {}
         with span("experiment.prepare", cells=len(cells_meta)):
-            for request in cells_meta:
+            for index, request in enumerate(cells_meta):
                 entry = self._cache.entry(request["spec"])
+                if isinstance(request["model"], FaultProcess):
+                    temporal_prepared[index] = prepare_temporal_sweep(
+                        entry.spec,
+                        request["model"],
+                        horizon=DEFAULT_HORIZON,
+                        trials=request["trials"],
+                        seed=request["seed"],
+                        workload=request["workload"],
+                        messages=request["messages"],
+                        bound=request["bound"],
+                        metrics=request["metrics"],
+                        _net=entry.network,
+                    )
+                    continue
                 baseline = (
                     lambda entry=entry, request=request: entry.baseline(
                         workload=request["workload"],
@@ -525,7 +630,8 @@ class Session:
                     and not executor.parallel
                     else None
                 )
-        with span("experiment.execute", cells=len(prepared_list)):
+        worker_count = effective if isinstance(effective, int) else 1
+        with span("experiment.execute", cells=len(cells_meta)):
             if any(p.ci_target is not None for p in prepared_list):
                 # adaptive cells need per-wave stop decisions, so a
                 # grid with ci_target runs cell-by-cell on the shared
@@ -540,20 +646,43 @@ class Session:
                 rows_lists = executor.run_many(
                     prepared_list, arrays_list=arrays_list
                 )
-        with span("experiment.summarize", cells=len(prepared_list)):
-            cells = tuple(
-                ExperimentCell(
-                    spec=prepared.plan.canonical,
-                    model=prepared.plan.model.key,
-                    faults=prepared.plan.model.faults,
-                    metrics=prepared.plan.metrics,
-                    backend=prepared.plan.backend,
-                    sampling=prepared.sampling,
-                    summary=_summarize(prepared, rows),
+            temporal_rows = {
+                index: execute_temporal(tprep, workers=worker_count)
+                for index, tprep in temporal_prepared.items()
+            }
+        with span("experiment.summarize", cells=len(cells_meta)):
+            sweep_results = iter(zip(prepared_list, rows_lists))
+            cells = []
+            for index, request in enumerate(cells_meta):
+                if index in temporal_prepared:
+                    tprep = temporal_prepared[index]
+                    cells.append(
+                        ExperimentCell(
+                            spec=tprep.plan.canonical,
+                            model=tprep.plan.process.key,
+                            faults=tprep.plan.process.faults,
+                            metrics=tprep.plan.metrics,
+                            backend=request["backend"],
+                            sampling=request.get("sampling", "uniform"),
+                            summary=summarize_temporal(
+                                tprep, temporal_rows[index]
+                            ),
+                        )
+                    )
+                    continue
+                prepared, rows = next(sweep_results)
+                cells.append(
+                    ExperimentCell(
+                        spec=prepared.plan.canonical,
+                        model=prepared.plan.model.key,
+                        faults=prepared.plan.model.faults,
+                        metrics=prepared.plan.metrics,
+                        backend=prepared.plan.backend,
+                        sampling=prepared.sampling,
+                        summary=_summarize(prepared, rows),
+                    )
                 )
-                for prepared, rows in zip(prepared_list, rows_lists)
-            )
-        return ExperimentResult(experiment=experiment, cells=cells)
+        return ExperimentResult(experiment=experiment, cells=tuple(cells))
 
 
 # ----------------------------------------------------------------------

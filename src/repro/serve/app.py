@@ -37,6 +37,7 @@ Endpoints::
                        + per-endpoint latency summaries
     GET  /metrics      Prometheus text exposition
     POST /v1/describe  POST /v1/sweep  POST /v1/design-search
+    POST /v1/temporal
     POST /v1/experiment   (``"stream": true`` -> NDJSON cell stream)
 """
 
@@ -60,6 +61,7 @@ from .protocol import (
     validate_design_search,
     validate_experiment,
     validate_sweep,
+    validate_temporal,
 )
 from .coalesce import RequestCoalescer
 
@@ -85,6 +87,7 @@ _KNOWN_ENDPOINTS = frozenset(
         "/v1/sweep",
         "/v1/design-search",
         "/v1/experiment",
+        "/v1/temporal",
     }
 )
 _REQUESTS_HELP = "HTTP requests by endpoint and status"
@@ -527,7 +530,9 @@ class ReproServer:
                 f"no such endpoint {target!r}", code="not_found", status=404
             )
         verb = target[len("/v1/"):]
-        if verb not in ("describe", "sweep", "design-search", "experiment"):
+        if verb not in (
+            "describe", "sweep", "design-search", "experiment", "temporal"
+        ):
             raise ServeError(
                 f"no such verb {verb!r}", code="not_found", status=404
             )
@@ -557,6 +562,11 @@ class ReproServer:
             ).as_dict()
         if verb == "design-search":
             return self.session.design_search(**normalized).as_dict()
+        if verb == "temporal":
+            return self.session.temporal_sweep(
+                normalized["spec"],
+                **{k: v for k, v in normalized.items() if k != "spec"},
+            ).as_dict()
         raise ServeError(f"no such verb {verb!r}", status=404)
 
     async def _handle_simple(self, writer, verb, payload, ctx) -> None:
@@ -564,6 +574,7 @@ class ReproServer:
             "describe": validate_describe,
             "sweep": validate_sweep,
             "design-search": validate_design_search,
+            "temporal": validate_temporal,
         }[verb]
         with span("serve.validate", request_id=ctx["id"], verb=verb):
             normalized = validator(payload)

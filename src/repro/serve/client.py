@@ -120,6 +120,9 @@ class ServeClient:
     def experiment(self, payload):
         return self.post("experiment", payload)
 
+    def temporal(self, spec, **fields):
+        return self.post("temporal", {"spec": spec, **fields})
+
     def stream_experiment(self, payload):
         """POST a streaming experiment; yield each parsed NDJSON line.
 

@@ -1,7 +1,8 @@
 """Request/response schemas of the serving tier.
 
 Every verb the server exposes (``describe``, ``sweep``,
-``design-search``, ``experiment``) has one validator here that turns a
+``design-search``, ``experiment``, ``temporal``) has one validator
+here that turns a
 raw JSON payload into a **normalized request**: spec strings are
 canonicalized through :class:`~repro.core.spec.NetworkSpec`, fault
 models resolve to their registered ``(key, faults)`` form, defaults
@@ -39,10 +40,11 @@ __all__ = [
     "validate_sweep",
     "validate_design_search",
     "validate_experiment",
+    "validate_temporal",
 ]
 
 #: The verbs the serving tier exposes (each one POST endpoint).
-SERVE_VERBS = ("describe", "sweep", "design-search", "experiment")
+SERVE_VERBS = ("describe", "sweep", "design-search", "experiment", "temporal")
 
 
 class ServeError(Exception):
@@ -381,6 +383,88 @@ def validate_design_search(payload) -> dict:
         "rank_by": rank_by,
         "ci_target": ci_target,
         "sampling": _sampling_field(payload),
+    }
+
+
+#: Every field a ``temporal`` request may carry (all others rejected).
+_TEMPORAL_FIELDS = (
+    "spec",
+    "process",
+    "faults",
+    "mtbf",
+    "mttr",
+    "law",
+    "horizon",
+    "trials",
+    "seed",
+    "workload",
+    "messages",
+    "bound",
+    "metrics",
+    "curve_points",
+)
+
+
+def _positive_float_field(payload, name, default) -> float:
+    value = payload.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ServeError(f"'{name}' must be a number > 0, got {value!r}")
+    if not value > 0:
+        raise ServeError(f"'{name}' must be > 0, got {value}")
+    return float(value)
+
+
+def validate_temporal(payload) -> dict:
+    """``temporal`` request -> normalized temporal-sweep arguments.
+
+    Field-for-field the :func:`repro.temporal_sweep` signature minus
+    ``workers`` (pool sizing belongs to the server) and ``traffic``
+    (matrix objects don't cross the JSON boundary yet).  The process
+    resolves through the registry so unknown keys and capacity-free
+    parameter combos fail at the door, and the normalized dict is
+    defaults-complete for exact coalescing.
+    """
+    from ..temporal.processes import make_fault_process
+    from ..temporal.replay import TEMPORAL_METRICS_MODES
+
+    payload = _require_object(payload, "temporal")
+    _reject_unknown(payload, _TEMPORAL_FIELDS, "temporal")
+    spec = _canonical_spec(payload, "temporal")
+    process = _str_field(payload, "process", "coupler-renewal")
+    faults = _int_field(payload, "faults", None, minimum=1, optional=True)
+    mtbf = _positive_float_field(payload, "mtbf", 400.0)
+    mttr = _positive_float_field(payload, "mttr", 100.0)
+    law = _str_field(payload, "law", "exponential")
+    try:
+        resolved = make_fault_process(
+            process, 1 if faults is None else faults,
+            mtbf=mtbf, mttr=mttr, law=law,
+        )
+    except (KeyError, ValueError) as exc:
+        raise ServeError(str(exc), code="invalid_process") from None
+    metrics = _str_field(payload, "metrics", "connectivity")
+    if metrics not in TEMPORAL_METRICS_MODES:
+        raise ServeError(
+            f"unknown metrics mode {metrics!r}",
+            details={"known": sorted(TEMPORAL_METRICS_MODES)},
+        )
+    return {
+        "spec": spec,
+        "process": resolved.key,
+        "faults": resolved.faults,
+        "mtbf": resolved.mtbf,
+        "mttr": resolved.mttr,
+        "law": resolved.law,
+        "horizon": _int_field(payload, "horizon", 1000, minimum=1),
+        "trials": _int_field(payload, "trials", 20, minimum=1),
+        "seed": _int_field(payload, "seed", 0),
+        "workload": _str_field(payload, "workload", "uniform"),
+        "messages": _int_field(payload, "messages", 60, minimum=1),
+        "bound": _int_field(payload, "bound", None, minimum=0, optional=True),
+        "metrics": metrics,
+        "curve_points": _int_field(
+            payload, "curve_points", 16, minimum=1
+        ),
     }
 
 

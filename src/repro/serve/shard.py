@@ -65,9 +65,34 @@ def _run_cells(session, requests, indices):
     keys, same values -- because the summary comes from the same
     prepared sweep the single-host path would run.
     """
+    from ..temporal.processes import FaultProcess
+
     for i in indices:
         request = requests[i]
         model = request["model"]
+        if isinstance(model, FaultProcess):
+            # process cells replay through the temporal engine, exactly
+            # as the single-host run_experiment path does
+            summary = session.temporal_sweep(
+                request["spec"],
+                process=model,
+                trials=request["trials"],
+                seed=request["seed"],
+                workload=request["workload"],
+                messages=request["messages"],
+                bound=request["bound"],
+                metrics=request["metrics"],
+            )
+            yield i, {
+                "spec": request["spec"],
+                "model": model.key,
+                "faults": model.faults,
+                "metrics": request["metrics"],
+                "backend": request["backend"],
+                "sampling": request.get("sampling", "uniform"),
+                "summary": summary.as_dict(),
+            }
+            continue
         summary = session.resilience_sweep(
             request["spec"],
             model=model,

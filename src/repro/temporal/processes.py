@@ -1,0 +1,401 @@
+"""Seeded time-varying fault processes compiled to event traces.
+
+The resilience sweeps score *frozen* fault scenarios -- one draw, one
+broken machine.  Real optical interconnects fail and repair
+continuously: a coupler's laser ages out and is swapped, a whole OTIS
+block browns out and comes back.  This module makes that temporal
+dimension first class.
+
+A :class:`FaultProcess` describes per-component alternating renewal
+processes -- mean time between failures (``mtbf``) up, mean time to
+repair (``mttr``) down, with exponential or deterministic inter-event
+laws -- plus correlated cascade triggers.  :meth:`FaultProcess.trace`
+compiles the process into a :class:`FaultTrace`: a deterministic,
+slot-stamped event list that is a pure function of
+``(process, spec, seed, horizon)``.
+
+Determinism contract: every random draw flows through
+:func:`stream_seed` -- the SHA-256 discipline of
+:func:`~repro.resilience.faults.trial_seed`, extended to named
+sub-streams -- so a component's failure history is independent of how
+many workers replay the trace and of which other components churn.
+
+>>> from repro.core import build
+>>> net = build("pops(2,2)")
+>>> p = CouplerRenewalProcess(faults=1, mtbf=40, mttr=10)
+>>> t = p.trace("pops(2,2)", net, seed=3, horizon=200)
+>>> t.events == p.trace("pops(2,2)", net, seed=3, horizon=200).events
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import ClassVar
+
+from ..resilience.faults import FaultScenario, coupler_endpoints
+
+__all__ = [
+    "RENEWAL_LAWS",
+    "ComponentEvent",
+    "FaultTrace",
+    "FaultProcess",
+    "CouplerRenewalProcess",
+    "ProcessorRenewalProcess",
+    "CascadeCouplerProcess",
+    "FAULT_PROCESSES",
+    "make_fault_process",
+    "fault_process_keys",
+    "stream_seed",
+]
+
+#: Supported inter-event laws for up/down durations.
+RENEWAL_LAWS = ("exponential", "deterministic")
+
+
+def stream_seed(seed: int, *parts: object) -> int:
+    """Deterministic, platform-stable seed for a named sub-stream.
+
+    SHA-256 of ``"seed:part:part:..."``: each (component, purpose)
+    pair gets its own independent stream, so adding a component or
+    resharding trials over workers never perturbs another component's
+    failure history.
+    """
+    payload = ":".join([str(seed), *(str(p) for p in parts)])
+    digest = hashlib.sha256(payload.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class ComponentEvent:
+    """One state transition of one component at one slot."""
+
+    slot: int
+    kind: str  # "fail" | "repair"
+    component: str  # "coupler" | "processor"
+    index: int
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready view."""
+        return {
+            "slot": self.slot,
+            "kind": self.kind,
+            "component": self.component,
+            "index": self.index,
+        }
+
+
+@dataclass(frozen=True)
+class FaultTrace:
+    """A compiled per-slot event trace over ``[0, horizon)`` slots.
+
+    Events are sorted by ``(slot, component, index, kind)`` -- a total
+    order, so the trace serializes and replays byte-identically.  The
+    machine starts intact; every fault injected before the horizon is
+    also repaired before it or stays down to the end.
+    """
+
+    spec: str
+    process: str
+    seed: int
+    horizon: int
+    events: tuple[ComponentEvent, ...]
+
+    def segments(self):
+        """Yield ``(start, stop, dead_couplers, dead_processors)``.
+
+        The piecewise-constant fault mask: within ``[start, stop)``
+        the dead sets do not change.  Segments partition
+        ``[0, horizon)`` exactly and come out in time order.
+        """
+        dead_c: set[int] = set()
+        dead_p: set[int] = set()
+        prev = 0
+        i, ev = 0, self.events
+        while i < len(ev):
+            slot = ev[i].slot
+            if slot > prev:
+                yield prev, slot, frozenset(dead_c), frozenset(dead_p)
+                prev = slot
+            while i < len(ev) and ev[i].slot == slot:
+                e = ev[i]
+                target = dead_c if e.component == "coupler" else dead_p
+                if e.kind == "fail":
+                    target.add(e.index)
+                else:
+                    target.discard(e.index)
+                i += 1
+        if prev < self.horizon:
+            yield prev, self.horizon, frozenset(dead_c), frozenset(dead_p)
+
+    def scenario_for(self, dead_couplers, dead_processors) -> FaultScenario:
+        """One segment's dead sets as a frozen :class:`FaultScenario`."""
+        return FaultScenario(
+            spec=self.spec,
+            model=self.process,
+            seed=self.seed,
+            couplers=frozenset(dead_couplers),
+            processors=frozenset(dead_processors),
+        )
+
+    def component_downtime(self, component: str, index: int) -> int:
+        """Total slots the component spends dead over the horizon."""
+        return sum(
+            stop - start
+            for start, stop, dead_c, dead_p in self.segments()
+            if index in (dead_c if component == "coupler" else dead_p)
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready view (events in trace order)."""
+        return {
+            "spec": self.spec,
+            "process": self.process,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "events": [e.as_dict() for e in self.events],
+        }
+
+
+def _merge_intervals(
+    intervals: list[tuple[int, int]],
+) -> list[tuple[int, int]]:
+    """Union of half-open intervals, sorted and non-overlapping."""
+    merged: list[tuple[int, int]] = []
+    for start, stop in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], stop))
+        else:
+            merged.append((start, stop))
+    return merged
+
+
+@dataclass(frozen=True)
+class FaultProcess:
+    """Base class: a picklable, seeded generator of fault traces.
+
+    ``faults`` components (couplers or processors, per subclass) churn
+    as independent alternating renewal processes: up for a draw of
+    mean ``mtbf`` slots, down for a draw of mean ``mttr`` slots,
+    repeating to the horizon.  ``law`` picks the inter-event law --
+    ``"exponential"`` (memoryless; the 2-state Markov process whose
+    stationary availability is ``mtbf / (mtbf + mttr)``) or
+    ``"deterministic"`` (fixed durations; periodic maintenance).
+
+    Durations are rounded to whole slots with a floor of one, so every
+    failure is visible to the slotted simulator.
+    """
+
+    faults: int = 1
+    mtbf: float = 400.0
+    mttr: float = 100.0
+    law: str = "exponential"
+    key: ClassVar[str] = ""
+
+    def __post_init__(self) -> None:
+        if self.faults < 0:
+            raise ValueError(f"faults must be >= 0, got {self.faults}")
+        if self.mtbf <= 0 or self.mttr <= 0:
+            raise ValueError(
+                f"mtbf and mttr must be > 0, got {self.mtbf}/{self.mttr}"
+            )
+        if self.law not in RENEWAL_LAWS:
+            known = ", ".join(RENEWAL_LAWS)
+            raise ValueError(f"unknown law {self.law!r}; known laws: {known}")
+
+    # -- component domain ----------------------------------------------
+    def component_pool(self, net) -> tuple[tuple[str, int], ...]:
+        """All ``(component, index)`` pairs the process may churn."""
+        raise NotImplementedError
+
+    def max_faults(self, net) -> int | None:
+        """Largest churn population fully injectable into ``net``.
+
+        Mirrors :meth:`~repro.resilience.faults.FaultModel.max_faults`:
+        the capacity accounting that lets temporal sweeps *skip*
+        machines too small to absorb the requested churn instead of
+        scoring them immune.
+        """
+        return None
+
+    def churning(self, net, seed: int) -> list[tuple[str, int]]:
+        """The deterministic churn population for ``(net, seed)``."""
+        pool = sorted(self.component_pool(net))
+        rng = random.Random(stream_seed(seed, self.key, "members"))
+        return sorted(rng.sample(pool, min(self.faults, len(pool))))
+
+    # -- renewal machinery ---------------------------------------------
+    def _draw(self, rng: random.Random, mean: float) -> int:
+        if self.law == "deterministic":
+            return max(1, round(mean))
+        return max(1, round(rng.expovariate(1.0 / mean)))
+
+    def down_intervals(
+        self, component: str, index: int, seed: int, horizon: int
+    ) -> list[tuple[int, int]]:
+        """Half-open ``[fail, repair)`` intervals of one component.
+
+        Seeded per ``(process key, component, index)``: the history is
+        the same whatever other components the process touches.
+        """
+        rng = random.Random(stream_seed(seed, self.key, component, index))
+        out: list[tuple[int, int]] = []
+        t = 0
+        while True:
+            t += self._draw(rng, self.mtbf)
+            if t >= horizon:
+                break
+            down = self._draw(rng, self.mttr)
+            out.append((t, min(t + down, horizon)))
+            t += down
+            if t >= horizon:
+                break
+        return out
+
+    def _component_intervals(
+        self, net, seed: int, horizon: int
+    ) -> dict[tuple[str, int], list[tuple[int, int]]]:
+        """Raw down intervals per churning component (pre-merge)."""
+        return {
+            (component, index): self.down_intervals(
+                component, index, seed, horizon
+            )
+            for component, index in self.churning(net, seed)
+        }
+
+    def trace(self, spec, net, seed: int, horizon: int) -> FaultTrace:
+        """Compile the deterministic trace for ``(spec, seed, horizon)``."""
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        events: list[ComponentEvent] = []
+        for (component, index), intervals in self._component_intervals(
+            net, seed, horizon
+        ).items():
+            for start, stop in _merge_intervals(intervals):
+                events.append(
+                    ComponentEvent(start, "fail", component, index)
+                )
+                if stop < horizon:
+                    events.append(
+                        ComponentEvent(stop, "repair", component, index)
+                    )
+        events.sort(key=lambda e: (e.slot, e.component, e.index, e.kind))
+        return FaultTrace(
+            spec=str(spec),
+            process=self.key,
+            seed=int(seed),
+            horizon=int(horizon),
+            events=tuple(events),
+        )
+
+
+@dataclass(frozen=True)
+class CouplerRenewalProcess(FaultProcess):
+    """``faults`` couplers churn as independent renewal processes."""
+
+    key: ClassVar[str] = "coupler-renewal"
+
+    def component_pool(self, net):
+        return tuple(("coupler", c) for c in range(net.num_couplers))
+
+    def max_faults(self, net) -> int:
+        # same cap as the frozen UniformCouplerFaults: at least one
+        # coupler must be able to stay alive at the worst instant
+        return max(net.num_couplers - 1, 0)
+
+
+@dataclass(frozen=True)
+class ProcessorRenewalProcess(FaultProcess):
+    """``faults`` processors churn as independent renewal processes."""
+
+    key: ClassVar[str] = "processor-renewal"
+
+    def component_pool(self, net):
+        return tuple(("processor", p) for p in range(net.num_processors))
+
+    def max_faults(self, net) -> int:
+        return max(net.num_processors - 2, 0)
+
+
+@dataclass(frozen=True)
+class CascadeCouplerProcess(CouplerRenewalProcess):
+    """Correlated churn: a primary failure drags siblings down with it.
+
+    Each primary failure of a churning coupler triggers, with
+    probability ``spread`` per sibling, a sympathetic failure of the
+    couplers sharing its source group (a failing laser bank stresses
+    its whole OTIS block).  Secondaries fail one slot after the
+    trigger and are repaired with the primary.  The cascade draw is
+    seeded per ``(primary, fail slot)``, so it is as deterministic as
+    the primaries themselves.
+    """
+
+    key: ClassVar[str] = "cascade"
+
+    spread: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.spread <= 1.0:
+            raise ValueError(
+                f"spread must be a probability in [0, 1], got {self.spread}"
+            )
+
+    def _component_intervals(self, net, seed: int, horizon: int):
+        intervals = super()._component_intervals(net, seed, horizon)
+        ends = coupler_endpoints(net)
+        siblings: dict[int, list[int]] = {}
+        for idx, (u, _v) in enumerate(ends):
+            siblings.setdefault(u, []).append(idx)
+        for (component, index), downs in sorted(intervals.items()):
+            if component != "coupler":
+                continue
+            src_group = ends[index][0]
+            for start, stop in downs:
+                rng = random.Random(
+                    stream_seed(seed, self.key, "spread", index, start)
+                )
+                for sib in siblings.get(src_group, ()):
+                    if sib == index:
+                        continue
+                    if rng.random() < self.spread and start + 1 < stop:
+                        intervals.setdefault(("coupler", sib), []).append(
+                            (start + 1, stop)
+                        )
+        return intervals
+
+
+FAULT_PROCESSES: dict[str, type[FaultProcess]] = {
+    cls.key: cls
+    for cls in (
+        CouplerRenewalProcess,
+        ProcessorRenewalProcess,
+        CascadeCouplerProcess,
+    )
+}
+
+
+def fault_process_keys() -> tuple[str, ...]:
+    """All registered fault-process keys, sorted."""
+    return tuple(sorted(FAULT_PROCESSES))
+
+
+def make_fault_process(key: str, faults: int = 1, **options) -> FaultProcess:
+    """The fault process named ``key`` with intensity ``faults``.
+
+    ``options`` pass through to the process constructor (``mtbf``,
+    ``mttr``, ``law``, and ``spread`` for the cascade).
+
+    >>> make_fault_process("coupler-renewal", 2).faults
+    2
+    """
+    try:
+        cls = FAULT_PROCESSES[key.strip().lower()]
+    except KeyError:
+        known = ", ".join(fault_process_keys())
+        raise ValueError(
+            f"unknown fault process {key!r}; known processes: {known}"
+        ) from None
+    return cls(faults=faults, **options)

@@ -1,0 +1,346 @@
+"""Traffic-matrix engineering: demands, utilization, dimensioning.
+
+A :class:`TrafficMatrix` is a set of group-level demands
+``(src_group, dst_group, rate)`` -- the long-run offered load, in
+messages per slot, between OTIS groups.  The layer maps demands onto
+routed group paths, accumulates per-coupler utilization, dimensions
+coupler capacity for a target load, and closes the loop with
+*overload-driven degraded routing*: couplers pushed past capacity are
+treated as faults and the demands re-routed on the surviving machine.
+
+A matrix is also a *workload*: calling it with the standard workload
+signature ``(net, *, messages, seed)`` expands the demands into
+deterministic ``(src, dst, slot)`` triples (largest-remainder
+apportioning by rate), so a matrix can drive the slotted simulator,
+the resilience sweeps and the temporal replay anywhere a named
+workload can.
+
+>>> from repro.core import build
+>>> net = build("pops(2,2)")
+>>> m = TrafficMatrix.uniform(2, rate=4.0)
+>>> len(m(net, messages=8, seed=0))
+8
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..resilience.degrade import DegradedNetwork
+from ..resilience.faults import FaultScenario, coupler_endpoints, group_of
+
+__all__ = [
+    "TrafficMatrix",
+    "UtilizationReport",
+    "route_demands",
+    "utilization",
+    "dimension",
+    "overload_scenario",
+    "reroute_overloaded",
+    "served_fraction",
+]
+
+
+@dataclass(frozen=True)
+class TrafficMatrix:
+    """Group-level demand matrix: ``(src_group, dst_group, rate)`` rows."""
+
+    demands: tuple[tuple[int, int, float], ...]
+    name: str = "traffic"
+
+    def __post_init__(self) -> None:
+        if not self.demands:
+            raise ValueError("a traffic matrix needs at least one demand")
+        for src, dst, rate in self.demands:
+            if src < 0 or dst < 0:
+                raise ValueError(f"negative group in demand ({src}, {dst})")
+            if rate <= 0:
+                raise ValueError(
+                    f"demand rate must be > 0, got {rate} for ({src}, {dst})"
+                )
+
+    @property
+    def total_rate(self) -> float:
+        """Sum of all demand rates (messages per slot)."""
+        return sum(rate for _s, _d, rate in self.demands)
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def uniform(cls, groups: int, rate: float = 1.0) -> "TrafficMatrix":
+        """All-to-all: ``rate`` split evenly over ordered group pairs."""
+        pairs = [(u, v) for u in range(groups) for v in range(groups) if u != v]
+        if not pairs:
+            raise ValueError("uniform matrix needs at least two groups")
+        share = rate / len(pairs)
+        return cls(
+            demands=tuple((u, v, share) for u, v in pairs),
+            name=f"uniform({groups})",
+        )
+
+    @classmethod
+    def hotspot(
+        cls,
+        groups: int,
+        hot: int = 0,
+        fraction: float = 0.5,
+        rate: float = 1.0,
+    ) -> "TrafficMatrix":
+        """``fraction`` of the load converges on group ``hot``.
+
+        The hot share splits evenly over the other groups' demands
+        toward ``hot``; the rest is uniform over every other pair.
+        """
+        if not 0 <= hot < groups:
+            raise ValueError(f"hot group {hot} out of range [0, {groups})")
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        toward = [(u, hot) for u in range(groups) if u != hot]
+        if not toward:
+            raise ValueError("hotspot matrix needs at least two groups")
+        rest = [
+            (u, v)
+            for u in range(groups)
+            for v in range(groups)
+            if u != v and v != hot
+        ]
+        demands = [(u, v, rate * fraction / len(toward)) for u, v in toward]
+        if rest:
+            demands += [
+                (u, v, rate * (1.0 - fraction) / len(rest)) for u, v in rest
+            ]
+        return cls(
+            demands=tuple(demands),
+            name=f"hotspot({groups},{hot})",
+        )
+
+    # -- (de)serialization ---------------------------------------------
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready view."""
+        return {
+            "name": self.name,
+            "demands": [[s, d, r] for s, d, r in self.demands],
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "TrafficMatrix":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            demands=tuple(
+                (int(s), int(d), float(r)) for s, d, r in data["demands"]
+            ),
+            name=str(data.get("name", "traffic")),
+        )
+
+    # -- workload protocol ---------------------------------------------
+    def __call__(self, net, *, messages: int, seed: int, **_options):
+        """Expand into ``(src, dst, slot)`` triples (workload protocol).
+
+        ``messages`` are apportioned to demands by largest remainder
+        on rate; endpoints are drawn uniformly from each group's
+        processors under the sweep's seed discipline.
+        """
+        from .processes import stream_seed
+
+        members: dict[int, list[int]] = {}
+        for p in range(net.num_processors):
+            members.setdefault(group_of(net, p), []).append(p)
+        total = self.total_rate
+        shares = [
+            (messages * rate / total, i)
+            for i, (_s, _d, rate) in enumerate(self.demands)
+        ]
+        counts = [int(share) for share, _i in shares]
+        leftover = messages - sum(counts)
+        for _frac, i in sorted(
+            ((share - int(share), i) for share, i in shares),
+            key=lambda t: (-t[0], t[1]),
+        )[:leftover]:
+            counts[i] += 1
+        triples = []
+        for i, (src_g, dst_g, _rate) in enumerate(self.demands):
+            srcs = members.get(src_g)
+            dsts = members.get(dst_g)
+            if not srcs or not dsts:
+                raise ValueError(
+                    f"demand ({src_g}, {dst_g}) names a group missing "
+                    f"from the network"
+                )
+            rng = random.Random(stream_seed(seed, "traffic", self.name, i))
+            for _k in range(counts[i]):
+                triples.append((rng.choice(srcs), rng.choice(dsts), 0))
+        return triples
+
+
+def _degraded_view(net, degraded) -> DegradedNetwork:
+    if degraded is not None:
+        return degraded
+    return DegradedNetwork(
+        net, FaultScenario(spec="intact", model="none", seed=0)
+    )
+
+
+def route_demands(net, matrix: TrafficMatrix, degraded=None):
+    """Group path per demand: ``(src, dst, rate, path-or-None)`` rows.
+
+    Paths come from the family's fault-aware routing hook on the
+    (possibly degraded) machine; ``None`` marks a severed demand.
+    """
+    view = _degraded_view(net, degraded)
+    return [
+        (src, dst, rate, view.fault_route(src, dst))
+        for src, dst, rate in matrix.demands
+    ]
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Per-coupler load accounting for one matrix on one machine."""
+
+    loads: tuple[float, ...]  # offered messages/slot per coupler
+    capacity: float
+    unserved_rate: float  # rate of demands with no surviving route
+
+    @property
+    def max_utilization(self) -> float:
+        """Peak coupler load over capacity."""
+        return max(self.loads, default=0.0) / self.capacity
+
+    @property
+    def mean_utilization(self) -> float:
+        """Mean coupler load over capacity."""
+        if not self.loads:
+            return 0.0
+        return sum(self.loads) / len(self.loads) / self.capacity
+
+    @property
+    def overloaded(self) -> tuple[int, ...]:
+        """Couplers loaded past capacity, ascending."""
+        return tuple(
+            c for c, load in enumerate(self.loads) if load > self.capacity
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready view (loads rounded for stable output)."""
+        return {
+            "loads": [round(x, 6) for x in self.loads],
+            "capacity": self.capacity,
+            "unserved_rate": round(self.unserved_rate, 6),
+            "max_utilization": round(self.max_utilization, 6),
+            "mean_utilization": round(self.mean_utilization, 6),
+            "overloaded": list(self.overloaded),
+        }
+
+
+def utilization(
+    net,
+    matrix: TrafficMatrix,
+    *,
+    capacity: float = 1.0,
+    degraded=None,
+) -> UtilizationReport:
+    """Per-coupler utilization of ``matrix`` routed on the machine.
+
+    Each demand's rate flows along its routed group path; on every
+    group hop the load splits evenly over the surviving parallel
+    couplers of that arc (a single-wavelength OPS coupler carries one
+    message per slot, so ``capacity`` defaults to 1.0).
+    """
+    if capacity <= 0:
+        raise ValueError(f"capacity must be > 0, got {capacity}")
+    view = _degraded_view(net, degraded)
+    arc_couplers: dict[tuple[int, int], list[int]] = {}
+    for c, (u, v) in enumerate(coupler_endpoints(net)):
+        if c not in view.dead_couplers:
+            arc_couplers.setdefault((u, v), []).append(c)
+    loads = [0.0] * net.num_couplers
+    unserved = 0.0
+    for _src, _dst, rate, path in route_demands(net, matrix, view):
+        if path is None:
+            unserved += rate
+            continue
+        hops = [
+            arc_couplers.get((u, v), ()) for u, v in zip(path, path[1:])
+        ]
+        if any(not share for share in hops):
+            # structured reroute walked an arc with no surviving coupler
+            unserved += rate
+            continue
+        for share in hops:
+            for c in share:
+                loads[c] += rate / len(share)
+    return UtilizationReport(
+        loads=tuple(loads), capacity=capacity, unserved_rate=unserved
+    )
+
+
+def dimension(
+    net, matrix: TrafficMatrix, *, target_utilization: float = 0.8
+) -> dict[str, object]:
+    """Per-coupler capacity needed to keep load under the target.
+
+    The dimensioning rule of thumb: provision every coupler to run at
+    ``target_utilization`` of its capacity under the offered matrix.
+    """
+    if not 0.0 < target_utilization <= 1.0:
+        raise ValueError(
+            f"target_utilization must be in (0, 1], got {target_utilization}"
+        )
+    report = utilization(net, matrix)
+    required = [load / target_utilization for load in report.loads]
+    return {
+        "target_utilization": target_utilization,
+        "per_coupler": [round(x, 6) for x in required],
+        "max_capacity": round(max(required, default=0.0), 6),
+        "total_capacity": round(sum(required), 6),
+    }
+
+
+def overload_scenario(
+    net, matrix: TrafficMatrix, *, capacity: float = 1.0
+) -> FaultScenario:
+    """The overloaded couplers as a frozen fault scenario."""
+    report = utilization(net, matrix, capacity=capacity)
+    return FaultScenario(
+        spec=getattr(net, "name", "net"),
+        model="overload",
+        seed=0,
+        couplers=frozenset(report.overloaded),
+    )
+
+
+def reroute_overloaded(
+    net, matrix: TrafficMatrix, *, capacity: float = 1.0
+) -> dict[str, object]:
+    """Overload-driven degraded routing: shed hot couplers, re-route.
+
+    Treats every coupler past ``capacity`` as failed and routes the
+    matrix again on the surviving machine -- the congestion-avoidance
+    analogue of a fault sweep.  Reports utilization before and after
+    plus the demand fraction still served.
+    """
+    before = utilization(net, matrix, capacity=capacity)
+    scenario = overload_scenario(net, matrix, capacity=capacity)
+    view = DegradedNetwork(net, scenario)
+    after = utilization(net, matrix, capacity=capacity, degraded=view)
+    total = matrix.total_rate
+    return {
+        "overloaded": list(before.overloaded),
+        "before": before.as_dict(),
+        "after": after.as_dict(),
+        "served_fraction": round(served_fraction(matrix, view), 6),
+        "total_rate": round(total, 6),
+    }
+
+
+def served_fraction(matrix: TrafficMatrix, degraded: DegradedNetwork) -> float:
+    """Rate-weighted fraction of demands with a surviving route."""
+    total = matrix.total_rate
+    served = sum(
+        rate
+        for _src, _dst, rate, path in route_demands(
+            degraded.net, matrix, degraded
+        )
+        if path is not None
+    )
+    return served / total if total else 1.0

@@ -3,7 +3,8 @@
 Downstream tooling shells out to ``python -m repro ... --json`` and
 indexes into the result; these tests pin the *shape* of that contract
 -- exact top-level key sets and value types for ``describe``,
-``sweep``, ``resilience`` and ``design-search`` -- so a key rename or
+``sweep``, ``resilience``, ``temporal`` and ``design-search`` -- so a
+key rename or
 type drift fails loudly here instead of in someone's dashboard.
 """
 
@@ -137,6 +138,25 @@ CANDIDATE_SCHEMA = {
     "pareto": bool,
     "trials_spent": int,
     "early_discarded": bool,
+}
+
+TEMPORAL_SCHEMA = {
+    "spec": str,
+    "process": str,
+    "faults": int,
+    "mtbf": (int, float),
+    "mttr": (int, float),
+    "law": str,
+    "horizon": int,
+    "trials": int,
+    "seed": int,
+    "workload": str,
+    "messages": int,
+    "bound": int,
+    "quantiles": dict,
+    "availability_curve": list,
+    "disconnected_fraction": (int, float, type(None)),
+    "skipped_underfaulted": bool,
 }
 
 #: adaptive sweeps add exactly one key to the resilience summary
@@ -281,6 +301,95 @@ class TestResilienceSchema:
         assert_schema(data["adaptive"], ADAPTIVE_BLOCK_SCHEMA)
         assert data["adaptive"]["trials_spent"] == data["trials"]
         assert data["adaptive"]["trials_requested"] == 512
+
+
+class TestTemporalSchema:
+    def test_connectivity_metrics_summary(self, capsys):
+        data = cli_json(
+            capsys,
+            [
+                "temporal",
+                "sk(2,2,2)",
+                "--faults",
+                "2",
+                "--mtbf",
+                "60",
+                "--mttr",
+                "20",
+                "--trials",
+                "4",
+                "--horizon",
+                "200",
+                "--json",
+            ],
+        )
+        assert_schema(data, TEMPORAL_SCHEMA)
+        assert set(data["quantiles"]) == {
+            "availability",
+            "survivability",
+            "time_to_disconnect",
+            "events",
+        }
+        for cell in data["quantiles"].values():
+            assert set(cell) == QUANTILE_KEYS
+        assert len(data["availability_curve"]) == 16
+        assert data["messages"] == 0
+
+    def test_full_metrics_summary(self, capsys):
+        data = cli_json(
+            capsys,
+            [
+                "temporal",
+                "sk(2,2,2)",
+                "--trials",
+                "3",
+                "--horizon",
+                "150",
+                "--metrics",
+                "full",
+                "--messages",
+                "10",
+                "--json",
+            ],
+        )
+        assert_schema(data, TEMPORAL_SCHEMA)
+        assert set(data["quantiles"]) == {
+            "availability",
+            "survivability",
+            "time_to_disconnect",
+            "events",
+            "within_bound_time",
+            "mean_stretch_time",
+            "delivery_ratio",
+            "dropped",
+            "mean_latency",
+            "slots",
+        }
+        assert data["messages"] == 10
+
+    def test_summary_to_json_matches_cli_payload(self, capsys):
+        """`TemporalSummary.to_json()` IS the CLI `temporal --json` contract."""
+        import repro
+
+        argv = [
+            "temporal",
+            "sk(2,2,2)",
+            "--faults",
+            "2",
+            "--trials",
+            "4",
+            "--horizon",
+            "200",
+            "--seed",
+            "7",
+            "--json",
+        ]
+        assert main(argv) == 0
+        cli_text = capsys.readouterr().out
+        summary = repro.temporal_sweep(
+            "sk(2,2,2)", faults=2, trials=4, horizon=200, seed=7
+        )
+        assert summary.to_json() == cli_text.rstrip("\n")
 
 
 class TestExperimentSchema:

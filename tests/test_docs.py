@@ -78,6 +78,7 @@ class TestCliSchemaCrossCheck:
             ("describe", "DESCRIBE_SCHEMA"),
             ("sweep", "SWEEP_CELL_SCHEMA"),
             ("resilience", "RESILIENCE_SCHEMA"),
+            ("temporal", "TEMPORAL_SCHEMA"),
             ("design-search", "DESIGN_SEARCH_SCHEMA"),
             ("experiment", "EXPERIMENT_SCHEMA"),
         ],
